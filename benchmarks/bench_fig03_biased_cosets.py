@@ -1,0 +1,39 @@
+"""Figure 3: 6cosets vs 4cosets on the SPEC2006/PARSEC benchmark traces.
+
+Reproduced claim: on real (biased) workloads the advantage of 6cosets
+vanishes -- 4cosets matches its total energy while using half the auxiliary
+symbols, because its candidates were picked for the 00/11 bias of real data
+and its single auxiliary cell stays in a low-energy state.
+"""
+
+from repro.evaluation import experiments, format_series_table
+
+from conftest import run_once, write_result
+
+
+def bench_figure3(benchmark, experiment_config):
+    result = run_once(benchmark, experiments.figure3, experiment_config)
+
+    rows = {}
+    for scheme, per_granularity in result.items():
+        for granularity, values in per_granularity.items():
+            rows[f"{scheme} @ {granularity}-bit"] = values
+    table = format_series_table(rows, title="Figure 3: biased data (pJ/write)", row_header="series")
+    write_result("figure03_biased_4cosets_vs_6cosets", table)
+
+    for granularity in (16, 32, 64):
+        six = result["6cosets"][granularity]
+        four = result["4cosets"][granularity]
+        # The actionable claim of Figure 3: on biased data 4cosets gives up
+        # nothing in total energy relative to 6cosets (on the synthetic traces
+        # it is in fact slightly better), which is what justifies halving the
+        # auxiliary symbols.  See EXPERIMENTS.md for the measured numbers.
+        assert four["total"] <= six["total"] * 1.05
+    # 4cosets structurally halves the auxiliary storage at every granularity.
+    from repro.coding import make_scheme
+
+    for granularity in (16, 32, 64):
+        assert (
+            make_scheme(f"6cosets-{granularity}").aux_cells
+            == 2 * make_scheme(f"4cosets-{granularity}").aux_cells
+        )

@@ -1,0 +1,57 @@
+"""Shared configuration of the figure/table reproduction benchmarks.
+
+Each ``bench_*`` module regenerates one figure or table of the paper's
+evaluation section: it runs the corresponding experiment driver under
+``pytest-benchmark`` (a single round -- the value of these benchmarks is the
+regenerated table, not micro-timing), writes the table to
+``benchmarks/results/`` and asserts the qualitative claims of the paper
+(who wins, and roughly by how much).
+
+Environment knobs:
+
+``REPRO_BENCH_TRACE_LEN``
+    Write requests per benchmark trace (default 1200).  Larger values give
+    smoother numbers at proportionally higher runtime.
+``REPRO_BENCH_SEED``
+    Seed of the synthetic trace generator (default 2018).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.evaluation.experiments import ExperimentConfig
+
+#: Directory where every benchmark writes its regenerated table.
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_config() -> ExperimentConfig:
+    """Experiment configuration shared by all figure benchmarks."""
+    return ExperimentConfig(
+        trace_length=int(os.environ.get("REPRO_BENCH_TRACE_LEN", "1200")),
+        random_lines=int(os.environ.get("REPRO_BENCH_RANDOM_LINES", "4000")),
+        seed=int(os.environ.get("REPRO_BENCH_SEED", "2018")),
+    )
+
+
+@pytest.fixture(scope="session")
+def experiment_config() -> ExperimentConfig:
+    """Session-wide experiment configuration (see module docstring)."""
+    return bench_config()
+
+
+def write_result(name: str, text: str) -> Path:
+    """Persist a regenerated figure/table under ``benchmarks/results``."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    return path
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

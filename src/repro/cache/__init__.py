@@ -1,0 +1,18 @@
+"""Cache-hierarchy substrate: write-back caches that generate PCM write traces."""
+
+from .cache import CacheStatistics, WriteBackCache
+from .hierarchy import (
+    CacheHierarchy,
+    MemoryAccess,
+    generate_access_stream,
+    trace_from_profile,
+)
+
+__all__ = [
+    "CacheHierarchy",
+    "CacheStatistics",
+    "MemoryAccess",
+    "WriteBackCache",
+    "generate_access_stream",
+    "trace_from_profile",
+]

@@ -1,0 +1,172 @@
+"""Set-associative write-back cache model.
+
+The paper collects its memory write traces from the write-backs of per-core
+2 MB L2 caches (Table II).  This module provides the equivalent substrate: a
+set-associative, write-back, write-allocate cache with LRU replacement that
+tracks the *data* of every resident line, so that each eviction of a dirty
+line produces a memory write transaction carrying both the evicted (new) data
+and the data previously stored in memory -- exactly the (old, new) pairs the
+trace-driven evaluation consumes.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.errors import SimulationError
+from ..core.line import LineBatch
+from ..core.symbols import WORDS_PER_LINE
+from ..workloads.trace import WriteTrace
+
+
+@dataclass
+class CacheStatistics:
+    """Hit/miss/write-back counters."""
+
+    hits: int = 0
+    misses: int = 0
+    writebacks: int = 0
+    evictions: int = 0
+
+    @property
+    def accesses(self) -> int:
+        """Total number of cache accesses."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of accesses that hit in the cache."""
+        return self.hits / self.accesses if self.accesses else 0.0
+
+
+@dataclass
+class _CacheLine:
+    """Metadata + data of one resident cache line."""
+
+    tag: int
+    data: np.ndarray
+    dirty: bool = False
+
+
+class WriteBackCache:
+    """Set-associative write-back cache that records its dirty evictions.
+
+    Parameters
+    ----------
+    size_bytes:
+        Total capacity (default 2 MB, the paper's private L2).
+    ways:
+        Associativity (default 8).
+    line_bytes:
+        Line size (default 64 bytes = one PCM memory line).
+    """
+
+    def __init__(self, size_bytes: int = 2 * 1024 * 1024, ways: int = 8, line_bytes: int = 64):
+        if size_bytes % (ways * line_bytes):
+            raise SimulationError("cache size must be a multiple of ways * line_bytes")
+        self.line_bytes = line_bytes
+        self.ways = ways
+        self.num_sets = size_bytes // (ways * line_bytes)
+        #: Per-set LRU-ordered mapping from tag to resident line.
+        self._sets: List["OrderedDict[int, _CacheLine]"] = [OrderedDict() for _ in range(self.num_sets)]
+        #: Backing-store contents (what memory currently holds) per line address.
+        self._memory_image: Dict[int, np.ndarray] = {}
+        self.stats = CacheStatistics()
+        #: Write-back transactions produced so far: (address, old words, new words).
+        self.writebacks: List[Tuple[int, np.ndarray, np.ndarray]] = []
+
+    # ------------------------------------------------------------------ #
+    # Address helpers
+    # ------------------------------------------------------------------ #
+    def _index_and_tag(self, line_address: int) -> Tuple[int, int]:
+        return line_address % self.num_sets, line_address // self.num_sets
+
+    def _memory_words(self, line_address: int) -> np.ndarray:
+        return self._memory_image.get(line_address, np.zeros(WORDS_PER_LINE, dtype=np.uint64))
+
+    # ------------------------------------------------------------------ #
+    # Access path
+    # ------------------------------------------------------------------ #
+    def access(
+        self,
+        line_address: int,
+        write_data: Optional[np.ndarray] = None,
+    ) -> Optional[Tuple[int, np.ndarray, np.ndarray]]:
+        """Perform one cache access; returns a write-back transaction if one occurs.
+
+        Parameters
+        ----------
+        line_address:
+            Line-granularity address.
+        write_data:
+            For stores, the new 8-word line content; ``None`` for loads.
+
+        Returns
+        -------
+        tuple or None
+            ``(address, old_words, new_words)`` when a dirty line is evicted.
+        """
+        index, tag = self._index_and_tag(line_address)
+        cache_set = self._sets[index]
+        writeback = None
+
+        if tag in cache_set:
+            self.stats.hits += 1
+            line = cache_set.pop(tag)
+        else:
+            self.stats.misses += 1
+            if len(cache_set) >= self.ways:
+                writeback = self._evict(index, cache_set)
+            line = _CacheLine(tag=tag, data=self._memory_words(line_address).copy())
+        if write_data is not None:
+            new_data = np.asarray(write_data, dtype=np.uint64).reshape(WORDS_PER_LINE)
+            if not np.array_equal(new_data, line.data):
+                line.data = new_data.copy()
+                line.dirty = True
+        cache_set[tag] = line  # most recently used position
+        return writeback
+
+    def _evict(self, index: int, cache_set: "OrderedDict[int, _CacheLine]") -> Optional[Tuple[int, np.ndarray, np.ndarray]]:
+        victim_tag, victim = cache_set.popitem(last=False)
+        self.stats.evictions += 1
+        if not victim.dirty:
+            return None
+        victim_address = victim_tag * self.num_sets + index
+        old_words = self._memory_words(victim_address)
+        self._memory_image[victim_address] = victim.data.copy()
+        self.stats.writebacks += 1
+        transaction = (victim_address, old_words, victim.data.copy())
+        self.writebacks.append(transaction)
+        return transaction
+
+    def flush(self) -> List[Tuple[int, np.ndarray, np.ndarray]]:
+        """Write back every dirty line (end-of-simulation flush)."""
+        flushed: List[Tuple[int, np.ndarray, np.ndarray]] = []
+        for index, cache_set in enumerate(self._sets):
+            for tag in list(cache_set.keys()):
+                line = cache_set.pop(tag)
+                if line.dirty:
+                    address = tag * self.num_sets + index
+                    old_words = self._memory_words(address)
+                    self._memory_image[address] = line.data.copy()
+                    self.stats.writebacks += 1
+                    transaction = (address, old_words, line.data.copy())
+                    self.writebacks.append(transaction)
+                    flushed.append(transaction)
+        return flushed
+
+    # ------------------------------------------------------------------ #
+    # Trace extraction
+    # ------------------------------------------------------------------ #
+    def writeback_trace(self, name: str = "cache-writebacks") -> WriteTrace:
+        """Package the recorded write-backs as a :class:`WriteTrace`."""
+        if not self.writebacks:
+            return WriteTrace(old=LineBatch.zeros(0), new=LineBatch.zeros(0), name=name)
+        addresses = np.array([t[0] for t in self.writebacks], dtype=np.uint64)
+        old = LineBatch(np.stack([t[1] for t in self.writebacks]))
+        new = LineBatch(np.stack([t[2] for t in self.writebacks]))
+        return WriteTrace(old=old, new=new, addresses=addresses, name=name)

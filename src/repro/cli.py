@@ -1,0 +1,131 @@
+"""Command-line interface: run any figure/table experiment from the shell.
+
+Examples
+--------
+List the available experiments and schemes::
+
+    wlcrc-repro list
+
+Reproduce Figure 8 with short traces::
+
+    wlcrc-repro figure8 --trace-length 2000
+
+Evaluate a single scheme on a single benchmark::
+
+    wlcrc-repro evaluate --scheme wlcrc-16 --benchmark gcc --trace-length 5000
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Callable, Dict, Optional, Sequence
+
+from . import evaluation
+from .coding import available_schemes, make_scheme
+from .evaluation import ExperimentConfig, evaluate_trace, format_series_table
+from .hardware import WLCRCSynthesisModel
+from .workloads import ALL_BENCHMARKS, generate_benchmark_trace
+
+#: Experiment name -> driver function in :mod:`repro.evaluation.experiments`.
+EXPERIMENTS: Dict[str, Callable] = {
+    "figure1-random": lambda cfg: evaluation.figure1("random", cfg),
+    "figure1-biased": lambda cfg: evaluation.figure1("biased", cfg),
+    "figure2": evaluation.figure2,
+    "figure3": evaluation.figure3,
+    "figure4": evaluation.figure4,
+    "figure5": evaluation.figure5,
+    "figure8": evaluation.figure8,
+    "figure9": evaluation.figure9,
+    "figure10": evaluation.figure10,
+    "figure11": evaluation.figure11,
+    "figure12": evaluation.figure12,
+    "figure13": evaluation.figure13,
+    "figure14": evaluation.figure14,
+    "section8d": evaluation.section8d_multiobjective,
+    "table1": lambda cfg: evaluation.table1(),
+    "hardware": lambda cfg: WLCRCSynthesisModel().overhead_table(),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="wlcrc-repro",
+        description="Reproduce the WLCRC (HPCA 2018) evaluation figures and tables.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list available experiments and schemes")
+
+    run = subparsers.add_parser("run", help="run one experiment and print its table")
+    run.add_argument("experiment", choices=sorted(EXPERIMENTS))
+    _add_config_arguments(run)
+
+    for name in EXPERIMENTS:
+        experiment = subparsers.add_parser(name, help=f"run the {name} experiment")
+        _add_config_arguments(experiment)
+
+    evaluate = subparsers.add_parser("evaluate", help="evaluate one scheme on one benchmark")
+    evaluate.add_argument("--scheme", default="wlcrc-16", help="scheme name (see 'list')")
+    evaluate.add_argument("--benchmark", default="gcc", choices=list(ALL_BENCHMARKS))
+    _add_config_arguments(evaluate)
+    return parser
+
+
+def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trace-length", type=int, default=4000, help="write requests per benchmark")
+    parser.add_argument("--seed", type=int, default=2018, help="trace-generation seed")
+    parser.add_argument("--json", action="store_true", help="emit JSON instead of a text table")
+
+
+def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
+    return ExperimentConfig(trace_length=args.trace_length, seed=args.seed)
+
+
+def _print_result(result, as_json: bool) -> None:
+    if as_json:
+        print(json.dumps(result, indent=2, default=float))
+        return
+    if isinstance(result, dict) and result and isinstance(next(iter(result.values())), dict):
+        flattened = {}
+        for row, columns in result.items():
+            flattened[str(row)] = {
+                str(col): (value if isinstance(value, (int, float, str)) else str(value))
+                for col, value in columns.items()
+            }
+        print(format_series_table(flattened, precision=2))
+    else:
+        print(result)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point of the ``wlcrc-repro`` console script."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        print("experiments:")
+        for name in sorted(EXPERIMENTS):
+            print(f"  {name}")
+        print("schemes:")
+        for name in available_schemes():
+            print(f"  {name}")
+        return 0
+
+    if args.command == "evaluate":
+        config = _config_from_args(args)
+        trace = generate_benchmark_trace(args.benchmark, config.trace_length, config.seed)
+        metrics = evaluate_trace(make_scheme(args.scheme), trace, config.evaluation)
+        _print_result({args.scheme: metrics.as_dict()}, args.json)
+        return 0
+
+    experiment_name = args.experiment if args.command == "run" else args.command
+    config = _config_from_args(args)
+    result = EXPERIMENTS[experiment_name](config)
+    _print_result(result, args.json)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,42 @@
+"""Differential-write baseline: no encoding, just write the changed cells.
+
+This is the paper's ``Baseline`` scheme: every data symbol is stored under the
+default symbol-to-state mapping (coset C1) and differential write skips the
+cells whose state does not change.  All other schemes are built on top of the
+same differential-write substrate.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..core.cosets import DEFAULT_MAPPING, apply_mapping, invert_mapping
+from ..core.energy import DEFAULT_ENERGY_MODEL, EnergyModel
+from ..core.line import LineBatch
+from ..core.symbols import SYMBOLS_PER_LINE
+from .base import WriteEncoder
+
+
+class BaselineEncoder(WriteEncoder):
+    """Plain differential write with the default symbol-to-state mapping."""
+
+    name = "baseline"
+
+    def __init__(self, energy_model: EnergyModel = DEFAULT_ENERGY_MODEL):
+        super().__init__(energy_model)
+
+    def _encode_against_states(
+        self, lines: LineBatch, stored_states: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        states = apply_mapping(DEFAULT_MAPPING, lines.symbols())
+        n = len(lines)
+        aux_mask = np.zeros((n, SYMBOLS_PER_LINE), dtype=bool)
+        compressed = np.zeros(n, dtype=bool)
+        encoded = np.zeros(n, dtype=bool)
+        return states, aux_mask, compressed, encoded
+
+    def decode_states(self, states: np.ndarray) -> LineBatch:
+        symbols = invert_mapping(DEFAULT_MAPPING)[np.asarray(states, dtype=np.uint8)]
+        return LineBatch.from_symbols(symbols)

@@ -1,0 +1,226 @@
+"""COC+4cosets: Coverage-Oriented Compression combined with 4cosets encoding.
+
+This baseline (Section VIII of the paper) compresses each line with the COC
+bank of compressors and applies the 4cosets encoding at a fine granularity to
+the compressed payload, storing the per-block candidate indices in the space
+the compression freed:
+
+* lines compressed to at most 448 bits are encoded at 16-bit granularity;
+* lines compressed to at most 480 bits are encoded at 32-bit granularity;
+* all other lines are written raw.
+
+Because the COC members re-pack the line into a dense variable-length stream,
+the bit positions of consecutive writes to the same address rarely coincide,
+so differential write loses most of its benefit -- this is the behaviour that
+makes COC+4cosets *increase* write energy on low-memory-intensity workloads
+in Figure 8, and it emerges naturally here because the encoded layout is the
+actual compressed stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..compression.base import CompressedLine
+from ..compression.coc import COC_BUDGET_16BIT, COC_BUDGET_32BIT, COCCompressor
+from ..core.cosets import DEFAULT_MAPPING, FOUR_COSETS, apply_mapping, invert_mapping
+from ..core.energy import DEFAULT_ENERGY_MODEL, EnergyModel
+from ..core.errors import EncodingError
+from ..core.line import LineBatch
+from ..core.symbols import (
+    BITS_PER_LINE,
+    SYMBOLS_PER_LINE,
+    bits_to_symbols,
+    symbols_to_bits,
+    symbols_to_words,
+)
+from .base import (
+    WriteEncoder,
+    block_energy_costs,
+    pack_bits_to_states,
+    select_states_per_block,
+    unpack_states_to_bits,
+)
+from .wlc_base import FLAG_COMPRESSED_STATE, FLAG_RAW_STATE
+
+
+@dataclass(frozen=True)
+class _Layout:
+    """Geometry of one COC+4cosets encoding mode."""
+
+    budget_bits: int
+    granularity_bits: int
+    #: Symbol value stored in the mode-indicator cell (cell 255).
+    mode_symbol: int
+
+    @property
+    def data_cells(self) -> int:
+        """Cells holding the (coset-encoded) compressed payload."""
+        return self.budget_bits // 2
+
+    @property
+    def block_cells(self) -> int:
+        """Cells per coset-encoding block."""
+        return self.granularity_bits // 2
+
+    @property
+    def num_blocks(self) -> int:
+        """Number of coset-encoding blocks in the payload region."""
+        return self.data_cells // self.block_cells
+
+    @property
+    def aux_bits(self) -> int:
+        """Auxiliary bits (2-bit candidate index per block)."""
+        return 2 * self.num_blocks
+
+    @property
+    def aux_cells(self) -> int:
+        """Cells holding the candidate indices, right after the payload region."""
+        return (self.aux_bits + 1) // 2
+
+
+#: 16-bit-granularity mode (compressed size <= 448 bits).
+LAYOUT_16 = _Layout(budget_bits=COC_BUDGET_16BIT, granularity_bits=16, mode_symbol=0)
+#: 32-bit-granularity mode (compressed size <= 480 bits).
+LAYOUT_32 = _Layout(budget_bits=COC_BUDGET_32BIT, granularity_bits=32, mode_symbol=2)
+
+
+class COCFourCosetsEncoder(WriteEncoder):
+    """COC compression followed by unrestricted 4cosets encoding."""
+
+    name = "coc+4cosets"
+
+    def __init__(self, energy_model: EnergyModel = DEFAULT_ENERGY_MODEL):
+        super().__init__(energy_model)
+        self.compressor = COCCompressor()
+        self.candidates = FOUR_COSETS
+        self.inverse_candidates = np.stack([invert_mapping(c) for c in self.candidates])
+
+    @property
+    def aux_cells(self) -> int:
+        """One flag cell distinguishes compressed lines from raw lines."""
+        return 1
+
+    @property
+    def flag_cell_index(self) -> int:
+        """Index of the compressed/raw flag cell."""
+        return SYMBOLS_PER_LINE
+
+    #: Index of the cell that records which layout (16- or 32-bit) was used.
+    MODE_CELL = SYMBOLS_PER_LINE - 1
+
+    # ------------------------------------------------------------------ #
+    # Encoding helpers
+    # ------------------------------------------------------------------ #
+    def _layout_for_size(self, size: int) -> Optional[_Layout]:
+        if size <= LAYOUT_16.budget_bits:
+            return LAYOUT_16
+        if size <= LAYOUT_32.budget_bits:
+            return LAYOUT_32
+        return None
+
+    def _packed_symbols(self, words: np.ndarray, layout: _Layout) -> np.ndarray:
+        """Compressed payload of one line, zero-padded to 256 symbols."""
+        compressed = self.compressor.compress_line(words)
+        bits = np.zeros(BITS_PER_LINE, dtype=np.uint8)
+        bits[: compressed.size_bits] = compressed.bits
+        return bits_to_symbols(bits)
+
+    def _encode_layout_group(
+        self,
+        indices: np.ndarray,
+        payload_symbols: np.ndarray,
+        stored_states: np.ndarray,
+        layout: _Layout,
+        data_states: np.ndarray,
+        aux_mask: np.ndarray,
+    ) -> None:
+        """Coset-encode all lines of one layout group (vectorised)."""
+        if indices.size == 0:
+            return
+        payload = payload_symbols[indices][:, : layout.data_cells]
+        stored = stored_states[indices][:, : layout.data_cells]
+        candidate_states = self.candidates[:, payload]
+        costs = block_energy_costs(candidate_states, stored, self.energy_model, layout.block_cells)
+        choice = costs.argmin(axis=0).astype(np.uint8)
+        encoded = select_states_per_block(candidate_states, choice, layout.block_cells)
+        choice_bits = np.zeros((indices.size, layout.aux_bits), dtype=np.uint8)
+        choice_bits[:, 0::2] = choice & 1
+        choice_bits[:, 1::2] = (choice >> 1) & 1
+        aux_states = pack_bits_to_states(choice_bits)
+
+        group_states = np.zeros((indices.size, SYMBOLS_PER_LINE), dtype=np.uint8)
+        group_states[:, : layout.data_cells] = encoded
+        aux_end = layout.data_cells + aux_states.shape[1]
+        group_states[:, layout.data_cells:aux_end] = aux_states
+        group_states[:, self.MODE_CELL] = DEFAULT_MAPPING[layout.mode_symbol]
+        data_states[indices] = group_states
+        aux_mask[indices, layout.data_cells:SYMBOLS_PER_LINE] = True
+
+    # ------------------------------------------------------------------ #
+    # WriteEncoder interface
+    # ------------------------------------------------------------------ #
+    def _encode_against_states(
+        self, lines: LineBatch, stored_states: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        n = len(lines)
+        symbols = lines.symbols()
+        raw_states = apply_mapping(DEFAULT_MAPPING, symbols)
+        sizes = self.compressor.sizes_bits(lines)
+        mode16 = sizes <= LAYOUT_16.budget_bits
+        mode32 = (~mode16) & (sizes <= LAYOUT_32.budget_bits)
+        compressible = mode16 | mode32
+
+        data_states = raw_states.copy()
+        aux_mask = np.zeros((n, self.total_cells), dtype=bool)
+
+        payload_symbols = np.zeros((n, SYMBOLS_PER_LINE), dtype=np.uint8)
+        for index in np.nonzero(compressible)[0]:
+            layout = LAYOUT_16 if mode16[index] else LAYOUT_32
+            payload_symbols[index] = self._packed_symbols(lines.words[index], layout)
+
+        data_stored = stored_states[:, :SYMBOLS_PER_LINE]
+        self._encode_layout_group(
+            np.nonzero(mode16)[0], payload_symbols, data_stored, LAYOUT_16, data_states,
+            aux_mask[:, :SYMBOLS_PER_LINE],
+        )
+        self._encode_layout_group(
+            np.nonzero(mode32)[0], payload_symbols, data_stored, LAYOUT_32, data_states,
+            aux_mask[:, :SYMBOLS_PER_LINE],
+        )
+
+        flag_states = np.where(compressible, FLAG_COMPRESSED_STATE, FLAG_RAW_STATE).astype(np.uint8)
+        states = np.concatenate([data_states, flag_states[:, None]], axis=1).astype(np.uint8)
+        aux_mask[:, self.flag_cell_index] = True
+        return states, aux_mask, compressible, compressible.copy()
+
+    def decode_states(self, states: np.ndarray) -> LineBatch:
+        states = np.asarray(states, dtype=np.uint8)
+        n = states.shape[0]
+        inverse_default = invert_mapping(DEFAULT_MAPPING)
+        flag = states[:, self.flag_cell_index]
+        words = symbols_to_words(inverse_default[states[:, :SYMBOLS_PER_LINE]].astype(np.uint8))
+        for index in np.nonzero(flag == FLAG_COMPRESSED_STATE)[0]:
+            words[index] = self._decode_line(states[index, :SYMBOLS_PER_LINE], inverse_default)
+        return LineBatch(words)
+
+    def _decode_line(self, line_states: np.ndarray, inverse_default: np.ndarray) -> np.ndarray:
+        mode_symbol = int(inverse_default[line_states[self.MODE_CELL]])
+        layout = LAYOUT_16 if mode_symbol == LAYOUT_16.mode_symbol else LAYOUT_32
+        aux_states = line_states[layout.data_cells:layout.data_cells + layout.aux_cells]
+        choice_bits = unpack_states_to_bits(aux_states[None, :], layout.aux_bits)[0]
+        choice = (choice_bits[0::2] | (choice_bits[1::2] << 1)).astype(np.uint8)
+        per_cell_choice = np.repeat(choice, layout.block_cells)
+        inverse = self.inverse_candidates[per_cell_choice]
+        payload_states = line_states[: layout.data_cells]
+        payload_symbols = np.take_along_axis(
+            inverse, payload_states[:, None].astype(np.intp), axis=-1
+        )[:, 0]
+        full_symbols = np.zeros(SYMBOLS_PER_LINE, dtype=np.uint8)
+        full_symbols[: layout.data_cells] = payload_symbols
+        bits = symbols_to_bits(full_symbols)
+        compressed = CompressedLine(bits=bits, compressor=self.compressor.name)
+        return self.compressor.decompress_line(compressed)

@@ -1,0 +1,136 @@
+"""Scheme registry: build any evaluated encoding scheme from its name.
+
+The names follow the paper's terminology.  A granularity suffix (``-8``,
+``-16``, ``-32``, ...) can be appended to the coset-based schemes; without a
+suffix each scheme uses the default granularity the paper evaluates it at
+(512-bit lines for FlipMin/FNW/6cosets, 32-bit blocks for WLC+4cosets,
+16-bit blocks for WLCRC).
+
+Examples
+--------
+>>> from repro.coding import make_scheme
+>>> make_scheme("wlcrc-16").name
+'wlcrc-16'
+>>> make_scheme("6cosets").granularity_bits
+512
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..core.cosets import FOUR_COSETS, SIX_COSETS, THREE_COSETS
+from ..core.energy import DEFAULT_ENERGY_MODEL, EnergyModel
+from ..core.errors import ConfigurationError
+from .base import WriteEncoder
+from .baseline import BaselineEncoder
+from .coc_cosets import COCFourCosetsEncoder
+from .din import DINEncoder
+from .flipmin import FlipMinEncoder
+from .fnw import FNWEncoder
+from .ncosets import NCosetsEncoder
+from .restricted import RestrictedCosetEncoder
+from .wlc_cosets import WLCNCosetsEncoder
+from .wlcrc import WLCRCEncoder
+
+#: Default threshold of the multi-objective WLCRC variant (Section VIII-D).
+DEFAULT_ENDURANCE_THRESHOLD = 0.01
+
+#: Scheme names evaluated in Figures 8, 9 and 10, in the paper's order.
+FIGURE8_SCHEMES = (
+    "baseline",
+    "flipmin",
+    "fnw",
+    "din",
+    "6cosets",
+    "coc+4cosets",
+    "wlc+4cosets",
+    "wlcrc-16",
+)
+
+
+def _split_granularity(name: str, prefix: str) -> Optional[int]:
+    """Parse ``prefix`` or ``prefix-<bits>`` and return the granularity (or None)."""
+    if name == prefix:
+        return 0
+    if name.startswith(prefix + "-"):
+        suffix = name[len(prefix) + 1:]
+        if suffix.isdigit():
+            return int(suffix)
+    return None
+
+
+def make_scheme(name: str, energy_model: EnergyModel = DEFAULT_ENERGY_MODEL) -> WriteEncoder:
+    """Instantiate an encoding scheme by its paper name."""
+    key = name.strip().lower()
+    if key == "baseline":
+        return BaselineEncoder(energy_model)
+    if key in ("fnw", "fnw-128"):
+        return FNWEncoder(128, energy_model)
+    if key.startswith("fnw-"):
+        return FNWEncoder(int(key[4:]), energy_model)
+    if key == "flipmin":
+        return FlipMinEncoder(energy_model=energy_model)
+    if key == "din":
+        return DINEncoder(energy_model)
+    if key == "coc+4cosets":
+        return COCFourCosetsEncoder(energy_model)
+
+    for prefix, candidates in (
+        ("6cosets", SIX_COSETS),
+        ("4cosets", FOUR_COSETS),
+        ("3cosets", THREE_COSETS),
+    ):
+        granularity = _split_granularity(key, prefix)
+        if granularity is not None:
+            bits = granularity or 512
+            return NCosetsEncoder(
+                candidates, bits, name=f"{prefix}-{bits}", energy_model=energy_model
+            )
+
+    granularity = _split_granularity(key, "3-r-cosets")
+    if granularity is not None:
+        return RestrictedCosetEncoder(granularity or 16, energy_model)
+
+    granularity = _split_granularity(key, "wlc+4cosets")
+    if granularity is not None:
+        return WLCNCosetsEncoder(FOUR_COSETS, granularity or 32, "wlc+4cosets", energy_model)
+    granularity = _split_granularity(key, "wlc+3cosets")
+    if granularity is not None:
+        return WLCNCosetsEncoder(THREE_COSETS, granularity or 32, "wlc+3cosets", energy_model)
+
+    if key.endswith("-mo"):
+        granularity = _split_granularity(key[:-3], "wlcrc")
+        if granularity is not None:
+            return WLCRCEncoder(
+                granularity or 16,
+                energy_model,
+                endurance_threshold=DEFAULT_ENDURANCE_THRESHOLD,
+            )
+    granularity = _split_granularity(key, "wlcrc")
+    if granularity is not None:
+        return WLCRCEncoder(granularity or 16, energy_model)
+
+    raise ConfigurationError(f"unknown scheme name: {name!r}")
+
+
+def available_schemes() -> List[str]:
+    """Canonical list of scheme names accepted by :func:`make_scheme`."""
+    return [
+        "baseline",
+        "fnw",
+        "flipmin",
+        "din",
+        "6cosets",
+        "4cosets",
+        "3cosets-16",
+        "3-r-cosets-16",
+        "coc+4cosets",
+        "wlc+4cosets",
+        "wlc+3cosets",
+        "wlcrc-8",
+        "wlcrc-16",
+        "wlcrc-32",
+        "wlcrc-64",
+        "wlcrc-16-mo",
+    ]

@@ -1,0 +1,131 @@
+"""Compressor interface shared by all line-compression substrates.
+
+A compressor operates on 512-bit memory lines.  Two views are exposed:
+
+* a **vectorised size query** (:meth:`Compressor.sizes_bits`) that returns the
+  compressed size of every line of a batch in bits -- this is what the
+  encoding schemes use to decide whether a line can host auxiliary bits; and
+* a **bit-exact single-line path** (:meth:`Compressor.compress_line` /
+  :meth:`Compressor.decompress_line`) that produces the actual compressed bit
+  stream.  Schemes whose memory layout depends on the compressed stream (DIN,
+  COC+4cosets) use this path, which is what lets the evaluation capture the
+  loss of bit locality those schemes suffer under differential write.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..core.errors import CompressionError
+from ..core.line import LineBatch
+from ..core.symbols import BITS_PER_LINE
+
+
+@dataclass(frozen=True)
+class CompressedLine:
+    """Bit-exact compressed representation of a single memory line.
+
+    Attributes
+    ----------
+    bits:
+        ``uint8`` array of the compressed bit stream (values 0/1), LSB first.
+    compressor:
+        Name of the compressor that produced the stream (needed by banks of
+        compressors such as COC to decompress).
+    """
+
+    bits: np.ndarray
+    compressor: str
+
+    @property
+    def size_bits(self) -> int:
+        """Length of the compressed stream in bits."""
+        return int(self.bits.shape[-1])
+
+
+class Compressor(ABC):
+    """Base class of all memory-line compressors."""
+
+    #: Short identifier used in reports and compressed-line tags.
+    name: str = "compressor"
+
+    @abstractmethod
+    def sizes_bits(self, batch: LineBatch) -> np.ndarray:
+        """Compressed size in bits of every line of ``batch`` (vectorised)."""
+
+    @abstractmethod
+    def compress_line(self, words: np.ndarray) -> CompressedLine:
+        """Compress a single line given as an ``(8,)`` ``uint64`` array."""
+
+    @abstractmethod
+    def decompress_line(self, compressed: CompressedLine) -> np.ndarray:
+        """Recover the original ``(8,)`` ``uint64`` line from a compressed stream."""
+
+    # ------------------------------------------------------------------ #
+    # Convenience helpers
+    # ------------------------------------------------------------------ #
+    def compressible(self, batch: LineBatch, budget_bits: int) -> np.ndarray:
+        """Boolean mask of lines whose compressed size fits within ``budget_bits``."""
+        if budget_bits <= 0 or budget_bits > BITS_PER_LINE:
+            raise CompressionError(f"budget_bits must be in (0, {BITS_PER_LINE}]")
+        return self.sizes_bits(batch) <= budget_bits
+
+    def coverage(self, batch: LineBatch, budget_bits: int) -> float:
+        """Fraction of lines of ``batch`` compressible within ``budget_bits``."""
+        if len(batch) == 0:
+            return 0.0
+        return float(self.compressible(batch, budget_bits).mean())
+
+    def roundtrip(self, words: np.ndarray) -> np.ndarray:
+        """Compress then decompress a single line (used by tests)."""
+        return self.decompress_line(self.compress_line(words))
+
+
+def pack_bits_lsb_first(values: np.ndarray, widths: np.ndarray) -> np.ndarray:
+    """Pack integer fields into a bit stream, least significant bit first.
+
+    Parameters
+    ----------
+    values:
+        1-D array of non-negative integers (one per field).
+    widths:
+        1-D array of field widths in bits, aligned with ``values``.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``uint8`` array of bits of total length ``widths.sum()``.
+    """
+    values = np.asarray(values, dtype=np.uint64)
+    widths = np.asarray(widths, dtype=np.int64)
+    if values.shape != widths.shape:
+        raise CompressionError("values and widths must be aligned")
+    total = int(widths.sum())
+    bits = np.zeros(total, dtype=np.uint8)
+    cursor = 0
+    for value, width in zip(values, widths):
+        for b in range(int(width)):
+            bits[cursor + b] = (int(value) >> b) & 1
+        cursor += int(width)
+    return bits
+
+
+def unpack_bits_lsb_first(bits: np.ndarray, widths: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`pack_bits_lsb_first`; returns one integer per field."""
+    bits = np.asarray(bits, dtype=np.uint8)
+    widths = np.asarray(widths, dtype=np.int64)
+    if int(widths.sum()) > bits.shape[0]:
+        raise CompressionError("bit stream too short for requested fields")
+    values = np.zeros(widths.shape[0], dtype=np.uint64)
+    cursor = 0
+    for i, width in enumerate(widths):
+        value = 0
+        for b in range(int(width)):
+            value |= int(bits[cursor + b]) << b
+        values[i] = value
+        cursor += int(width)
+    return values

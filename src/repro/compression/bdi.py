@@ -1,0 +1,247 @@
+"""Base-Delta-Immediate (BDI) compression [Pekhimenko et al., PACT 2012].
+
+BDI exploits the low dynamic range of values within a memory line: the line is
+viewed as an array of fixed-size elements (8-, 4- or 2-byte) and stored as one
+*base* element plus narrow *deltas*.  Several (base size, delta size) variants
+are tried and the smallest representation wins.  Two degenerate variants --
+the all-zero line and the line made of one repeated 8-byte value -- are also
+part of the family.
+
+This module exposes each variant as an individual :class:`Compressor` (the
+Coverage-Oriented Compression bank of the paper treats every variant as its
+own compressor) plus :class:`BDICompressor`, the conventional "best variant
+wins" front-end used in the FPC+BDI comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..core.errors import CompressionError
+from ..core.line import LineBatch
+from ..core.symbols import BITS_PER_LINE, BYTES_PER_LINE, WORDS_PER_LINE
+from .base import CompressedLine, Compressor
+
+
+def line_elements(words: np.ndarray, element_bytes: int) -> np.ndarray:
+    """View line words as an array of unsigned elements of ``element_bytes`` bytes."""
+    words = np.asarray(words, dtype=np.uint64)
+    if element_bytes == 8:
+        return words
+    if element_bytes == 4:
+        low = (words & np.uint64(0xFFFFFFFF)).astype(np.uint32)
+        high = (words >> np.uint64(32)).astype(np.uint32)
+        return np.stack([low, high], axis=-1).reshape(words.shape[:-1] + (-1,))
+    if element_bytes == 2:
+        parts = [
+            ((words >> np.uint64(16 * i)) & np.uint64(0xFFFF)).astype(np.uint16) for i in range(4)
+        ]
+        return np.stack(parts, axis=-1).reshape(words.shape[:-1] + (-1,))
+    raise CompressionError(f"unsupported element size: {element_bytes} bytes")
+
+
+def elements_to_line(elements: np.ndarray, element_bytes: int) -> np.ndarray:
+    """Rebuild 64-bit line words from an array of unsigned elements."""
+    elements = np.asarray(elements, dtype=np.uint64)
+    per_word = 8 // element_bytes
+    grouped = elements.reshape(elements.shape[:-1] + (WORDS_PER_LINE, per_word))
+    shifts = (np.arange(per_word, dtype=np.uint64) * np.uint64(8 * element_bytes))
+    return (grouped << shifts).sum(axis=-1, dtype=np.uint64)
+
+
+def _signed_dtype(element_bytes: int) -> np.dtype:
+    return {8: np.int64, 4: np.int32, 2: np.int16}[element_bytes]
+
+
+@dataclass(frozen=True)
+class ZeroLineCompressor(Compressor):
+    """Degenerate BDI variant: the all-zero line compresses to zero bits."""
+
+    name: str = "zero-line"
+
+    def sizes_bits(self, batch: LineBatch) -> np.ndarray:
+        zero = np.all(batch.words == 0, axis=1)
+        return np.where(zero, 0, BITS_PER_LINE).astype(np.int64)
+
+    def compress_line(self, words: np.ndarray) -> CompressedLine:
+        words = np.asarray(words, dtype=np.uint64).reshape(WORDS_PER_LINE)
+        if np.any(words != 0):
+            raise CompressionError("line is not all zero")
+        return CompressedLine(bits=np.zeros(0, dtype=np.uint8), compressor=self.name)
+
+    def decompress_line(self, compressed: CompressedLine) -> np.ndarray:
+        return np.zeros(WORDS_PER_LINE, dtype=np.uint64)
+
+
+@dataclass(frozen=True)
+class RepeatedValueCompressor(Compressor):
+    """Degenerate BDI variant: the line is a single repeated 8-byte value."""
+
+    name: str = "repeated-8byte"
+
+    def sizes_bits(self, batch: LineBatch) -> np.ndarray:
+        repeated = np.all(batch.words == batch.words[:, :1], axis=1)
+        return np.where(repeated, 64, BITS_PER_LINE).astype(np.int64)
+
+    def compress_line(self, words: np.ndarray) -> CompressedLine:
+        words = np.asarray(words, dtype=np.uint64).reshape(WORDS_PER_LINE)
+        if np.any(words != words[0]):
+            raise CompressionError("line is not a repeated 8-byte value")
+        value = int(words[0])
+        bits = np.array([(value >> b) & 1 for b in range(64)], dtype=np.uint8)
+        return CompressedLine(bits=bits, compressor=self.name)
+
+    def decompress_line(self, compressed: CompressedLine) -> np.ndarray:
+        bits = np.asarray(compressed.bits, dtype=np.uint8)
+        if bits.shape[0] < 64:
+            raise CompressionError("repeated-value stream must be at least 64 bits")
+        value = 0
+        for b in range(64):
+            value |= int(bits[b]) << b
+        return np.full(WORDS_PER_LINE, value, dtype=np.uint64)
+
+
+@dataclass(frozen=True)
+class BDIVariant(Compressor):
+    """One (base size, delta size) member of the BDI family.
+
+    The base is the first element of the line; every element is stored as a
+    signed delta of ``delta_bytes`` bytes relative to the base (arithmetic is
+    modular, so reconstruction is exact whenever the wrapped delta fits).
+    """
+
+    base_bytes: int = 8
+    delta_bytes: int = 1
+
+    def __post_init__(self) -> None:
+        if self.base_bytes not in (2, 4, 8):
+            raise CompressionError("base_bytes must be 2, 4 or 8")
+        if self.delta_bytes >= self.base_bytes or self.delta_bytes not in (1, 2, 4):
+            raise CompressionError("delta_bytes must be 1, 2 or 4 and smaller than base_bytes")
+        object.__setattr__(self, "name", f"bdi-b{self.base_bytes}d{self.delta_bytes}")
+
+    @property
+    def elements_per_line(self) -> int:
+        """Number of base-sized elements in a 512-bit line."""
+        return BYTES_PER_LINE // self.base_bytes
+
+    @property
+    def compressed_bits(self) -> int:
+        """Size of the compressed representation when the variant applies."""
+        return self.base_bytes * 8 + self.elements_per_line * self.delta_bytes * 8
+
+    def _deltas(self, elements: np.ndarray) -> np.ndarray:
+        base = elements[..., :1]
+        wrapped = (elements - base).astype(elements.dtype)
+        return wrapped.astype(_signed_dtype(self.base_bytes))
+
+    def fits(self, batch: LineBatch) -> np.ndarray:
+        """Per-line test: do all wrapped deltas fit in ``delta_bytes`` bytes?"""
+        elements = line_elements(batch.words, self.base_bytes)
+        deltas = self._deltas(elements)
+        limit = 1 << (8 * self.delta_bytes - 1)
+        return np.all((deltas >= -limit) & (deltas < limit), axis=-1)
+
+    def sizes_bits(self, batch: LineBatch) -> np.ndarray:
+        fits = self.fits(batch)
+        return np.where(fits, self.compressed_bits, BITS_PER_LINE).astype(np.int64)
+
+    def compress_line(self, words: np.ndarray) -> CompressedLine:
+        words = np.asarray(words, dtype=np.uint64).reshape(WORDS_PER_LINE)
+        batch = LineBatch(words.reshape(1, -1))
+        if not bool(self.fits(batch)[0]):
+            raise CompressionError(f"line does not fit {self.name}")
+        elements = line_elements(words, self.base_bytes)
+        deltas = self._deltas(elements)
+        bits: List[int] = []
+        base = int(elements[0])
+        for b in range(self.base_bytes * 8):
+            bits.append((base >> b) & 1)
+        delta_mask = (1 << (self.delta_bytes * 8)) - 1
+        for delta in deltas:
+            encoded = int(delta) & delta_mask
+            for b in range(self.delta_bytes * 8):
+                bits.append((encoded >> b) & 1)
+        return CompressedLine(bits=np.asarray(bits, dtype=np.uint8), compressor=self.name)
+
+    def decompress_line(self, compressed: CompressedLine) -> np.ndarray:
+        bits = np.asarray(compressed.bits, dtype=np.uint8)
+        if bits.shape[0] < self.compressed_bits:
+            raise CompressionError(
+                f"stream length {bits.shape[0]} is shorter than {self.compressed_bits}"
+            )
+        cursor = 0
+        base = 0
+        for b in range(self.base_bytes * 8):
+            base |= int(bits[cursor + b]) << b
+        cursor += self.base_bytes * 8
+        element_mask = (1 << (self.base_bytes * 8)) - 1
+        sign_bit = 1 << (self.delta_bytes * 8 - 1)
+        full = 1 << (self.delta_bytes * 8)
+        elements = np.zeros(self.elements_per_line, dtype=np.uint64)
+        for i in range(self.elements_per_line):
+            raw = 0
+            for b in range(self.delta_bytes * 8):
+                raw |= int(bits[cursor + b]) << b
+            cursor += self.delta_bytes * 8
+            delta = raw - full if raw & sign_bit else raw
+            elements[i] = (base + delta) & element_mask
+        return elements_to_line(elements, self.base_bytes)
+
+
+#: The six delta variants of the standard BDI family.
+STANDARD_BDI_VARIANTS: Tuple[BDIVariant, ...] = (
+    BDIVariant(8, 1),
+    BDIVariant(8, 2),
+    BDIVariant(8, 4),
+    BDIVariant(4, 1),
+    BDIVariant(4, 2),
+    BDIVariant(2, 1),
+)
+
+
+@dataclass(frozen=True)
+class BDICompressor(Compressor):
+    """Best-of-family BDI compressor (zero, repeated value, and delta variants)."""
+
+    name: str = "bdi"
+    variants: Tuple[Compressor, ...] = field(
+        default_factory=lambda: (ZeroLineCompressor(), RepeatedValueCompressor()) + STANDARD_BDI_VARIANTS
+    )
+    #: Encoding-tag overhead added to every compressed line, in bits.
+    tag_bits: int = 4
+
+    def sizes_bits(self, batch: LineBatch) -> np.ndarray:
+        sizes = np.stack([v.sizes_bits(batch) for v in self.variants])
+        best = sizes.min(axis=0)
+        return np.where(best < BITS_PER_LINE, best + self.tag_bits, BITS_PER_LINE).astype(np.int64)
+
+    def _best_variant(self, words: np.ndarray) -> Tuple[int, Compressor]:
+        batch = LineBatch(np.asarray(words, dtype=np.uint64).reshape(1, -1))
+        sizes = [int(v.sizes_bits(batch)[0]) for v in self.variants]
+        index = int(np.argmin(sizes))
+        return index, self.variants[index]
+
+    def compress_line(self, words: np.ndarray) -> CompressedLine:
+        index, variant = self._best_variant(words)
+        batch = LineBatch(np.asarray(words, dtype=np.uint64).reshape(1, -1))
+        if int(variant.sizes_bits(batch)[0]) >= BITS_PER_LINE:
+            raise CompressionError("line is not BDI-compressible")
+        inner = variant.compress_line(words)
+        tag = np.array([(index >> b) & 1 for b in range(self.tag_bits)], dtype=np.uint8)
+        return CompressedLine(bits=np.concatenate([tag, inner.bits]), compressor=self.name)
+
+    def decompress_line(self, compressed: CompressedLine) -> np.ndarray:
+        bits = np.asarray(compressed.bits, dtype=np.uint8)
+        if bits.shape[0] < self.tag_bits:
+            raise CompressionError("truncated BDI stream")
+        index = 0
+        for b in range(self.tag_bits):
+            index |= int(bits[b]) << b
+        if index >= len(self.variants):
+            raise CompressionError(f"unknown BDI variant tag {index}")
+        inner = CompressedLine(bits=bits[self.tag_bits:], compressor=self.variants[index].name)
+        return self.variants[index].decompress_line(inner)

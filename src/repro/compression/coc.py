@@ -1,0 +1,197 @@
+"""Coverage-Oriented Compression (COC) [Kim et al., SC 2015].
+
+COC maximises the *fraction of compressible lines* rather than the compression
+ratio: it runs a large bank of simple variable-length compressors and keeps
+whichever one succeeds with the smallest output.  The paper uses COC as the
+compression front-end of the ``COC+4cosets`` baseline: a line compressed to at
+most 448 bits hosts the auxiliary bits of 16-bit-granularity coset coding, a
+line compressed to at most 480 bits hosts 32-bit-granularity auxiliary bits,
+and everything else is written raw.
+
+Because every COC member re-packs the line into a dense variable-length
+stream, the encoded bits of consecutive writes to the same address rarely line
+up -- which is exactly the property (loss of bit locality under differential
+write) that makes COC+4cosets weaker than WLC-based schemes in the paper.
+The bank implemented here contains eleven members: the all-zero line, the
+repeated 8-byte value, the six standard BDI (base, delta) variants, FPC, a
+word-level delta compressor and the raw fallback.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..core.errors import CompressionError
+from ..core.line import LineBatch
+from ..core.symbols import BITS_PER_LINE, WORDS_PER_LINE
+from .base import CompressedLine, Compressor
+from .bdi import BDIVariant, RepeatedValueCompressor, STANDARD_BDI_VARIANTS, ZeroLineCompressor
+from .fpc import FPCCompressor
+
+#: Compression budget for 16-bit-granularity COC+4cosets encoding.
+COC_BUDGET_16BIT = 448
+#: Compression budget for 32-bit-granularity COC+4cosets encoding.
+COC_BUDGET_32BIT = 480
+
+
+@dataclass(frozen=True)
+class RawLineCompressor(Compressor):
+    """Fallback member that stores the line verbatim (512 bits)."""
+
+    name: str = "raw"
+
+    def sizes_bits(self, batch: LineBatch) -> np.ndarray:
+        return np.full(len(batch), BITS_PER_LINE, dtype=np.int64)
+
+    def compress_line(self, words: np.ndarray) -> CompressedLine:
+        words = np.asarray(words, dtype=np.uint64).reshape(WORDS_PER_LINE)
+        bits = np.zeros(BITS_PER_LINE, dtype=np.uint8)
+        for w in range(WORDS_PER_LINE):
+            value = int(words[w])
+            for b in range(64):
+                bits[w * 64 + b] = (value >> b) & 1
+        return CompressedLine(bits=bits, compressor=self.name)
+
+    def decompress_line(self, compressed: CompressedLine) -> np.ndarray:
+        bits = np.asarray(compressed.bits, dtype=np.uint8)
+        if bits.shape[0] < BITS_PER_LINE:
+            raise CompressionError("raw stream must be at least 512 bits")
+        words = np.zeros(WORDS_PER_LINE, dtype=np.uint64)
+        for w in range(WORDS_PER_LINE):
+            value = 0
+            for b in range(64):
+                value |= int(bits[w * 64 + b]) << b
+            words[w] = value
+        return words
+
+
+@dataclass(frozen=True)
+class WordDeltaCompressor(Compressor):
+    """Member that stores word 0 verbatim and each later word as a 16-bit delta."""
+
+    name: str = "word-delta16"
+    delta_bits: int = 16
+
+    @property
+    def compressed_bits(self) -> int:
+        """Size when the variant applies: one full word plus seven deltas."""
+        return 64 + (WORDS_PER_LINE - 1) * self.delta_bits
+
+    def fits(self, batch: LineBatch) -> np.ndarray:
+        """All wrapped word-to-word deltas against word 0 fit in ``delta_bits``."""
+        words = batch.words
+        deltas = (words[:, 1:] - words[:, :1]).astype(np.int64)
+        limit = 1 << (self.delta_bits - 1)
+        return np.all((deltas >= -limit) & (deltas < limit), axis=1)
+
+    def sizes_bits(self, batch: LineBatch) -> np.ndarray:
+        return np.where(self.fits(batch), self.compressed_bits, BITS_PER_LINE).astype(np.int64)
+
+    def compress_line(self, words: np.ndarray) -> CompressedLine:
+        words = np.asarray(words, dtype=np.uint64).reshape(WORDS_PER_LINE)
+        batch = LineBatch(words.reshape(1, -1))
+        if not bool(self.fits(batch)[0]):
+            raise CompressionError("line does not fit word-delta compression")
+        bits: List[int] = []
+        base = int(words[0])
+        for b in range(64):
+            bits.append((base >> b) & 1)
+        mask = (1 << self.delta_bits) - 1
+        for w in range(1, WORDS_PER_LINE):
+            delta = (int(words[w]) - base) & mask
+            for b in range(self.delta_bits):
+                bits.append((delta >> b) & 1)
+        return CompressedLine(bits=np.asarray(bits, dtype=np.uint8), compressor=self.name)
+
+    def decompress_line(self, compressed: CompressedLine) -> np.ndarray:
+        bits = np.asarray(compressed.bits, dtype=np.uint8)
+        if bits.shape[0] < self.compressed_bits:
+            raise CompressionError("word-delta stream is too short")
+        base = 0
+        for b in range(64):
+            base |= int(bits[b]) << b
+        words = np.zeros(WORDS_PER_LINE, dtype=np.uint64)
+        words[0] = base
+        cursor = 64
+        sign = 1 << (self.delta_bits - 1)
+        full = 1 << self.delta_bits
+        for w in range(1, WORDS_PER_LINE):
+            raw = 0
+            for b in range(self.delta_bits):
+                raw |= int(bits[cursor + b]) << b
+            cursor += self.delta_bits
+            delta = raw - full if raw & sign else raw
+            words[w] = (base + delta) & ((1 << 64) - 1)
+        return words
+
+
+def default_coc_members() -> Tuple[Compressor, ...]:
+    """The default COC bank: 11 member compressors including the raw fallback."""
+    return (
+        ZeroLineCompressor(),
+        RepeatedValueCompressor(),
+    ) + STANDARD_BDI_VARIANTS + (
+        FPCCompressor(),
+        WordDeltaCompressor(),
+        RawLineCompressor(),
+    )
+
+
+@dataclass(frozen=True)
+class COCCompressor(Compressor):
+    """Coverage-Oriented Compression: best of a bank of member compressors."""
+
+    name: str = "coc"
+    members: Tuple[Compressor, ...] = field(default_factory=default_coc_members)
+    #: Bits used to tag which member compressed the line.
+    tag_bits: int = 5
+
+    def __post_init__(self) -> None:
+        if len(self.members) > (1 << self.tag_bits):
+            raise CompressionError("too many COC members for the tag width")
+
+    def member_sizes(self, batch: LineBatch) -> np.ndarray:
+        """Matrix of per-member compressed sizes, shape ``(members, lines)``."""
+        return np.stack([m.sizes_bits(batch) for m in self.members])
+
+    def sizes_bits(self, batch: LineBatch) -> np.ndarray:
+        """Per-line best size across the bank, including the member tag."""
+        best = self.member_sizes(batch).min(axis=0)
+        return np.minimum(best + self.tag_bits, BITS_PER_LINE).astype(np.int64)
+
+    def best_member(self, words: np.ndarray) -> Tuple[int, Compressor]:
+        """Index and instance of the member with the smallest output for one line.
+
+        When no member beats the uncompressed size, the raw fallback is chosen
+        (several members report 512 bits to mean "does not apply" and cannot
+        actually encode the line).
+        """
+        batch = LineBatch(np.asarray(words, dtype=np.uint64).reshape(1, -1))
+        sizes = [int(m.sizes_bits(batch)[0]) for m in self.members]
+        index = int(np.argmin(sizes))
+        if sizes[index] >= BITS_PER_LINE:
+            for fallback_index, member in enumerate(self.members):
+                if isinstance(member, RawLineCompressor):
+                    return fallback_index, member
+        return index, self.members[index]
+
+    def compress_line(self, words: np.ndarray) -> CompressedLine:
+        index, member = self.best_member(words)
+        inner = member.compress_line(np.asarray(words, dtype=np.uint64).reshape(WORDS_PER_LINE))
+        tag = np.array([(index >> b) & 1 for b in range(self.tag_bits)], dtype=np.uint8)
+        return CompressedLine(bits=np.concatenate([tag, inner.bits]), compressor=self.name)
+
+    def decompress_line(self, compressed: CompressedLine) -> np.ndarray:
+        bits = np.asarray(compressed.bits, dtype=np.uint8)
+        if bits.shape[0] < self.tag_bits:
+            raise CompressionError("truncated COC stream")
+        index = 0
+        for b in range(self.tag_bits):
+            index |= int(bits[b]) << b
+        if index >= len(self.members):
+            raise CompressionError(f"unknown COC member tag {index}")
+        inner = CompressedLine(bits=bits[self.tag_bits:], compressor=self.members[index].name)
+        return self.members[index].decompress_line(inner)

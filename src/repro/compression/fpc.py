@@ -1,0 +1,185 @@
+"""Frequent Pattern Compression (FPC) [Alameldeen & Wood, 2004].
+
+FPC scans a memory line as sixteen 32-bit words and replaces each word that
+matches one of seven frequent patterns (zero, sign-extended narrow values,
+zero-padded halfword, repeated bytes) with a 3-bit prefix plus a shortened
+payload.  Words that match no pattern are stored uncompressed behind the
+``111`` prefix.  The paper uses FPC (combined with BDI) both as the
+compression front-end of the DIN baseline and as the comparison point of
+Figure 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from ..core.errors import CompressionError
+from ..core.line import LineBatch
+from ..core.symbols import BITS_PER_LINE, WORDS_PER_LINE
+from .base import CompressedLine, Compressor
+
+#: Number of 32-bit words per 512-bit line.
+WORDS32_PER_LINE = 16
+#: Width of the per-word pattern prefix in bits.
+PREFIX_BITS = 3
+
+#: Payload size in bits for each FPC pattern, indexed by prefix value.
+PATTERN_PAYLOAD_BITS = (0, 4, 8, 16, 16, 16, 8, 32)
+#: Human-readable pattern names, indexed by prefix value.
+PATTERN_NAMES = (
+    "zero",
+    "sign-extended-4bit",
+    "sign-extended-byte",
+    "sign-extended-halfword",
+    "zero-padded-halfword",
+    "two-sign-extended-bytes",
+    "repeated-bytes",
+    "uncompressed",
+)
+
+
+def line_to_words32(words: np.ndarray) -> np.ndarray:
+    """Split 64-bit words into 32-bit words (low half first)."""
+    words = np.asarray(words, dtype=np.uint64)
+    low = (words & np.uint64(0xFFFFFFFF)).astype(np.uint32)
+    high = (words >> np.uint64(32)).astype(np.uint32)
+    stacked = np.stack([low, high], axis=-1)
+    return stacked.reshape(words.shape[:-1] + (words.shape[-1] * 2,))
+
+
+def words32_to_line(words32: np.ndarray) -> np.ndarray:
+    """Merge 32-bit words back into 64-bit words (inverse of :func:`line_to_words32`)."""
+    words32 = np.asarray(words32, dtype=np.uint64)
+    pairs = words32.reshape(words32.shape[:-1] + (words32.shape[-1] // 2, 2))
+    return pairs[..., 0] | (pairs[..., 1] << np.uint64(32))
+
+
+def classify_words32(words32: np.ndarray) -> np.ndarray:
+    """Assign an FPC pattern (prefix value 0..7) to every 32-bit word."""
+    w = np.asarray(words32, dtype=np.uint32)
+    signed = w.astype(np.int32)
+    halves_low = (w & np.uint32(0xFFFF)).astype(np.uint16).astype(np.int16)
+    halves_high = (w >> np.uint32(16)).astype(np.uint16).astype(np.int16)
+    bytes_ = np.stack([(w >> np.uint32(8 * i)) & np.uint32(0xFF) for i in range(4)], axis=-1)
+
+    pattern = np.full(w.shape, 7, dtype=np.uint8)
+    repeated = (bytes_[..., 0] == bytes_[..., 1]) & (bytes_[..., 1] == bytes_[..., 2]) & (
+        bytes_[..., 2] == bytes_[..., 3]
+    )
+    two_bytes = (
+        (halves_low >= -128) & (halves_low < 128) & (halves_high >= -128) & (halves_high < 128)
+    )
+    zero_padded = (w & np.uint32(0xFFFF)) == 0
+    se_half = (signed >= -(1 << 15)) & (signed < (1 << 15))
+    se_byte = (signed >= -(1 << 7)) & (signed < (1 << 7))
+    se_4bit = (signed >= -8) & (signed < 8)
+    zero = w == 0
+
+    # Later assignments take priority (most specific patterns win).
+    pattern[repeated] = 6
+    pattern[two_bytes] = 5
+    pattern[zero_padded] = 4
+    pattern[se_half] = 3
+    pattern[se_byte] = 2
+    pattern[se_4bit] = 1
+    pattern[zero] = 0
+    return pattern
+
+
+def payload_for_pattern(word: int, pattern: int) -> int:
+    """Extract the payload bits stored for a 32-bit word under a pattern."""
+    if pattern == 0:
+        return 0
+    if pattern == 1:
+        return word & 0xF
+    if pattern == 2:
+        return word & 0xFF
+    if pattern == 3:
+        return word & 0xFFFF
+    if pattern == 4:
+        return (word >> 16) & 0xFFFF
+    if pattern == 5:
+        # One byte per halfword: low byte of the low half, low byte of the high half.
+        return (word & 0xFF) | (((word >> 16) & 0xFF) << 8)
+    if pattern == 6:
+        return word & 0xFF
+    return word & 0xFFFFFFFF
+
+
+def word_from_payload(payload: int, pattern: int) -> int:
+    """Rebuild a 32-bit word from its pattern and payload."""
+    if pattern == 0:
+        return 0
+    if pattern == 1:
+        value = payload & 0xF
+        return value | 0xFFFFFFF0 if value & 0x8 else value
+    if pattern == 2:
+        value = payload & 0xFF
+        return value | 0xFFFFFF00 if value & 0x80 else value
+    if pattern == 3:
+        value = payload & 0xFFFF
+        return value | 0xFFFF0000 if value & 0x8000 else value
+    if pattern == 4:
+        return (payload & 0xFFFF) << 16
+    if pattern == 5:
+        low = payload & 0xFF
+        high = (payload >> 8) & 0xFF
+        low_ext = low | 0xFF00 if low & 0x80 else low
+        high_ext = high | 0xFF00 if high & 0x80 else high
+        return low_ext | (high_ext << 16)
+    if pattern == 6:
+        byte = payload & 0xFF
+        return byte | (byte << 8) | (byte << 16) | (byte << 24)
+    return payload & 0xFFFFFFFF
+
+
+@dataclass(frozen=True)
+class FPCCompressor(Compressor):
+    """Frequent Pattern Compression over sixteen 32-bit words per line."""
+
+    name: str = "fpc"
+
+    def sizes_bits(self, batch: LineBatch) -> np.ndarray:
+        """Compressed size of every line: 3-bit prefix + payload per 32-bit word."""
+        words32 = line_to_words32(batch.words)
+        patterns = classify_words32(words32)
+        payload = np.asarray(PATTERN_PAYLOAD_BITS, dtype=np.int64)[patterns]
+        return (payload + PREFIX_BITS).sum(axis=-1)
+
+    def compress_line(self, words: np.ndarray) -> CompressedLine:
+        """Produce the bit-exact FPC stream of one line."""
+        words = np.asarray(words, dtype=np.uint64).reshape(WORDS_PER_LINE)
+        words32 = line_to_words32(words)
+        patterns = classify_words32(words32)
+        bits: List[int] = []
+        for w32, pattern in zip(words32, patterns):
+            pattern = int(pattern)
+            for b in range(PREFIX_BITS):
+                bits.append((pattern >> b) & 1)
+            payload = payload_for_pattern(int(w32), pattern)
+            for b in range(PATTERN_PAYLOAD_BITS[pattern]):
+                bits.append((payload >> b) & 1)
+        return CompressedLine(bits=np.asarray(bits, dtype=np.uint8), compressor=self.name)
+
+    def decompress_line(self, compressed: CompressedLine) -> np.ndarray:
+        """Rebuild a line from an FPC stream."""
+        bits = np.asarray(compressed.bits, dtype=np.uint8)
+        cursor = 0
+        words32 = np.zeros(WORDS32_PER_LINE, dtype=np.uint32)
+        for i in range(WORDS32_PER_LINE):
+            if cursor + PREFIX_BITS > bits.shape[0]:
+                raise CompressionError("truncated FPC stream")
+            pattern = int(bits[cursor]) | (int(bits[cursor + 1]) << 1) | (int(bits[cursor + 2]) << 2)
+            cursor += PREFIX_BITS
+            width = PATTERN_PAYLOAD_BITS[pattern]
+            if cursor + width > bits.shape[0]:
+                raise CompressionError("truncated FPC stream")
+            payload = 0
+            for b in range(width):
+                payload |= int(bits[cursor + b]) << b
+            cursor += width
+            words32[i] = word_from_payload(payload, pattern) & 0xFFFFFFFF
+        return words32_to_line(words32)

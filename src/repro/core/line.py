@@ -1,0 +1,136 @@
+"""Batch container for 512-bit PCM memory lines.
+
+:class:`LineBatch` wraps a ``(n, 8)`` ``uint64`` array (eight 64-bit words per
+line) and provides the conversions the rest of the library needs: symbol view,
+byte view, bit view, per-word access, and convenience constructors.  All
+encoders and the evaluation harness operate on :class:`LineBatch` pairs
+``(old, new)`` representing differential-write transactions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional, Sequence, Union
+
+import numpy as np
+
+from . import symbols as sym
+
+
+@dataclass(frozen=True)
+class LineBatch:
+    """A batch of 512-bit memory lines.
+
+    Parameters
+    ----------
+    words:
+        Array of shape ``(n, 8)`` and dtype ``uint64``.  Word 0 of each line is
+        the least significant 64 bits.
+    """
+
+    words: np.ndarray
+
+    def __post_init__(self) -> None:
+        arr = np.asarray(self.words, dtype=np.uint64)
+        if arr.ndim == 1:
+            arr = arr.reshape(1, -1)
+        if arr.ndim != 2 or arr.shape[1] != sym.WORDS_PER_LINE:
+            raise ValueError(
+                f"LineBatch expects shape (n, {sym.WORDS_PER_LINE}); got {arr.shape}"
+            )
+        object.__setattr__(self, "words", arr)
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def zeros(cls, count: int) -> "LineBatch":
+        """A batch of ``count`` all-zero lines."""
+        return cls(np.zeros((count, sym.WORDS_PER_LINE), dtype=np.uint64))
+
+    @classmethod
+    def random(cls, count: int, rng: Optional[np.random.Generator] = None) -> "LineBatch":
+        """A batch of ``count`` uniformly random lines."""
+        rng = rng or np.random.default_rng()
+        words = rng.integers(0, 2**64, size=(count, sym.WORDS_PER_LINE), dtype=np.uint64)
+        return cls(words)
+
+    @classmethod
+    def from_symbols(cls, symbols: np.ndarray) -> "LineBatch":
+        """Build a batch from an ``(n, 256)`` array of 2-bit symbols."""
+        return cls(sym.symbols_to_words(symbols))
+
+    @classmethod
+    def from_bytes(cls, data: np.ndarray) -> "LineBatch":
+        """Build a batch from an ``(n, 64)`` array of bytes."""
+        return cls(sym.bytes_to_words(data))
+
+    @classmethod
+    def from_ints(cls, values: Iterable[int]) -> "LineBatch":
+        """Build a batch from an iterable of 512-bit Python integers."""
+        rows = [sym.line_from_int(v) for v in values]
+        if not rows:
+            return cls.zeros(0)
+        return cls(np.stack(rows))
+
+    @classmethod
+    def concatenate(cls, batches: Sequence["LineBatch"]) -> "LineBatch":
+        """Concatenate several batches into one."""
+        if not batches:
+            return cls.zeros(0)
+        return cls(np.concatenate([b.words for b in batches], axis=0))
+
+    # ------------------------------------------------------------------ #
+    # Views
+    # ------------------------------------------------------------------ #
+    def symbols(self) -> np.ndarray:
+        """The ``(n, 256)`` symbol view of the batch."""
+        return sym.words_to_symbols(self.words)
+
+    def bytes(self) -> np.ndarray:
+        """The ``(n, 64)`` byte view of the batch."""
+        return sym.words_to_bytes(self.words)
+
+    def bits(self) -> np.ndarray:
+        """The ``(n, 512)`` bit view of the batch."""
+        return sym.words_to_bits(self.words)
+
+    def to_ints(self) -> list:
+        """The batch as a list of 512-bit Python integers."""
+        return [sym.line_to_int(self.words[i]) for i in range(len(self))]
+
+    # ------------------------------------------------------------------ #
+    # Sequence protocol
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return self.words.shape[0]
+
+    def __getitem__(self, index: Union[int, slice, np.ndarray]) -> "LineBatch":
+        selected = self.words[index]
+        if selected.ndim == 1:
+            selected = selected.reshape(1, -1)
+        return LineBatch(selected)
+
+    def __iter__(self) -> Iterator["LineBatch"]:
+        for i in range(len(self)):
+            yield self[i]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LineBatch):
+            return NotImplemented
+        return self.words.shape == other.words.shape and bool(
+            np.array_equal(self.words, other.words)
+        )
+
+    def equals_elementwise(self, other: "LineBatch") -> np.ndarray:
+        """Per-line equality against another batch of the same length."""
+        if len(self) != len(other):
+            raise ValueError("batches must have the same length")
+        return np.all(self.words == other.words, axis=1)
+
+    def chunks(self, chunk_size: int) -> Iterator["LineBatch"]:
+        """Iterate over the batch in chunks of at most ``chunk_size`` lines."""
+        if chunk_size <= 0:
+            raise ValueError("chunk_size must be positive")
+        for start in range(0, len(self), chunk_size):
+            yield self[start:start + chunk_size]

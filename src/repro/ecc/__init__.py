@@ -1,0 +1,6 @@
+"""Error-correcting-code substrate: GF(2^m) arithmetic and the BCH code used by DIN."""
+
+from .bch import BCHCode, DecodeResult
+from .gf import DEFAULT_PRIMITIVE_POLYS, GaloisField
+
+__all__ = ["BCHCode", "DecodeResult", "DEFAULT_PRIMITIVE_POLYS", "GaloisField"]

@@ -1,0 +1,143 @@
+"""Finite-field arithmetic over GF(2^m) used by the BCH code of the DIN baseline.
+
+The field is represented with exponential/logarithm tables built from a
+primitive polynomial, which makes multiplication, division and inversion O(1)
+table look-ups.  Elements are plain Python integers in ``[0, 2^m)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+#: Default primitive polynomials per field degree (x^m term included).
+DEFAULT_PRIMITIVE_POLYS: Dict[int, int] = {
+    3: 0b1011,            # x^3 + x + 1
+    4: 0b10011,           # x^4 + x + 1
+    5: 0b100101,          # x^5 + x^2 + 1
+    6: 0b1000011,         # x^6 + x + 1
+    8: 0b100011101,       # x^8 + x^4 + x^3 + x^2 + 1
+    10: 0b10000001001,    # x^10 + x^3 + 1
+}
+
+
+class GaloisField:
+    """GF(2^m) with table-driven arithmetic.
+
+    Parameters
+    ----------
+    m:
+        Field degree; the field has ``2^m`` elements.
+    primitive_poly:
+        Primitive polynomial as an integer bit mask (bit ``i`` is the
+        coefficient of ``x^i``).  When omitted, a standard polynomial for the
+        requested degree is used.
+    """
+
+    def __init__(self, m: int, primitive_poly: int | None = None):
+        if m < 2:
+            raise ValueError("field degree must be at least 2")
+        if primitive_poly is None:
+            if m not in DEFAULT_PRIMITIVE_POLYS:
+                raise ValueError(f"no default primitive polynomial for m={m}")
+            primitive_poly = DEFAULT_PRIMITIVE_POLYS[m]
+        self.m = m
+        self.primitive_poly = primitive_poly
+        self.size = 1 << m
+        self.order = self.size - 1
+        self._exp: List[int] = [0] * (2 * self.order)
+        self._log: List[int] = [0] * self.size
+        value = 1
+        for power in range(self.order):
+            self._exp[power] = value
+            self._log[value] = power
+            value <<= 1
+            if value & self.size:
+                value ^= primitive_poly
+        if value != 1:
+            raise ValueError("polynomial is not primitive for this degree")
+        for power in range(self.order, 2 * self.order):
+            self._exp[power] = self._exp[power - self.order]
+
+    # ------------------------------------------------------------------ #
+    # Element arithmetic
+    # ------------------------------------------------------------------ #
+    def add(self, a: int, b: int) -> int:
+        """Addition (and subtraction) in characteristic 2 is XOR."""
+        return a ^ b
+
+    def multiply(self, a: int, b: int) -> int:
+        """Field multiplication via log/exp tables."""
+        if a == 0 or b == 0:
+            return 0
+        return self._exp[self._log[a] + self._log[b]]
+
+    def inverse(self, a: int) -> int:
+        """Multiplicative inverse; raises ``ZeroDivisionError`` for zero."""
+        if a == 0:
+            raise ZeroDivisionError("zero has no inverse in GF(2^m)")
+        return self._exp[self.order - self._log[a]]
+
+    def divide(self, a: int, b: int) -> int:
+        """Field division ``a / b``."""
+        return self.multiply(a, self.inverse(b))
+
+    def power(self, a: int, exponent: int) -> int:
+        """Raise an element to an integer power."""
+        if a == 0:
+            return 0 if exponent > 0 else 1
+        return self._exp[(self._log[a] * exponent) % self.order]
+
+    def alpha_power(self, exponent: int) -> int:
+        """The element alpha^exponent, where alpha is the primitive element."""
+        return self._exp[exponent % self.order]
+
+    def log(self, a: int) -> int:
+        """Discrete logarithm base alpha."""
+        if a == 0:
+            raise ValueError("zero has no discrete logarithm")
+        return self._log[a]
+
+    # ------------------------------------------------------------------ #
+    # Polynomials over the field (coefficient lists, index = degree)
+    # ------------------------------------------------------------------ #
+    def poly_multiply(self, p: List[int], q: List[int]) -> List[int]:
+        """Multiply two polynomials with coefficients in GF(2^m)."""
+        result = [0] * (len(p) + len(q) - 1)
+        for i, a in enumerate(p):
+            if a == 0:
+                continue
+            for j, b in enumerate(q):
+                if b == 0:
+                    continue
+                result[i + j] ^= self.multiply(a, b)
+        return result
+
+    def poly_evaluate(self, p: List[int], x: int) -> int:
+        """Evaluate a polynomial at ``x`` (Horner's method)."""
+        result = 0
+        for coefficient in reversed(p):
+            result = self.multiply(result, x) ^ coefficient
+        return result
+
+    def minimal_polynomial(self, element_log: int) -> int:
+        """Minimal polynomial over GF(2) of alpha^element_log.
+
+        Returns the polynomial as an integer bit mask over GF(2) (bit ``i`` is
+        the coefficient of ``x^i``).
+        """
+        coset = set()
+        current = element_log % self.order
+        while current not in coset:
+            coset.add(current)
+            current = (current * 2) % self.order
+        poly = [1]
+        for power in sorted(coset):
+            poly = self.poly_multiply(poly, [self.alpha_power(power), 1])
+        mask = 0
+        for degree, coefficient in enumerate(poly):
+            if coefficient not in (0, 1):
+                raise ArithmeticError("minimal polynomial must have binary coefficients")
+            if coefficient:
+                mask |= 1 << degree
+        return mask

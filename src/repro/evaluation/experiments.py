@@ -1,0 +1,397 @@
+"""Per-figure / per-table experiment drivers.
+
+Each public function reproduces one figure or table of the paper's evaluation
+and returns a plain, JSON-serialisable structure (nested dictionaries of
+floats) that the benchmark harness prints as a text table.  The functions are
+deterministic given an :class:`ExperimentConfig` and share a module-level
+result cache so that e.g. Figures 8, 9 and 10 (which differ only in which
+metric they read from the same evaluation) do not re-run the simulation.
+
+The trace lengths default to a laptop-friendly size; the paper's 200-million
+line runs are unnecessary for the statistics to converge (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..coding import FIGURE8_SCHEMES, make_scheme
+from ..coding.ncosets import make_four_cosets, make_six_cosets, make_three_cosets
+from ..coding.restricted import RestrictedCosetEncoder
+from ..coding.wlc_cosets import make_wlc_four_cosets, make_wlc_three_cosets
+from ..coding.wlcrc import WLCRCEncoder
+from ..core.config import EvaluationConfig, GRANULARITIES_WLC
+from ..core.cosets import FOUR_COSETS, SIX_COSETS, candidate_names
+from ..core.energy import DEFAULT_ENERGY_MODEL, EnergyModel, FIGURE14_ENERGY_LEVELS
+from ..core.metrics import WriteMetrics
+from ..workloads.generator import generate_benchmark_trace, generate_random_trace
+from ..workloads.profiles import ALL_BENCHMARKS, HMI_BENCHMARKS, LMI_BENCHMARKS
+from ..workloads.trace import WriteTrace
+from .runner import evaluate_trace
+from .sweeps import compression_coverage, energy_level_sweep, granularity_sweep
+
+#: Granularities of the Figure 1 motivation study.
+FIGURE1_GRANULARITIES = (8, 16, 32, 64, 128, 256, 512)
+#: Granularities of the Figure 2/3/5 coset comparisons.
+FIGURE2_GRANULARITIES = (8, 16, 32, 64, 128)
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Knobs shared by all experiment drivers."""
+
+    #: Write requests per benchmark trace.
+    trace_length: int = 4_000
+    #: Lines used for the random-workload studies (Figures 1a and 2).
+    random_lines: int = 8_000
+    #: PRNG seed for trace generation.
+    seed: int = 2018
+    #: Benchmarks included in the "biased workload" averages.
+    benchmarks: Tuple[str, ...] = ALL_BENCHMARKS
+    #: Chunk size of the vectorised evaluation.
+    chunk_size: int = 2_048
+
+    @property
+    def evaluation(self) -> EvaluationConfig:
+        """The corresponding low-level evaluation configuration."""
+        return EvaluationConfig(
+            trace_length=self.trace_length, chunk_size=self.chunk_size, seed=self.seed
+        )
+
+
+DEFAULT_EXPERIMENT_CONFIG = ExperimentConfig()
+
+_CACHE: Dict[Tuple, object] = {}
+
+
+def clear_cache() -> None:
+    """Drop all memoised traces and evaluation results."""
+    _CACHE.clear()
+
+
+def _cached(key: Tuple, builder: Callable[[], object]) -> object:
+    if key not in _CACHE:
+        _CACHE[key] = builder()
+    return _CACHE[key]
+
+
+# ---------------------------------------------------------------------- #
+# Trace construction
+# ---------------------------------------------------------------------- #
+def benchmark_traces(config: ExperimentConfig = DEFAULT_EXPERIMENT_CONFIG) -> Dict[str, WriteTrace]:
+    """The per-benchmark synthetic traces used by the biased-workload studies."""
+    key = ("traces", config.benchmarks, config.trace_length, config.seed)
+
+    def build() -> Dict[str, WriteTrace]:
+        return {
+            name: generate_benchmark_trace(name, config.trace_length, config.seed)
+            for name in config.benchmarks
+        }
+
+    return _cached(key, build)  # type: ignore[return-value]
+
+
+def random_trace(config: ExperimentConfig = DEFAULT_EXPERIMENT_CONFIG) -> WriteTrace:
+    """The uniformly random trace used by the random-workload studies."""
+    key = ("random-trace", config.random_lines, config.seed)
+    return _cached(key, lambda: generate_random_trace(config.random_lines, config.seed))  # type: ignore[return-value]
+
+
+# ---------------------------------------------------------------------- #
+# Helper aggregations
+# ---------------------------------------------------------------------- #
+def _aggregate(traces: Mapping[str, WriteTrace], encoder, config: ExperimentConfig) -> WriteMetrics:
+    total = WriteMetrics()
+    for trace in traces.values():
+        total.merge(evaluate_trace(encoder, trace, config.evaluation))
+    return total
+
+
+def _energy_breakdown(metrics: WriteMetrics) -> Dict[str, float]:
+    return {
+        "blk": metrics.avg_data_energy_pj,
+        "aux": metrics.avg_aux_energy_pj,
+        "total": metrics.avg_energy_pj,
+    }
+
+
+def _group_average(values: Mapping[str, float], names: Sequence[str]) -> float:
+    present = [values[name] for name in names if name in values]
+    return float(np.mean(present)) if present else 0.0
+
+
+# ---------------------------------------------------------------------- #
+# Figures 1-5: motivation and coset candidate studies
+# ---------------------------------------------------------------------- #
+def figure1(
+    workload: str = "random", config: ExperimentConfig = DEFAULT_EXPERIMENT_CONFIG
+) -> Dict[int, Dict[str, float]]:
+    """Figure 1: 6cosets energy (blk/aux/total) vs granularity, random or biased data."""
+    if workload == "random":
+        traces: Mapping[str, WriteTrace] = {"random": random_trace(config)}
+    elif workload == "biased":
+        traces = benchmark_traces(config)
+    else:
+        raise ValueError("workload must be 'random' or 'biased'")
+    sweep = granularity_sweep(
+        lambda g, em: make_six_cosets(g, em), FIGURE1_GRANULARITIES, traces, config.evaluation
+    )
+    return {granularity: _energy_breakdown(metrics) for granularity, metrics in sweep.items()}
+
+
+def _coset_comparison(
+    traces: Mapping[str, WriteTrace],
+    config: ExperimentConfig,
+    factories: Mapping[str, Callable[[int, EnergyModel], object]],
+    granularities: Sequence[int],
+) -> Dict[str, Dict[int, Dict[str, float]]]:
+    results: Dict[str, Dict[int, Dict[str, float]]] = {}
+    for label, factory in factories.items():
+        sweep = granularity_sweep(factory, granularities, traces, config.evaluation)
+        results[label] = {g: _energy_breakdown(m) for g, m in sweep.items()}
+    return results
+
+
+def figure2(config: ExperimentConfig = DEFAULT_EXPERIMENT_CONFIG) -> Dict[str, Dict[int, Dict[str, float]]]:
+    """Figure 2: 6cosets vs 4cosets on random data (aux / blk / total energy)."""
+    traces = {"random": random_trace(config)}
+    return _coset_comparison(
+        traces,
+        config,
+        {"6cosets": lambda g, em: make_six_cosets(g, em), "4cosets": lambda g, em: make_four_cosets(g, em)},
+        FIGURE2_GRANULARITIES,
+    )
+
+
+def figure3(config: ExperimentConfig = DEFAULT_EXPERIMENT_CONFIG) -> Dict[str, Dict[int, Dict[str, float]]]:
+    """Figure 3: 6cosets vs 4cosets on the SPEC2006/PARSEC benchmark traces."""
+    traces = benchmark_traces(config)
+    return _coset_comparison(
+        traces,
+        config,
+        {"6cosets": lambda g, em: make_six_cosets(g, em), "4cosets": lambda g, em: make_four_cosets(g, em)},
+        FIGURE2_GRANULARITIES,
+    )
+
+
+def figure4(config: ExperimentConfig = DEFAULT_EXPERIMENT_CONFIG) -> Dict[str, Dict[str, float]]:
+    """Figure 4: percentage of compressed lines (WLC k=4..9, COC, FPC+BDI) per benchmark."""
+    key = ("figure4", config.benchmarks, config.trace_length, config.seed)
+    return _cached(key, lambda: compression_coverage(benchmark_traces(config)))  # type: ignore[return-value]
+
+
+def figure5(config: ExperimentConfig = DEFAULT_EXPERIMENT_CONFIG) -> Dict[str, Dict[int, Dict[str, float]]]:
+    """Figure 5: 4cosets vs 3cosets vs restricted 3-r-cosets on the benchmark traces."""
+    traces = benchmark_traces(config)
+    return _coset_comparison(
+        traces,
+        config,
+        {
+            "4cosets": lambda g, em: make_four_cosets(g, em),
+            "3cosets": lambda g, em: make_three_cosets(g, em),
+            "3-r-cosets": lambda g, em: RestrictedCosetEncoder(g, em),
+        },
+        FIGURE2_GRANULARITIES,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Table I
+# ---------------------------------------------------------------------- #
+def table1() -> Dict[str, Dict[str, str]]:
+    """Table I: the four proposed coset candidates as state -> symbol mappings."""
+    state_names = ("S1", "S2", "S3", "S4")
+    bit_patterns = ("00", "01", "10", "11")
+    table: Dict[str, Dict[str, str]] = {state: {} for state in state_names}
+    for index, candidate in enumerate(FOUR_COSETS):
+        name = candidate_names(4)[index]
+        for symbol, state in enumerate(candidate):
+            table[state_names[state]][name] = bit_patterns[symbol]
+    return table
+
+
+# ---------------------------------------------------------------------- #
+# Figures 8-10 and Section VIII-D: full scheme comparison
+# ---------------------------------------------------------------------- #
+def evaluate_all_schemes(
+    config: ExperimentConfig = DEFAULT_EXPERIMENT_CONFIG,
+    schemes: Sequence[str] = FIGURE8_SCHEMES,
+) -> Dict[str, Dict[str, WriteMetrics]]:
+    """Evaluate every scheme on every benchmark trace (shared by Figures 8-10)."""
+    key = ("all-schemes", tuple(schemes), config.benchmarks, config.trace_length, config.seed)
+
+    def build() -> Dict[str, Dict[str, WriteMetrics]]:
+        traces = benchmark_traces(config)
+        results: Dict[str, Dict[str, WriteMetrics]] = {}
+        for scheme_name in schemes:
+            encoder = make_scheme(scheme_name)
+            results[scheme_name] = {
+                bench: evaluate_trace(encoder, trace, config.evaluation)
+                for bench, trace in traces.items()
+            }
+        return results
+
+    return _cached(key, build)  # type: ignore[return-value]
+
+
+def _per_scheme_rows(
+    all_metrics: Mapping[str, Mapping[str, WriteMetrics]],
+    value: Callable[[WriteMetrics], float],
+) -> Dict[str, Dict[str, float]]:
+    rows: Dict[str, Dict[str, float]] = {}
+    for scheme, per_bench in all_metrics.items():
+        row = {bench: value(metrics) for bench, metrics in per_bench.items()}
+        row["HMI Ave."] = _group_average(row, HMI_BENCHMARKS)
+        row["LMI Ave."] = _group_average(row, LMI_BENCHMARKS)
+        row["Ave."] = _group_average(row, list(per_bench.keys()))
+        rows[scheme] = row
+    return rows
+
+
+def figure8(
+    config: ExperimentConfig = DEFAULT_EXPERIMENT_CONFIG,
+    schemes: Sequence[str] = FIGURE8_SCHEMES,
+) -> Dict[str, Dict[str, float]]:
+    """Figure 8: average write energy (pJ) per write request, per scheme and benchmark."""
+    return _per_scheme_rows(evaluate_all_schemes(config, schemes), lambda m: m.avg_energy_pj)
+
+
+def figure9(
+    config: ExperimentConfig = DEFAULT_EXPERIMENT_CONFIG,
+    schemes: Sequence[str] = FIGURE8_SCHEMES,
+) -> Dict[str, Dict[str, float]]:
+    """Figure 9: average updated cells per write request (endurance metric)."""
+    return _per_scheme_rows(evaluate_all_schemes(config, schemes), lambda m: m.avg_updated_cells)
+
+
+def figure10(
+    config: ExperimentConfig = DEFAULT_EXPERIMENT_CONFIG,
+    schemes: Sequence[str] = FIGURE8_SCHEMES,
+) -> Dict[str, Dict[str, float]]:
+    """Figure 10: average write-disturbance errors per write request."""
+    return _per_scheme_rows(
+        evaluate_all_schemes(config, schemes), lambda m: m.avg_disturbance_errors
+    )
+
+
+def section8d_multiobjective(
+    config: ExperimentConfig = DEFAULT_EXPERIMENT_CONFIG,
+    threshold: float = 0.01,
+) -> Dict[str, Dict[str, float]]:
+    """Section VIII-D: multi-objective WLCRC-16 (threshold T) vs plain WLCRC-16."""
+    key = ("section8d", threshold, config.benchmarks, config.trace_length, config.seed)
+
+    def build() -> Dict[str, Dict[str, float]]:
+        traces = benchmark_traces(config)
+        plain = WLCRCEncoder(16)
+        multi = WLCRCEncoder(16, endurance_threshold=threshold)
+        baseline = make_scheme("baseline")
+        rows: Dict[str, Dict[str, float]] = {}
+        totals = {"wlcrc-16": WriteMetrics(), "wlcrc-16-mo": WriteMetrics(), "baseline": WriteMetrics()}
+        for bench, trace in traces.items():
+            plain_metrics = evaluate_trace(plain, trace, config.evaluation)
+            multi_metrics = evaluate_trace(multi, trace, config.evaluation)
+            base_metrics = evaluate_trace(baseline, trace, config.evaluation)
+            totals["wlcrc-16"].merge(plain_metrics)
+            totals["wlcrc-16-mo"].merge(multi_metrics)
+            totals["baseline"].merge(base_metrics)
+            rows[bench] = {
+                "energy_plain": plain_metrics.avg_energy_pj,
+                "energy_multi": multi_metrics.avg_energy_pj,
+                "cells_plain": plain_metrics.avg_updated_cells,
+                "cells_multi": multi_metrics.avg_updated_cells,
+            }
+        rows["Ave."] = {
+            "energy_plain": totals["wlcrc-16"].avg_energy_pj,
+            "energy_multi": totals["wlcrc-16-mo"].avg_energy_pj,
+            "cells_plain": totals["wlcrc-16"].avg_updated_cells,
+            "cells_multi": totals["wlcrc-16-mo"].avg_updated_cells,
+            "baseline_energy": totals["baseline"].avg_energy_pj,
+            "baseline_cells": totals["baseline"].avg_updated_cells,
+        }
+        return rows
+
+    return _cached(key, build)  # type: ignore[return-value]
+
+
+# ---------------------------------------------------------------------- #
+# Figures 11-13: granularity sensitivity of the WLC-based schemes
+# ---------------------------------------------------------------------- #
+def _wlc_granularity_metrics(
+    config: ExperimentConfig,
+) -> Dict[str, Dict[int, WriteMetrics]]:
+    key = ("wlc-granularity", config.benchmarks, config.trace_length, config.seed)
+
+    def build() -> Dict[str, Dict[int, WriteMetrics]]:
+        traces = benchmark_traces(config)
+        families: Dict[str, Callable[[int, EnergyModel], object]] = {
+            "4cosets": lambda g, em: make_wlc_four_cosets(g, em),
+            "3cosets": lambda g, em: make_wlc_three_cosets(g, em),
+            "WLCRC": lambda g, em: WLCRCEncoder(g, em),
+        }
+        return {
+            label: granularity_sweep(factory, GRANULARITIES_WLC, traces, config.evaluation)
+            for label, factory in families.items()
+        }
+
+    return _cached(key, build)  # type: ignore[return-value]
+
+
+def figure11(config: ExperimentConfig = DEFAULT_EXPERIMENT_CONFIG) -> Dict[str, Dict[int, Dict[str, float]]]:
+    """Figure 11: write energy (blk/aux) vs granularity for the WLC-based schemes."""
+    metrics = _wlc_granularity_metrics(config)
+    return {
+        label: {g: _energy_breakdown(m) for g, m in per_granularity.items()}
+        for label, per_granularity in metrics.items()
+    }
+
+
+def figure12(config: ExperimentConfig = DEFAULT_EXPERIMENT_CONFIG) -> Dict[str, Dict[int, Dict[str, float]]]:
+    """Figure 12: updated cells (blk/aux) vs granularity for the WLC-based schemes."""
+    metrics = _wlc_granularity_metrics(config)
+    return {
+        label: {
+            g: {
+                "blk": m.avg_updated_data_cells,
+                "aux": m.avg_updated_aux_cells,
+                "total": m.avg_updated_cells,
+            }
+            for g, m in per_granularity.items()
+        }
+        for label, per_granularity in metrics.items()
+    }
+
+
+def figure13(config: ExperimentConfig = DEFAULT_EXPERIMENT_CONFIG) -> Dict[str, Dict[int, Dict[str, float]]]:
+    """Figure 13: write-disturbance errors vs granularity for the WLC-based schemes."""
+    metrics = _wlc_granularity_metrics(config)
+    return {
+        label: {g: {"total": m.avg_disturbance_errors} for g, m in per_granularity.items()}
+        for label, per_granularity in metrics.items()
+    }
+
+
+# ---------------------------------------------------------------------- #
+# Figure 14: sensitivity to the intermediate-state energies
+# ---------------------------------------------------------------------- #
+def figure14(config: ExperimentConfig = DEFAULT_EXPERIMENT_CONFIG) -> Dict[str, Dict[str, float]]:
+    """Figure 14: WLCRC-16 energy improvement over baseline vs S3/S4 write energies."""
+    key = ("figure14", config.benchmarks, config.trace_length, config.seed)
+
+    def build() -> Dict[str, Dict[str, float]]:
+        traces = benchmark_traces(config)
+        sweep = energy_level_sweep(
+            factory=lambda em: WLCRCEncoder(16, em),
+            baseline_factory=lambda em: make_scheme("baseline", em),
+            traces=traces,
+            config=config.evaluation,
+        )
+        return {
+            f"S3={36 + s3:.0f}pJ / S4={36 + s4:.0f}pJ": values
+            for (s3, s4), values in sweep.items()
+        }
+
+    return _cached(key, build)  # type: ignore[return-value]

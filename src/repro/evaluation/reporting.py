@@ -1,0 +1,77 @@
+"""Plain-text reporting helpers for experiment results.
+
+The benchmark harness prints each figure / table as an aligned text table with
+the same rows and series the paper reports, so a run of ``pytest benchmarks/
+--benchmark-only`` doubles as a regeneration of the evaluation section.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
+
+Number = Union[int, float]
+
+
+def format_value(value: Union[Number, str], precision: int = 1) -> str:
+    """Format one table cell (numbers get a fixed precision)."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:,.{precision}f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Union[Number, str]]],
+    precision: int = 1,
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned plain-text table."""
+    rendered_rows: List[List[str]] = [[format_value(cell, precision) for cell in row] for row in rows]
+    widths = [len(str(h)) for h in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    header_line = "  ".join(str(h).ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series_table(
+    series: Mapping[str, Mapping[str, Number]],
+    column_order: Optional[Sequence[str]] = None,
+    precision: int = 1,
+    title: Optional[str] = None,
+    row_header: str = "series",
+) -> str:
+    """Render a mapping of ``{row: {column: value}}`` as an aligned table."""
+    if column_order is None:
+        seen: List[str] = []
+        for columns in series.values():
+            for key in columns:
+                if key not in seen:
+                    seen.append(key)
+        column_order = seen
+    headers = [row_header] + list(column_order)
+    rows = [
+        [row_name] + [columns.get(column, "") for column in column_order]
+        for row_name, columns in series.items()
+    ]
+    return format_table(headers, rows, precision=precision, title=title)
+
+
+def improvement_percent(baseline: Number, value: Number) -> float:
+    """Percent improvement of ``value`` over ``baseline`` (positive = lower/better)."""
+    if baseline == 0:
+        return 0.0
+    return 100.0 * (baseline - value) / baseline

@@ -1,0 +1,124 @@
+"""Parameter sweeps shared by the figure-reproduction experiments.
+
+Three sweep helpers cover the paper's sensitivity studies:
+
+* :func:`granularity_sweep` -- evaluate one scheme family across data-block
+  granularities (Figures 1, 2, 3, 5, 11, 12, 13);
+* :func:`energy_level_sweep` -- repeat an evaluation under the four
+  intermediate-state energy configurations of Figure 14;
+* :func:`compression_coverage` -- fraction of compressible lines per
+  benchmark for WLC (k = 4..9), COC and FPC+BDI (Figure 4).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..coding.base import WriteEncoder
+from ..compression.coc import COCCompressor
+from ..compression.fpc_bdi import DIN_COMPRESSION_BUDGET_BITS, FPCBDICompressor
+from ..compression.wlc import WLCCompressor
+from ..core.config import DEFAULT_EVALUATION_CONFIG, EvaluationConfig
+from ..core.energy import DEFAULT_ENERGY_MODEL, EnergyModel, figure14_energy_models
+from ..core.metrics import WriteMetrics
+from ..core.symbols import BITS_PER_LINE
+from ..workloads.trace import WriteTrace
+from .runner import evaluate_trace
+
+#: Budget (bits) a COC-compressed line must fit to count as "compressed" in Figure 4.
+COC_COVERAGE_BUDGET_BITS = 448
+
+EncoderFactory = Callable[[int, EnergyModel], WriteEncoder]
+
+
+def granularity_sweep(
+    factory: EncoderFactory,
+    granularities: Sequence[int],
+    traces: Mapping[str, WriteTrace],
+    config: EvaluationConfig = DEFAULT_EVALUATION_CONFIG,
+    energy_model: EnergyModel = DEFAULT_ENERGY_MODEL,
+) -> Dict[int, WriteMetrics]:
+    """Evaluate ``factory(granularity)`` on every trace for each granularity.
+
+    Returns the per-granularity metrics aggregated across all traces (the
+    paper reports the SPEC+PARSEC average).
+    """
+    results: Dict[int, WriteMetrics] = {}
+    for granularity in granularities:
+        encoder = factory(granularity, energy_model)
+        total = WriteMetrics()
+        for trace in traces.values():
+            total.merge(evaluate_trace(encoder, trace, config))
+        results[granularity] = total
+    return results
+
+
+def energy_level_sweep(
+    factory: Callable[[EnergyModel], WriteEncoder],
+    baseline_factory: Callable[[EnergyModel], WriteEncoder],
+    traces: Mapping[str, WriteTrace],
+    config: EvaluationConfig = DEFAULT_EVALUATION_CONFIG,
+    energy_models: Optional[Sequence[EnergyModel]] = None,
+) -> Dict[Tuple[float, float], Dict[str, float]]:
+    """Figure 14 sweep: scheme-vs-baseline energy improvement per energy level.
+
+    Returns a mapping from ``(S3 SET energy, S4 SET energy)`` to a dictionary
+    with the baseline energy, the scheme energy and the percent improvement.
+    """
+    energy_models = list(energy_models or figure14_energy_models())
+    results: Dict[Tuple[float, float], Dict[str, float]] = {}
+    for model in energy_models:
+        scheme = factory(model)
+        baseline = baseline_factory(model)
+        scheme_total = WriteMetrics()
+        baseline_total = WriteMetrics()
+        for trace in traces.values():
+            scheme_total.merge(evaluate_trace(scheme, trace, config))
+            baseline_total.merge(evaluate_trace(baseline, trace, config))
+        improvement = 0.0
+        if baseline_total.avg_energy_pj:
+            improvement = 100.0 * (
+                baseline_total.avg_energy_pj - scheme_total.avg_energy_pj
+            ) / baseline_total.avg_energy_pj
+        key = (model.set_energy_pj[2], model.set_energy_pj[3])
+        results[key] = {
+            "baseline_energy_pj": baseline_total.avg_energy_pj,
+            "scheme_energy_pj": scheme_total.avg_energy_pj,
+            "improvement_pct": improvement,
+        }
+    return results
+
+
+def compression_coverage(
+    traces: Mapping[str, WriteTrace],
+    wlc_k_values: Sequence[int] = (4, 5, 6, 7, 8, 9),
+    coc_budget_bits: int = COC_COVERAGE_BUDGET_BITS,
+    din_budget_bits: int = DIN_COMPRESSION_BUDGET_BITS,
+) -> Dict[str, Dict[str, float]]:
+    """Figure 4: fraction of compressed memory lines per benchmark and method.
+
+    Coverage is measured on the new-data side of each trace.  WLC counts a
+    line as compressed when all words share the top ``k`` bits; COC when the
+    bank compresses it within ``coc_budget_bits``; FPC+BDI when it fits the
+    DIN budget.
+    """
+    coc = COCCompressor()
+    fpc_bdi = FPCBDICompressor()
+    results: Dict[str, Dict[str, float]] = {}
+    for name, trace in traces.items():
+        lines = trace.new
+        row: Dict[str, float] = {}
+        for k in wlc_k_values:
+            row[f"{k}-MSBs"] = 100.0 * WLCCompressor(k=k).coverage(lines, BITS_PER_LINE - 1)
+        row["COC"] = 100.0 * coc.coverage(lines, coc_budget_bits)
+        row["FPC+BDI"] = 100.0 * fpc_bdi.coverage(lines, din_budget_bits)
+        results[name] = row
+    if results:
+        methods = next(iter(results.values())).keys()
+        results["ave."] = {
+            method: float(np.mean([row[method] for row in results.values() if method in row]))
+            for method in list(methods)
+        }
+    return results

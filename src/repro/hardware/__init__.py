@@ -1,0 +1,21 @@
+"""Analytical hardware-overhead model of the WLCRC on-chip modules."""
+
+from .synthesis import (
+    REFERENCE_AREA_MM2,
+    REFERENCE_READ_DELAY_NS,
+    REFERENCE_READ_ENERGY_PJ,
+    REFERENCE_WRITE_DELAY_NS,
+    REFERENCE_WRITE_ENERGY_PJ,
+    SynthesisEstimate,
+    WLCRCSynthesisModel,
+)
+
+__all__ = [
+    "REFERENCE_AREA_MM2",
+    "REFERENCE_READ_DELAY_NS",
+    "REFERENCE_READ_ENERGY_PJ",
+    "REFERENCE_WRITE_DELAY_NS",
+    "REFERENCE_WRITE_ENERGY_PJ",
+    "SynthesisEstimate",
+    "WLCRCSynthesisModel",
+]

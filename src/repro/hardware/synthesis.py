@@ -1,0 +1,147 @@
+"""Analytical hardware-overhead model of the WLCRC encoder/decoder pipeline.
+
+Section VI-B of the paper synthesises a Verilog implementation of WLCRC-16
+with Synopsys Design Compiler against the 45 nm FreePDK library and reports
+the area, delay and energy of the on-chip modules.  Synthesis tooling is not
+reproducible in pure Python, so this module provides an analytical model
+calibrated to those published numbers and scaled by the architecture's
+structure (eight per-word encoder modules, each evaluating three coset
+candidates for every data block, plus the tiny WLC compress/decompress logic).
+
+Reference numbers (WLCRC-16, 45 nm):
+
+=====================  ==========================
+Total module area      0.0498 mm^2
+Write (encode) delay   2.63 ns
+Read (decode) delay    0.89 ns
+Energy per line write  0.94 pJ
+Energy per line read   0.27 pJ
+WLC-only area          0.0002 mm^2
+WLC-only delay         0.13 ns
+WLC-only energy        0.0017 pJ
+=====================  ==========================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..core.errors import ConfigurationError
+
+#: Published reference numbers for WLCRC-16 at 45 nm (Section VI-B).
+REFERENCE_GRANULARITY_BITS = 16
+REFERENCE_AREA_MM2 = 0.0498
+REFERENCE_WRITE_DELAY_NS = 2.63
+REFERENCE_READ_DELAY_NS = 0.89
+REFERENCE_WRITE_ENERGY_PJ = 0.94
+REFERENCE_READ_ENERGY_PJ = 0.27
+REFERENCE_WLC_AREA_MM2 = 0.0002
+REFERENCE_WLC_DELAY_NS = 0.13
+REFERENCE_WLC_ENERGY_PJ = 0.0017
+
+#: Typical MLC PCM array write energy per line (for overhead-percentage context).
+TYPICAL_LINE_WRITE_ENERGY_PJ = 14_000.0
+#: Approximate die area of a PCM chip at this node, for overhead-percentage context.
+TYPICAL_PCM_DIE_AREA_MM2 = 60.0
+
+
+@dataclass(frozen=True)
+class SynthesisEstimate:
+    """Area / delay / energy estimate of one WLCRC configuration."""
+
+    granularity_bits: int
+    encoder_modules: int
+    area_mm2: float
+    write_delay_ns: float
+    read_delay_ns: float
+    write_energy_pj: float
+    read_energy_pj: float
+    wlc_area_mm2: float
+    wlc_delay_ns: float
+    wlc_energy_pj: float
+
+    @property
+    def area_overhead_fraction(self) -> float:
+        """Module area relative to a typical PCM die."""
+        return self.area_mm2 / TYPICAL_PCM_DIE_AREA_MM2
+
+    @property
+    def write_energy_overhead_fraction(self) -> float:
+        """Encoder energy relative to the energy of programming the cells."""
+        return self.write_energy_pj / TYPICAL_LINE_WRITE_ENERGY_PJ
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat dictionary used by the hardware-overhead benchmark table."""
+        return {
+            "granularity_bits": float(self.granularity_bits),
+            "encoder_modules": float(self.encoder_modules),
+            "area_mm2": self.area_mm2,
+            "write_delay_ns": self.write_delay_ns,
+            "read_delay_ns": self.read_delay_ns,
+            "write_energy_pj": self.write_energy_pj,
+            "read_energy_pj": self.read_energy_pj,
+            "wlc_area_mm2": self.wlc_area_mm2,
+            "wlc_delay_ns": self.wlc_delay_ns,
+            "wlc_energy_pj": self.wlc_energy_pj,
+            "area_overhead_pct": 100.0 * self.area_overhead_fraction,
+            "write_energy_overhead_pct": 100.0 * self.write_energy_overhead_fraction,
+        }
+
+
+class WLCRCSynthesisModel:
+    """Scale the published WLCRC-16 synthesis numbers to other configurations.
+
+    The model assumes the encoder area and energy grow with the number of
+    per-word data blocks (each block adds a cost evaluator per coset
+    candidate), the combinational depth grows logarithmically with the number
+    of blocks (the per-word cost-comparison tree), and the WLC front-end cost
+    is independent of granularity.
+    """
+
+    def __init__(self, encoder_modules: int = 8, candidates: int = 3):
+        if encoder_modules <= 0 or candidates <= 0:
+            raise ConfigurationError("encoder_modules and candidates must be positive")
+        self.encoder_modules = encoder_modules
+        self.candidates = candidates
+
+    def _block_scale(self, granularity_bits: int) -> float:
+        if granularity_bits not in (8, 16, 32, 64):
+            raise ConfigurationError("granularity must be 8, 16, 32 or 64 bits")
+        reference_blocks = 64 // REFERENCE_GRANULARITY_BITS
+        blocks = 64 // granularity_bits
+        return blocks / reference_blocks
+
+    def _depth_scale(self, granularity_bits: int) -> float:
+        import math
+
+        reference_blocks = 64 // REFERENCE_GRANULARITY_BITS
+        blocks = 64 // granularity_bits
+        return (1 + math.log2(max(blocks, 1))) / (1 + math.log2(reference_blocks))
+
+    def estimate(self, granularity_bits: int = 16) -> SynthesisEstimate:
+        """Estimate area / delay / energy of a WLCRC configuration."""
+        block_scale = self._block_scale(granularity_bits)
+        depth_scale = self._depth_scale(granularity_bits)
+        module_scale = self.encoder_modules / 8
+        encoder_area = (REFERENCE_AREA_MM2 - REFERENCE_WLC_AREA_MM2) * block_scale * module_scale
+        encoder_write_energy = (REFERENCE_WRITE_ENERGY_PJ - REFERENCE_WLC_ENERGY_PJ) * block_scale
+        encoder_read_energy = (REFERENCE_READ_ENERGY_PJ - REFERENCE_WLC_ENERGY_PJ) * block_scale
+        return SynthesisEstimate(
+            granularity_bits=granularity_bits,
+            encoder_modules=self.encoder_modules,
+            area_mm2=encoder_area + REFERENCE_WLC_AREA_MM2,
+            write_delay_ns=(REFERENCE_WRITE_DELAY_NS - REFERENCE_WLC_DELAY_NS) * depth_scale
+            + REFERENCE_WLC_DELAY_NS,
+            read_delay_ns=(REFERENCE_READ_DELAY_NS - REFERENCE_WLC_DELAY_NS) * depth_scale
+            + REFERENCE_WLC_DELAY_NS,
+            write_energy_pj=encoder_write_energy + REFERENCE_WLC_ENERGY_PJ,
+            read_energy_pj=encoder_read_energy + REFERENCE_WLC_ENERGY_PJ,
+            wlc_area_mm2=REFERENCE_WLC_AREA_MM2,
+            wlc_delay_ns=REFERENCE_WLC_DELAY_NS,
+            wlc_energy_pj=REFERENCE_WLC_ENERGY_PJ,
+        )
+
+    def overhead_table(self) -> Dict[int, Dict[str, float]]:
+        """Estimates for every supported granularity (hardware-overhead bench)."""
+        return {g: self.estimate(g).as_dict() for g in (8, 16, 32, 64)}

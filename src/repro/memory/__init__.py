@@ -1,0 +1,20 @@
+"""Memory-controller substrate and the end-to-end PCM main-memory facade."""
+
+from .controller import (
+    ControllerStatistics,
+    DEFAULT_READ_LATENCY,
+    DEFAULT_WRITE_LATENCY,
+    MemoryController,
+)
+from .main_memory import PCMMainMemory
+from .request import MemoryRequest, RequestType
+
+__all__ = [
+    "ControllerStatistics",
+    "DEFAULT_READ_LATENCY",
+    "DEFAULT_WRITE_LATENCY",
+    "MemoryController",
+    "MemoryRequest",
+    "PCMMainMemory",
+    "RequestType",
+]

@@ -1,0 +1,164 @@
+"""Memory controller with split read/write queues and write pausing.
+
+The controller follows the policy described in Table II and Section VII-A of
+the paper:
+
+* reads are served with priority over writes (reads are latency-critical,
+  writes are posted);
+* when the write queue fills beyond a high-water mark (80 % of its 32
+  entries), writes are drained ahead of reads to avoid starvation;
+* every write goes through the active encoding scheme and differential write
+  at the PCM device.
+
+The timing model is deliberately simple (fixed read/write service latencies
+expressed in controller cycles) -- the paper's results are per-write-request
+energy/endurance statistics, which do not depend on cycle-accurate DRAM-style
+timing, but the queueing behaviour lets examples study how write-energy
+reduction translates into queue pressure.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional
+
+from ..core.config import PCMOrganization
+from ..core.errors import SimulationError
+from ..core.line import LineBatch
+from ..core.metrics import WriteMetrics
+from ..pcm.device import PCMDevice
+from .request import MemoryRequest, RequestType
+
+#: Service latency of a read, in controller cycles.
+DEFAULT_READ_LATENCY = 4
+#: Service latency of a write (iterative program-and-verify), in controller cycles.
+DEFAULT_WRITE_LATENCY = 16
+
+
+@dataclass
+class ControllerStatistics:
+    """Counters accumulated by the controller."""
+
+    reads_serviced: int = 0
+    writes_serviced: int = 0
+    read_latency_total: int = 0
+    write_latency_total: int = 0
+    write_pause_drains: int = 0
+    stalled_writes: int = 0
+
+    @property
+    def avg_read_latency(self) -> float:
+        """Average read latency in cycles."""
+        return self.read_latency_total / self.reads_serviced if self.reads_serviced else 0.0
+
+    @property
+    def avg_write_latency(self) -> float:
+        """Average write latency in cycles."""
+        return self.write_latency_total / self.writes_serviced if self.writes_serviced else 0.0
+
+
+class MemoryController:
+    """Read-priority controller with write pausing over a PCM device."""
+
+    def __init__(
+        self,
+        device: PCMDevice,
+        organization: PCMOrganization = PCMOrganization(),
+        read_latency: int = DEFAULT_READ_LATENCY,
+        write_latency: int = DEFAULT_WRITE_LATENCY,
+    ):
+        self.device = device
+        self.organization = organization
+        self.read_latency = read_latency
+        self.write_latency = write_latency
+        self.read_queue: Deque[MemoryRequest] = deque()
+        self.write_queue: Deque[MemoryRequest] = deque()
+        self.cycle = 0
+        self.stats = ControllerStatistics()
+        self.completed: List[MemoryRequest] = []
+
+    # ------------------------------------------------------------------ #
+    # Enqueue
+    # ------------------------------------------------------------------ #
+    @property
+    def write_queue_limit(self) -> int:
+        """Capacity of the write queue (Table II: 32 entries)."""
+        return self.organization.write_queue_entries
+
+    @property
+    def write_queue_high_watermark(self) -> int:
+        """Occupancy at which writes are drained ahead of reads."""
+        return int(self.write_queue_limit * self.organization.write_queue_high_watermark)
+
+    def enqueue_read(self, line_address: int) -> MemoryRequest:
+        """Queue a read request."""
+        request = MemoryRequest(RequestType.READ, line_address, issue_cycle=self.cycle)
+        self.read_queue.append(request)
+        return request
+
+    def enqueue_write(self, line_address: int, data: LineBatch) -> MemoryRequest:
+        """Queue a write-back request; stalls (services writes) if the queue is full."""
+        while len(self.write_queue) >= self.write_queue_limit:
+            self.stats.stalled_writes += 1
+            self._service_one_write()
+        request = MemoryRequest(RequestType.WRITE, line_address, data=data, issue_cycle=self.cycle)
+        self.write_queue.append(request)
+        return request
+
+    # ------------------------------------------------------------------ #
+    # Service
+    # ------------------------------------------------------------------ #
+    def _service_one_read(self) -> Optional[LineBatch]:
+        if not self.read_queue:
+            return None
+        request = self.read_queue.popleft()
+        data = self.device.read(request.line_address)
+        self.cycle += self.read_latency
+        request.complete_cycle = self.cycle
+        self.stats.reads_serviced += 1
+        self.stats.read_latency_total += request.latency or 0
+        self.completed.append(request)
+        return data
+
+    def _service_one_write(self) -> Optional[WriteMetrics]:
+        if not self.write_queue:
+            return None
+        request = self.write_queue.popleft()
+        if request.data is None:
+            raise SimulationError("write request without data")
+        metrics = self.device.write(request.line_address, request.data)
+        self.cycle += self.write_latency
+        request.complete_cycle = self.cycle
+        self.stats.writes_serviced += 1
+        self.stats.write_latency_total += request.latency or 0
+        self.completed.append(request)
+        return metrics
+
+    def tick(self) -> None:
+        """Advance the controller by one scheduling decision.
+
+        Reads are served first unless the write queue is above its high-water
+        mark, in which case writes are drained (write pausing / forced drain).
+        """
+        if len(self.write_queue) >= self.write_queue_high_watermark and self.write_queue:
+            self.stats.write_pause_drains += 1
+            self._service_one_write()
+        elif self.read_queue:
+            self._service_one_read()
+        elif self.write_queue:
+            self._service_one_write()
+        else:
+            self.cycle += 1
+
+    def drain(self) -> None:
+        """Service every outstanding request."""
+        while self.read_queue or self.write_queue:
+            self.tick()
+
+    # ------------------------------------------------------------------ #
+    # Reporting
+    # ------------------------------------------------------------------ #
+    def write_metrics(self) -> WriteMetrics:
+        """Aggregate per-write metrics of everything the device has written."""
+        return self.device.total_metrics()

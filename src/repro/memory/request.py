@@ -1,0 +1,59 @@
+"""Memory-request types used by the memory controller."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+from ..core.line import LineBatch
+
+
+class RequestType(Enum):
+    """Kind of memory transaction."""
+
+    READ = "read"
+    WRITE = "write"
+
+
+@dataclass
+class MemoryRequest:
+    """One line-sized memory transaction.
+
+    Attributes
+    ----------
+    type:
+        Read or write.
+    line_address:
+        Line-granularity physical address (byte address / 64).
+    data:
+        Line payload for writes (``None`` for reads).
+    issue_cycle:
+        Controller cycle at which the request entered the queue.
+    complete_cycle:
+        Cycle at which the request finished service (filled by the controller).
+    """
+
+    type: RequestType
+    line_address: int
+    data: Optional[LineBatch] = None
+    issue_cycle: int = 0
+    complete_cycle: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.type is RequestType.WRITE and self.data is None:
+            raise ValueError("write requests must carry data")
+        if self.line_address < 0:
+            raise ValueError("line_address must be non-negative")
+
+    @property
+    def is_write(self) -> bool:
+        """``True`` for write-back requests."""
+        return self.type is RequestType.WRITE
+
+    @property
+    def latency(self) -> Optional[int]:
+        """Queue + service latency in controller cycles, once completed."""
+        if self.complete_cycle is None:
+            return None
+        return self.complete_cycle - self.issue_cycle

@@ -1,0 +1,23 @@
+"""Stateful MLC PCM device substrate: cells, banks, device topology, endurance."""
+
+from .bank import BankStatistics, PCMBank
+from .cell import PCMCell
+from .device import BankAddress, PCMDevice
+from .endurance import (
+    DEFAULT_CELL_ENDURANCE_WRITES,
+    LifetimeEstimate,
+    estimate_lifetime,
+    relative_lifetime,
+)
+
+__all__ = [
+    "BankAddress",
+    "BankStatistics",
+    "DEFAULT_CELL_ENDURANCE_WRITES",
+    "LifetimeEstimate",
+    "PCMBank",
+    "PCMCell",
+    "PCMDevice",
+    "estimate_lifetime",
+    "relative_lifetime",
+]

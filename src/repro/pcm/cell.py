@@ -1,0 +1,59 @@
+"""Single MLC PCM cell model.
+
+The cell model is mostly used for documentation, unit tests and small-scale
+studies; the bank/device models operate on vectorised state arrays for speed.
+A 4-level cell stores one of the states ``S1..S4`` (represented as integers
+``0..3``); programming a new state is modelled as the paper describes it: a
+RESET pulse (which costs the RESET energy and wears the cell) followed by SET
+pulses whose energy depends on the target state.  Differential write skips the
+programming entirely when the stored state already matches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..core.energy import DEFAULT_ENERGY_MODEL, EnergyModel, NUM_STATES
+from ..core.errors import SimulationError
+
+
+@dataclass
+class PCMCell:
+    """One 4-level PCM cell with a stored state and a wear counter."""
+
+    state: int = 0
+    writes: int = 0
+    energy_model: EnergyModel = field(default_factory=lambda: DEFAULT_ENERGY_MODEL)
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.state < NUM_STATES:
+            raise SimulationError(f"invalid cell state {self.state}")
+
+    def program(self, new_state: int, differential: bool = True) -> float:
+        """Program the cell to ``new_state`` and return the energy spent (pJ).
+
+        With ``differential=True`` (the default, matching the paper's
+        assumption of differential write) nothing happens when the stored
+        state already equals the target state.
+        """
+        if not 0 <= new_state < NUM_STATES:
+            raise SimulationError(f"invalid target state {new_state}")
+        if differential and new_state == self.state:
+            return 0.0
+        self.state = int(new_state)
+        self.writes += 1
+        return float(self.energy_model.write_energy_per_state[new_state])
+
+    def disturb(self) -> None:
+        """Apply a write-disturbance fault: the cell drifts to the SET state.
+
+        Disturbance is unidirectional (it can only lower the resistance), so
+        the cell lands in the lowest-resistance state S2.
+        """
+        self.state = 1
+
+    @property
+    def is_disturb_immune(self) -> bool:
+        """Cells already in the lowest-resistance state cannot be disturbed."""
+        return self.state == 1

@@ -1,0 +1,141 @@
+"""PCM main-memory device: channels, DIMMs and banks (Table II organisation).
+
+The device maps physical line addresses onto banks using the usual
+channel/DIMM/bank interleaving and forwards line writes and reads to the
+per-bank :class:`~repro.pcm.bank.PCMBank` instances.  Only a bounded number of
+line slots per bank is simulated (a set-associative "window" over the huge
+physical space) so the device stays laptop-sized while still exercising
+repeated writes to hot lines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..coding.base import WriteEncoder
+from ..core.config import PCMOrganization
+from ..core.disturbance import DEFAULT_DISTURBANCE_MODEL, DisturbanceModel
+from ..core.errors import SimulationError
+from ..core.line import LineBatch
+from ..core.metrics import WriteMetrics
+from .bank import PCMBank
+
+
+@dataclass(frozen=True)
+class BankAddress:
+    """Decomposition of a line address into the device topology."""
+
+    channel: int
+    dimm: int
+    bank: int
+    row: int
+
+    @property
+    def flat_bank(self) -> Tuple[int, int, int]:
+        """The (channel, dimm, bank) triple identifying the physical bank."""
+        return (self.channel, self.dimm, self.bank)
+
+
+class PCMDevice:
+    """A multi-channel PCM main memory built from :class:`PCMBank` instances."""
+
+    def __init__(
+        self,
+        encoder: WriteEncoder,
+        organization: PCMOrganization = PCMOrganization(),
+        rows_per_bank: int = 256,
+        disturbance_model: DisturbanceModel = DEFAULT_DISTURBANCE_MODEL,
+        sample_disturbance: bool = False,
+        seed: int = 0,
+    ):
+        if rows_per_bank <= 0:
+            raise SimulationError("rows_per_bank must be positive")
+        self.encoder = encoder
+        self.organization = organization
+        self.rows_per_bank = rows_per_bank
+        self._banks: Dict[Tuple[int, int, int], PCMBank] = {}
+        self._disturbance_model = disturbance_model
+        self._sample_disturbance = sample_disturbance
+        self._seed = seed
+        #: Tracks which physical row each simulated bank slot currently holds.
+        self._row_tags: Dict[Tuple[int, int, int], Dict[int, int]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Address mapping
+    # ------------------------------------------------------------------ #
+    def decode_address(self, line_address: int) -> BankAddress:
+        """Map a line address to (channel, dimm, bank, row) by interleaving."""
+        if line_address < 0:
+            raise SimulationError("line addresses must be non-negative")
+        org = self.organization
+        channel = line_address % org.channels
+        rest = line_address // org.channels
+        dimm = rest % org.dimms_per_channel
+        rest //= org.dimms_per_channel
+        bank = rest % org.banks_per_dimm
+        row = rest // org.banks_per_dimm
+        return BankAddress(channel=channel, dimm=dimm, bank=bank, row=row)
+
+    def _bank_for(self, address: BankAddress) -> PCMBank:
+        key = address.flat_bank
+        if key not in self._banks:
+            bank_seed = (self._seed, address.channel, address.dimm, address.bank)
+            self._banks[key] = PCMBank(
+                self.encoder,
+                lines=self.rows_per_bank,
+                disturbance_model=self._disturbance_model,
+                sample_disturbance=self._sample_disturbance,
+                seed=abs(hash(bank_seed)) % (2**31),
+            )
+            self._row_tags[key] = {}
+        return self._banks[key]
+
+    def _slot_for(self, address: BankAddress) -> int:
+        """Direct-mapped slot of the physical row inside the simulated bank window."""
+        key = address.flat_bank
+        slot = address.row % self.rows_per_bank
+        tags = self._row_tags.setdefault(key, {})
+        if tags.get(slot) != address.row:
+            # A different physical row occupied this slot: reset its content so
+            # the new row starts from fresh (RESET) cells.
+            bank = self._bank_for(address)
+            bank.states[slot] = 0
+            bank.written[slot] = False
+            tags[slot] = address.row
+        return slot
+
+    # ------------------------------------------------------------------ #
+    # Line access
+    # ------------------------------------------------------------------ #
+    def write(self, line_address: int, data: LineBatch) -> WriteMetrics:
+        """Write one 64-byte line and return the write metrics."""
+        address = self.decode_address(line_address)
+        bank = self._bank_for(address)
+        slot = self._slot_for(address)
+        return bank.write_line(slot, data)
+
+    def read(self, line_address: int) -> LineBatch:
+        """Read (and decode) one 64-byte line."""
+        address = self.decode_address(line_address)
+        bank = self._bank_for(address)
+        slot = self._slot_for(address)
+        return bank.read_line(slot)
+
+    # ------------------------------------------------------------------ #
+    # Statistics
+    # ------------------------------------------------------------------ #
+    @property
+    def banks_in_use(self) -> int:
+        """Number of banks that have been touched so far."""
+        return len(self._banks)
+
+    def total_metrics(self) -> WriteMetrics:
+        """Aggregate write metrics across all banks."""
+        return WriteMetrics.combine(bank.metrics for bank in self._banks.values())
+
+    def max_cell_wear(self) -> int:
+        """Highest per-cell write count across the device."""
+        return max((bank.max_cell_wear() for bank in self._banks.values()), default=0)

@@ -1,0 +1,85 @@
+"""Endurance (lifetime) analysis helpers.
+
+PCM cells wear out after a bounded number of RESET operations.  The paper uses
+*average updated cells per write request* as its endurance proxy (Figure 9);
+this module adds the conversion from wear statistics to expected lifetime so
+the device-level simulation can report lifetime estimates as well.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+#: Typical per-cell write endurance of PCM (writes before failure).
+DEFAULT_CELL_ENDURANCE_WRITES = 10**8
+
+
+@dataclass(frozen=True)
+class LifetimeEstimate:
+    """Result of an endurance projection."""
+
+    writes_per_second: float
+    updated_cells_per_write: float
+    cells_per_line: int
+    cell_endurance_writes: int
+    wear_leveling_efficiency: float
+
+    @property
+    def line_writes_to_failure(self) -> float:
+        """Writes a single line sustains before its most-worn cell fails."""
+        if self.updated_cells_per_write <= 0:
+            return float("inf")
+        per_cell_rate = self.updated_cells_per_write / self.cells_per_line
+        return self.cell_endurance_writes / per_cell_rate * self.wear_leveling_efficiency
+
+    @property
+    def lifetime_seconds(self) -> float:
+        """Expected time to first-line failure under the given write rate."""
+        if self.writes_per_second <= 0:
+            return float("inf")
+        return self.line_writes_to_failure / self.writes_per_second
+
+    @property
+    def lifetime_years(self) -> float:
+        """Lifetime in years."""
+        return self.lifetime_seconds / (365.25 * 24 * 3600)
+
+
+def estimate_lifetime(
+    updated_cells_per_write: float,
+    writes_per_second: float = 1e6,
+    cells_per_line: int = 257,
+    cell_endurance_writes: int = DEFAULT_CELL_ENDURANCE_WRITES,
+    wear_leveling_efficiency: float = 0.9,
+) -> LifetimeEstimate:
+    """Project a lifetime estimate from the Figure 9 endurance metric.
+
+    The projection assumes writes are spread over the line's cells in
+    proportion to the measured updated-cells average and that a wear-levelling
+    layer achieves ``wear_leveling_efficiency`` of the ideal spread.
+    """
+    if updated_cells_per_write < 0:
+        raise ValueError("updated_cells_per_write must be non-negative")
+    if not 0 < wear_leveling_efficiency <= 1:
+        raise ValueError("wear_leveling_efficiency must be in (0, 1]")
+    return LifetimeEstimate(
+        writes_per_second=writes_per_second,
+        updated_cells_per_write=updated_cells_per_write,
+        cells_per_line=cells_per_line,
+        cell_endurance_writes=cell_endurance_writes,
+        wear_leveling_efficiency=wear_leveling_efficiency,
+    )
+
+
+def relative_lifetime(baseline_updated_cells: float, scheme_updated_cells: float) -> float:
+    """Lifetime of a scheme relative to a baseline (higher is better).
+
+    Lifetime is inversely proportional to the number of updated cells per
+    write, so a 20 % reduction in updated cells is a 1.25x lifetime gain.
+    """
+    if scheme_updated_cells <= 0:
+        return float("inf")
+    return baseline_updated_cells / scheme_updated_cells

@@ -1,0 +1,37 @@
+"""Synthetic SPEC CPU2006 / PARSEC-like workloads and write-trace utilities."""
+
+from .generator import (
+    LineGenerator,
+    MAGNITUDE_BANDS,
+    POINTER_BASE,
+    TraceGenerator,
+    generate_benchmark_trace,
+    generate_random_trace,
+)
+from .profiles import (
+    ALL_BENCHMARKS,
+    BenchmarkProfile,
+    HMI_BENCHMARKS,
+    LINE_TYPES,
+    LMI_BENCHMARKS,
+    PROFILES,
+    get_profile,
+)
+from .trace import WriteTrace
+
+__all__ = [
+    "ALL_BENCHMARKS",
+    "BenchmarkProfile",
+    "HMI_BENCHMARKS",
+    "LINE_TYPES",
+    "LMI_BENCHMARKS",
+    "LineGenerator",
+    "MAGNITUDE_BANDS",
+    "POINTER_BASE",
+    "PROFILES",
+    "TraceGenerator",
+    "WriteTrace",
+    "generate_benchmark_trace",
+    "generate_random_trace",
+    "get_profile",
+]

@@ -1,0 +1,249 @@
+"""Synthetic memory-line and write-trace generators.
+
+:class:`LineGenerator` produces batches of 512-bit memory lines whose content
+follows a :class:`~repro.workloads.profiles.BenchmarkProfile`: every line gets
+a content type (zero, sparse, narrow integers, pointers, doubles, text, ...)
+and its eight 64-bit words are drawn accordingly.  :class:`TraceGenerator`
+turns that into differential-write traces by mutating a fraction of each
+line's words per request, which models the value locality that differential
+write and the paper's encodings exploit.
+
+All generation is vectorised and driven by a seeded :class:`numpy.random
+.Generator`, so traces are fully reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..core.line import LineBatch
+from ..core.symbols import WORDS_PER_LINE
+from .profiles import BenchmarkProfile, get_profile
+from .trace import WriteTrace
+
+#: Integer magnitude (in bits) of each magnitude band; see
+#: :attr:`BenchmarkProfile.magnitude_bits`.
+MAGNITUDE_BANDS = (32, 55, 58)
+
+#: Canonical x86-64 user-space pointer prefix used by the pointer line type.
+POINTER_BASE = 0x0000_7F00_0000_0000
+
+
+def _mask(bits: np.ndarray) -> np.ndarray:
+    """Bit masks ``2^bits - 1`` as uint64 (vectorised, bits <= 63)."""
+    return (np.uint64(1) << bits.astype(np.uint64)) - np.uint64(1)
+
+
+class LineGenerator:
+    """Generate memory-line content following a benchmark profile."""
+
+    def __init__(self, profile: BenchmarkProfile, rng: Optional[np.random.Generator] = None):
+        self.profile = profile
+        self.rng = rng or np.random.default_rng()
+        self._type_names = list(profile.line_type_mix.keys())
+        self._type_probs = np.array([profile.line_type_mix[t] for t in self._type_names])
+        self._type_probs = self._type_probs / self._type_probs.sum()
+
+    # ------------------------------------------------------------------ #
+    # Per-type word generators (each returns an (n, 8) uint64 array)
+    # ------------------------------------------------------------------ #
+    def _magnitudes(self, n: int) -> np.ndarray:
+        """Per-line integer magnitude (bits) drawn from the profile's bands."""
+        weights = np.asarray(self.profile.magnitude_bits, dtype=np.float64)
+        weights = weights / weights.sum()
+        band = self.rng.choice(len(MAGNITUDE_BANDS), size=n, p=weights)
+        low = np.where(band == 0, 4, np.where(band == 1, 33, 56))
+        high = np.array(MAGNITUDE_BANDS)[band]
+        return self.rng.integers(low, high + 1).astype(np.uint64)
+
+    def _raw(self, n: int) -> np.ndarray:
+        return self.rng.integers(0, 2**64, size=(n, WORDS_PER_LINE), dtype=np.uint64)
+
+    def _gen_zero(self, n: int) -> np.ndarray:
+        return np.zeros((n, WORDS_PER_LINE), dtype=np.uint64)
+
+    def _gen_sparse(self, n: int) -> np.ndarray:
+        values = self._raw(n) & np.uint64(0xFFFF)
+        keep = self.rng.random((n, WORDS_PER_LINE)) < 0.3
+        return np.where(keep, values, np.uint64(0))
+
+    def _gen_small_int(self, n: int) -> np.ndarray:
+        magnitude = self._magnitudes(n)
+        return self._raw(n) & _mask(magnitude)[:, None]
+
+    def _gen_small_neg_int(self, n: int) -> np.ndarray:
+        return ~self._gen_small_int(n)
+
+    def _gen_mixed_int(self, n: int) -> np.ndarray:
+        positive = self._gen_small_int(n)
+        negate = self.rng.random((n, WORDS_PER_LINE)) < 0.4
+        return np.where(negate, ~positive, positive)
+
+    def _gen_packed16(self, n: int) -> np.ndarray:
+        """Words made of four 16-bit fields (struct-of-shorts / indices arrays).
+
+        The low three fields mix zeros, small positive shorts and negative
+        shorts; the top field stays zero, small or all-ones so the word remains
+        WLC-compressible.  This content type is what creates sub-word (16-bit)
+        heterogeneity, which fine-granularity encodings exploit.
+        """
+        kind = self.rng.integers(0, 10, size=(n, WORDS_PER_LINE, 4), dtype=np.uint64)
+        small = self.rng.integers(0, 256, size=(n, WORDS_PER_LINE, 4), dtype=np.uint64)
+        wide = self.rng.integers(0x4000, 0x8000, size=(n, WORDS_PER_LINE, 4), dtype=np.uint64)
+        negative = np.uint64(0xFFFF) - small
+        fields = np.where(kind < 3, np.uint64(0), small)
+        fields = np.where((kind >= 6) & (kind < 8), negative, fields)
+        fields = np.where(kind >= 8, wide, fields)
+        # Keep the top field friendly to WLC: zero, a small value, or all ones.
+        top_kind = self.rng.integers(0, 10, size=(n, WORDS_PER_LINE), dtype=np.uint64)
+        top = np.where(top_kind < 5, np.uint64(0), small[..., 3])
+        top = np.where(top_kind >= 8, np.uint64(0xFFFF), top)
+        fields[..., 3] = top
+        shifts = np.arange(4, dtype=np.uint64) * np.uint64(16)
+        return (fields << shifts).sum(axis=-1, dtype=np.uint64)
+
+    def _gen_pointer(self, n: int) -> np.ndarray:
+        """Pointer arrays: user-space addresses, half within one heap region.
+
+        Lines whose pointers all target one region have small word-to-word
+        deltas (BDI-compressible); lines mixing regions defeat BDI but remain
+        WLC-compressible because the canonical-address prefix keeps the top
+        bits constant.
+        """
+        same_region = self.rng.random((n, 1)) < 0.5
+        region_line = (self.rng.integers(0, 2**20, size=(n, 1), dtype=np.uint64)) << np.uint64(20)
+        region_word = (self.rng.integers(0, 2**20, size=(n, WORDS_PER_LINE), dtype=np.uint64)) << np.uint64(20)
+        region = np.where(same_region, region_line, region_word)
+        offsets = (self.rng.integers(0, 2**14, size=(n, WORDS_PER_LINE), dtype=np.uint64)) << np.uint64(3)
+        return np.uint64(POINTER_BASE) | region | offsets
+
+    def _gen_float64(self, n: int) -> np.ndarray:
+        mantissa = self.rng.integers(0, 2**52, size=(n, WORDS_PER_LINE), dtype=np.uint64)
+        exponent = self.rng.integers(1019, 1029, size=(n, WORDS_PER_LINE), dtype=np.uint64)
+        sign = self.rng.integers(0, 2, size=(n, WORDS_PER_LINE), dtype=np.uint64)
+        return (sign << np.uint64(63)) | (exponent << np.uint64(52)) | mantissa
+
+    def _gen_float32(self, n: int) -> np.ndarray:
+        mantissa = self.rng.integers(0, 2**23, size=(n, WORDS_PER_LINE, 2), dtype=np.uint64)
+        exponent = self.rng.integers(123, 133, size=(n, WORDS_PER_LINE, 2), dtype=np.uint64)
+        sign = self.rng.integers(0, 2, size=(n, WORDS_PER_LINE, 2), dtype=np.uint64)
+        singles = (sign << np.uint64(31)) | (exponent << np.uint64(23)) | mantissa
+        return singles[..., 0] | (singles[..., 1] << np.uint64(32))
+
+    def _gen_text(self, n: int) -> np.ndarray:
+        chars = self.rng.integers(0x20, 0x7F, size=(n, WORDS_PER_LINE, 8), dtype=np.uint64)
+        shifts = (np.arange(8, dtype=np.uint64) * np.uint64(8))
+        return (chars << shifts).sum(axis=-1, dtype=np.uint64)
+
+    def _gen_random(self, n: int) -> np.ndarray:
+        return self._raw(n)
+
+    def generate_words(self, line_type: str, n: int) -> np.ndarray:
+        """Generate ``n`` lines of the requested content type."""
+        generator = getattr(self, f"_gen_{line_type}", None)
+        if generator is None:
+            raise ValueError(f"unknown line type {line_type!r}")
+        return generator(n)
+
+    # ------------------------------------------------------------------ #
+    # Batch generation
+    # ------------------------------------------------------------------ #
+    def assign_types(self, n: int) -> np.ndarray:
+        """Draw a content type for every line of a batch."""
+        indices = self.rng.choice(len(self._type_names), size=n, p=self._type_probs)
+        return np.asarray([self._type_names[i] for i in indices], dtype=object)
+
+    def generate_lines(self, n: int, types: Optional[np.ndarray] = None) -> Tuple[LineBatch, np.ndarray]:
+        """Generate ``n`` lines; returns the batch and the per-line content types."""
+        if types is None:
+            types = self.assign_types(n)
+        words = np.zeros((n, WORDS_PER_LINE), dtype=np.uint64)
+        for line_type in set(types.tolist()):
+            mask = types == line_type
+            words[mask] = self.generate_words(line_type, int(mask.sum()))
+        return LineBatch(words), types
+
+    def mutate_lines(self, lines: LineBatch, types: np.ndarray) -> LineBatch:
+        """Produce the next write value of each line (differential-write locality).
+
+        A fraction of each line's words (``change_word_fraction``) is
+        rewritten; the value each rewritten word receives is drawn from the
+        profile's ``mutation_mix``: a nearby value of the same content type, a
+        zero fill, a small negative value (run of ones), the complement of the
+        previous value (sign change), a value of a fresh content type, or a
+        word whose low half is re-randomised.  The zero/ones/complement
+        actions are what give the written cells the strong ``00``/``11`` bias
+        the paper observes in real workloads.
+        """
+        n = len(lines)
+        words = lines.words.copy()
+        change = self.rng.random((n, WORDS_PER_LINE)) < self.profile.change_word_fraction
+
+        actions = list(self.profile.mutation_mix.keys())
+        probs = np.array([self.profile.mutation_mix[a] for a in actions])
+        probs = probs / probs.sum()
+        action_index = self.rng.choice(len(actions), size=(n, WORDS_PER_LINE), p=probs)
+
+        same_type_words, _ = self.generate_lines(n, types)
+        type_change_words, _ = self.generate_lines(n)
+        ones_fill = ~(self._raw(n) & np.uint64(0xFFFF))
+        zero_fill = np.zeros_like(words)
+        complemented = ~words
+        low_random = (words & ~np.uint64(0xFFFFFFFF)) | (self._raw(n) & np.uint64(0xFFFFFFFF))
+
+        replacements = {
+            "same_type": same_type_words.words,
+            "zero_fill": zero_fill,
+            "ones_fill": ones_fill,
+            "complement": complemented,
+            "type_change": type_change_words.words,
+            "low_random": low_random,
+        }
+        for index, action in enumerate(actions):
+            mask = change & (action_index == index)
+            words = np.where(mask, replacements[action], words)
+        return LineBatch(words)
+
+
+class TraceGenerator:
+    """Generate differential-write traces for a benchmark profile."""
+
+    def __init__(self, profile: BenchmarkProfile, seed: int = 2018):
+        self.profile = profile
+        self.seed = seed
+
+    def generate(self, length: int) -> WriteTrace:
+        """Generate a trace of ``length`` write requests."""
+        # Derive a stable per-benchmark stream from the seed and the name
+        # (``hash()`` is salted per process, so it is not used here).
+        name_key = sum((i + 1) * ord(c) for i, c in enumerate(self.profile.name)) & 0xFFFF
+        rng = np.random.default_rng((self.seed, name_key))
+        generator = LineGenerator(self.profile, rng)
+        old, types = generator.generate_lines(length)
+        new = generator.mutate_lines(old, types)
+        return WriteTrace(
+            old=old,
+            new=new,
+            name=self.profile.name,
+            metadata={
+                "suite": self.profile.suite,
+                "memory_intensity": self.profile.memory_intensity,
+                "seed": str(self.seed),
+            },
+        )
+
+
+def generate_benchmark_trace(name: str, length: int = 20_000, seed: int = 2018) -> WriteTrace:
+    """Generate the synthetic write trace of one named benchmark."""
+    return TraceGenerator(get_profile(name), seed=seed).generate(length)
+
+
+def generate_random_trace(length: int = 20_000, seed: int = 2018) -> WriteTrace:
+    """Uniformly random (old, new) line pairs -- the paper's 'random workload'."""
+    rng = np.random.default_rng(seed)
+    old = LineBatch.random(length, rng)
+    new = LineBatch.random(length, rng)
+    return WriteTrace(old=old, new=new, name="random", metadata={"seed": str(seed)})

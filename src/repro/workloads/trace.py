@@ -1,0 +1,122 @@
+"""Write-trace container and file format.
+
+A *write trace* is the input the paper's trace-driven simulator consumes: a
+sequence of memory write transactions, each carrying both the value to be
+written and the value being overwritten (so that differential write can be
+evaluated without replaying the whole history).  :class:`WriteTrace` stores
+the two sides as :class:`~repro.core.line.LineBatch` objects plus optional
+per-request addresses (used by the memory-controller / PCM-device path) and a
+metadata dictionary.
+
+Traces can be saved to and loaded from ``.npz`` files for reuse across
+experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, Optional, Union
+
+import numpy as np
+
+from ..core.errors import TraceError
+from ..core.line import LineBatch
+
+
+@dataclass
+class WriteTrace:
+    """A sequence of (old value, new value) memory-line write transactions."""
+
+    old: LineBatch
+    new: LineBatch
+    addresses: Optional[np.ndarray] = None
+    name: str = "trace"
+    metadata: Dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if len(self.old) != len(self.new):
+            raise TraceError("old and new batches must have the same length")
+        if self.addresses is not None:
+            self.addresses = np.asarray(self.addresses, dtype=np.uint64)
+            if self.addresses.shape != (len(self.new),):
+                raise TraceError("addresses must be a 1-D array aligned with the trace")
+
+    def __len__(self) -> int:
+        return len(self.new)
+
+    def __getitem__(self, index: Union[int, slice]) -> "WriteTrace":
+        if isinstance(index, int):
+            index = slice(index, index + 1)
+        addresses = self.addresses[index] if self.addresses is not None else None
+        return WriteTrace(
+            old=self.old[index],
+            new=self.new[index],
+            addresses=addresses,
+            name=self.name,
+            metadata=dict(self.metadata),
+        )
+
+    def chunks(self, chunk_size: int) -> Iterator["WriteTrace"]:
+        """Iterate over the trace in chunks of at most ``chunk_size`` requests."""
+        if chunk_size <= 0:
+            raise TraceError("chunk_size must be positive")
+        for start in range(0, len(self), chunk_size):
+            yield self[start:start + chunk_size]
+
+    # ------------------------------------------------------------------ #
+    # Persistence
+    # ------------------------------------------------------------------ #
+    def save(self, path: Union[str, Path]) -> Path:
+        """Save the trace to an ``.npz`` file and return the path."""
+        path = Path(path)
+        payload = {
+            "old": self.old.words,
+            "new": self.new.words,
+            "name": np.array(self.name),
+        }
+        if self.addresses is not None:
+            payload["addresses"] = self.addresses
+        for key, value in self.metadata.items():
+            payload[f"meta_{key}"] = np.array(str(value))
+        np.savez_compressed(path, **payload)
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "WriteTrace":
+        """Load a trace previously written by :meth:`save`."""
+        path = Path(path)
+        if not path.exists():
+            raise TraceError(f"trace file not found: {path}")
+        with np.load(path, allow_pickle=False) as data:
+            if "old" not in data or "new" not in data:
+                raise TraceError(f"{path} is not a write-trace file")
+            metadata = {
+                key[len("meta_"):]: str(data[key])
+                for key in data.files
+                if key.startswith("meta_")
+            }
+            addresses = data["addresses"] if "addresses" in data.files else None
+            return cls(
+                old=LineBatch(data["old"]),
+                new=LineBatch(data["new"]),
+                addresses=addresses,
+                name=str(data["name"]) if "name" in data.files else path.stem,
+                metadata=metadata,
+            )
+
+    # ------------------------------------------------------------------ #
+    # Convenience statistics
+    # ------------------------------------------------------------------ #
+    def changed_bit_fraction(self) -> float:
+        """Average fraction of line bits that differ between old and new values."""
+        if len(self) == 0:
+            return 0.0
+        diff = self.old.words ^ self.new.words
+        changed_bits = np.unpackbits(diff.view(np.uint8), axis=-1).sum()
+        return float(changed_bits) / (len(self) * 512)
+
+    def symbol_histogram(self) -> np.ndarray:
+        """Histogram (length 4) of the 2-bit symbols of the new data values."""
+        symbols = self.new.symbols()
+        return np.bincount(symbols.reshape(-1), minlength=4).astype(np.int64)

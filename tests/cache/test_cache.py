@@ -1,0 +1,89 @@
+"""Tests of the write-back cache model."""
+
+import numpy as np
+import pytest
+
+from repro.cache.cache import WriteBackCache
+from repro.core.errors import SimulationError
+
+
+def _small_cache():
+    # 4 sets x 2 ways x 64-byte lines.
+    return WriteBackCache(size_bytes=4 * 2 * 64, ways=2)
+
+
+def _line(value):
+    return np.full(8, value, dtype=np.uint64)
+
+
+class TestBasics:
+    def test_geometry_validation(self):
+        with pytest.raises(SimulationError):
+            WriteBackCache(size_bytes=1000, ways=3)
+
+    def test_miss_then_hit(self):
+        cache = _small_cache()
+        cache.access(0)
+        cache.access(0)
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+
+    def test_clean_eviction_produces_no_writeback(self):
+        cache = _small_cache()
+        # Three loads mapping to the same set evict a clean line.
+        for address in (0, 4, 8):
+            cache.access(address)
+        assert cache.stats.evictions == 1
+        assert cache.stats.writebacks == 0
+
+    def test_dirty_eviction_produces_writeback(self):
+        cache = _small_cache()
+        cache.access(0, _line(7))
+        cache.access(4)
+        transaction = cache.access(8)
+        assert cache.stats.writebacks == 1
+        assert transaction is not None
+        address, old, new = transaction
+        assert address == 0
+        assert np.array_equal(new, _line(7))
+        assert old.sum() == 0  # memory held zeros before
+
+    def test_silent_store_does_not_dirty_line(self):
+        cache = _small_cache()
+        cache.access(0, _line(0))     # writing the value memory already holds
+        cache.access(4)
+        cache.access(8)
+        assert cache.stats.writebacks == 0
+
+
+class TestWritebackData:
+    def test_second_eviction_sees_previous_writeback(self):
+        cache = _small_cache()
+        cache.access(0, _line(7))
+        cache.flush()
+        cache.access(0, _line(9))
+        transactions = cache.flush()
+        assert len(transactions) == 1
+        _, old, new = transactions[0]
+        assert np.array_equal(old, _line(7))
+        assert np.array_equal(new, _line(9))
+
+    def test_lru_replacement(self):
+        cache = _small_cache()
+        cache.access(0, _line(1))
+        cache.access(4, _line(2))
+        cache.access(0)          # touch address 0 so address 4 becomes LRU
+        transaction = cache.access(8, _line(3))
+        assert transaction is not None and transaction[0] == 4
+
+    def test_writeback_trace_packaging(self):
+        cache = _small_cache()
+        cache.access(0, _line(5))
+        cache.access(4, _line(6))
+        cache.flush()
+        trace = cache.writeback_trace()
+        assert len(trace) == 2
+        assert trace.addresses is not None
+
+    def test_empty_trace(self):
+        assert len(_small_cache().writeback_trace()) == 0

@@ -1,0 +1,80 @@
+"""Tests of the multi-core cache hierarchy and access-stream generation."""
+
+import numpy as np
+import pytest
+
+from repro.cache.hierarchy import (
+    CacheHierarchy,
+    MemoryAccess,
+    generate_access_stream,
+    trace_from_profile,
+)
+from repro.core.config import CPUConfig
+from repro.workloads.profiles import get_profile
+
+
+class TestMemoryAccess:
+    def test_store_detection(self):
+        load = MemoryAccess(core=0, line_address=1)
+        store = MemoryAccess(core=0, line_address=1, write_data=np.zeros(8, dtype=np.uint64))
+        assert not load.is_store
+        assert store.is_store
+
+
+class TestHierarchy:
+    def test_per_core_routing(self):
+        hierarchy = CacheHierarchy(CPUConfig(cores=2, l2_size_kib=8))
+        hierarchy.access(MemoryAccess(core=0, line_address=0))
+        hierarchy.access(MemoryAccess(core=1, line_address=0))
+        stats = hierarchy.statistics()
+        assert stats[0].accesses == 1
+        assert stats[1].accesses == 1
+
+    def test_invalid_core(self):
+        hierarchy = CacheHierarchy(CPUConfig(cores=2, l2_size_kib=8))
+        with pytest.raises(ValueError):
+            hierarchy.access(MemoryAccess(core=5, line_address=0))
+
+    def test_run_produces_writeback_trace(self):
+        config = CPUConfig(cores=2, l2_size_kib=8)
+        hierarchy = CacheHierarchy(config)
+        profile = get_profile("gcc")
+        stream = generate_access_stream(profile, accesses=2000, cores=2, working_set_lines=512, seed=1)
+        trace = hierarchy.run(stream)
+        assert len(trace) > 0
+        assert trace.addresses is not None
+        assert len(trace.old) == len(trace.new)
+
+    def test_empty_run(self):
+        hierarchy = CacheHierarchy(CPUConfig(cores=1, l2_size_kib=8))
+        assert len(hierarchy.run([])) == 0
+
+
+class TestAccessStream:
+    def test_stream_shape_and_determinism(self):
+        profile = get_profile("libq")
+        a = generate_access_stream(profile, accesses=500, seed=3)
+        b = generate_access_stream(profile, accesses=500, seed=3)
+        assert len(a) == 500
+        assert [x.line_address for x in a] == [x.line_address for x in b]
+
+    def test_store_fraction_respected(self):
+        profile = get_profile("libq")
+        stream = generate_access_stream(profile, accesses=2000, store_fraction=0.3, seed=5)
+        fraction = sum(1 for access in stream if access.is_store) / len(stream)
+        assert 0.2 < fraction < 0.4
+
+
+class TestEndToEnd:
+    def test_trace_from_profile(self):
+        trace, stats = trace_from_profile("gcc", accesses=3000, seed=2)
+        assert len(trace) > 0
+        assert any(s.accesses > 0 for s in stats)
+
+    def test_writebacks_feed_the_evaluator(self):
+        from repro.coding import make_scheme
+        from repro.evaluation.runner import evaluate_trace
+
+        trace, _ = trace_from_profile("libq", accesses=2000, seed=4)
+        metrics = evaluate_trace(make_scheme("baseline"), trace)
+        assert metrics.requests == len(trace)

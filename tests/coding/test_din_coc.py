@@ -1,0 +1,128 @@
+"""Tests of the DIN and COC+4cosets baselines."""
+
+import numpy as np
+import pytest
+
+from repro.coding.coc_cosets import COCFourCosetsEncoder, LAYOUT_16, LAYOUT_32
+from repro.coding.din import (
+    BCH_PARITY_BITS,
+    DINEncoder,
+    EXPANDED_BITS,
+    LENGTH_HEADER_BITS,
+    MAX_COMPRESSED_BITS,
+    build_din_mapping,
+)
+from repro.coding.wlc_base import FLAG_COMPRESSED_STATE, FLAG_RAW_STATE
+from repro.core.cosets import DEFAULT_MAPPING
+from repro.core.energy import DEFAULT_ENERGY_MODEL
+from repro.core.line import LineBatch
+from repro.core.symbols import SYMBOLS_PER_LINE
+
+
+class TestDINMapping:
+    def test_mapping_shape_and_inverse(self):
+        forward, inverse = build_din_mapping()
+        assert forward.shape == (8,)
+        assert len(set(forward.tolist())) == 8
+        for value, pattern in enumerate(forward):
+            assert inverse[pattern] == value
+
+    def test_zero_maps_to_zero(self):
+        forward, _ = build_din_mapping()
+        assert forward[0] == 0
+
+    def test_codewords_avoid_the_most_expensive_state(self):
+        """The eight chosen 4-bit codewords never store a symbol in S4."""
+        forward, _ = build_din_mapping()
+        for pattern in forward:
+            low = DEFAULT_MAPPING[pattern & 0b11]
+            high = DEFAULT_MAPPING[(pattern >> 2) & 0b11]
+            assert low != 3 and high != 3
+
+
+class TestDINLayout:
+    def test_budget_arithmetic(self):
+        """Header + compressed payload expand into exactly 492 bits + 20 BCH bits."""
+        payload = LENGTH_HEADER_BITS + MAX_COMPRESSED_BITS
+        assert 4 * ((payload + 2) // 3) == EXPANDED_BITS
+        assert EXPANDED_BITS + BCH_PARITY_BITS == 512
+
+    def test_geometry(self):
+        encoder = DINEncoder()
+        assert encoder.aux_cells == 1
+        assert encoder.total_cells == SYMBOLS_PER_LINE + 1
+
+
+class TestDINBehaviour:
+    def test_roundtrip_biased(self, biased_lines):
+        encoder = DINEncoder()
+        subset = biased_lines[:24]
+        assert encoder.roundtrip(subset) == subset
+
+    def test_roundtrip_random(self, random_lines):
+        encoder = DINEncoder()
+        subset = random_lines[:8]
+        assert encoder.roundtrip(subset) == subset
+
+    def test_flags_follow_compressibility(self, biased_lines):
+        encoder = DINEncoder()
+        subset = biased_lines[:24]
+        sizes = encoder.compressor.sizes_bits(subset)
+        states = encoder.encode_reference(subset)
+        flags = states[:, encoder.flag_cell_index]
+        expected = np.where(sizes <= MAX_COMPRESSED_BITS, FLAG_COMPRESSED_STATE, FLAG_RAW_STATE)
+        assert np.array_equal(flags, expected)
+
+    def test_encoded_payload_avoids_s4(self, biased_lines):
+        """The expanded (3-to-4 coded) payload only uses the DIN codeword states.
+
+        The BCH parity bits at the end of the line are excluded: they are not
+        produced by the expansion table and may use any state.
+        """
+        encoder = DINEncoder()
+        subset = biased_lines[:24]
+        sizes = encoder.compressor.sizes_bits(subset)
+        states = encoder.encode_reference(subset)
+        encoded_rows = np.nonzero(sizes <= MAX_COMPRESSED_BITS)[0]
+        if encoded_rows.size:
+            payload_cells = EXPANDED_BITS // 2
+            assert states[encoded_rows, :payload_cells].max() <= 2
+
+
+class TestCOCFourCosets:
+    def test_geometry(self):
+        encoder = COCFourCosetsEncoder()
+        assert encoder.total_cells == SYMBOLS_PER_LINE + 1
+        assert LAYOUT_16.data_cells == 224 and LAYOUT_16.num_blocks == 28
+        assert LAYOUT_32.data_cells == 240 and LAYOUT_32.num_blocks == 15
+
+    def test_layout_fits_within_line(self):
+        for layout in (LAYOUT_16, LAYOUT_32):
+            assert layout.data_cells + layout.aux_cells <= SYMBOLS_PER_LINE - 1
+
+    def test_roundtrip_biased(self, biased_lines):
+        encoder = COCFourCosetsEncoder()
+        subset = biased_lines[:24]
+        assert encoder.roundtrip(subset) == subset
+
+    def test_roundtrip_random(self, random_lines):
+        encoder = COCFourCosetsEncoder()
+        subset = random_lines[:8]
+        assert encoder.roundtrip(subset) == subset
+
+    def test_compressed_fraction_high_on_biased_lines(self, biased_lines):
+        encoder = COCFourCosetsEncoder()
+        subset = biased_lines[:32]
+        encoded = encoder.encode_batch(subset, subset)
+        assert encoded.compressed.mean() > 0.5
+
+    def test_mode_cell_distinguishes_granularities(self, biased_lines):
+        encoder = COCFourCosetsEncoder()
+        subset = biased_lines[:32]
+        sizes = encoder.compressor.sizes_bits(subset)
+        states = encoder.encode_reference(subset)
+        for i in range(len(subset)):
+            if sizes[i] <= LAYOUT_16.budget_bits:
+                assert states[i, encoder.MODE_CELL] == DEFAULT_MAPPING[LAYOUT_16.mode_symbol]
+            elif sizes[i] <= LAYOUT_32.budget_bits:
+                assert states[i, encoder.MODE_CELL] == DEFAULT_MAPPING[LAYOUT_32.mode_symbol]

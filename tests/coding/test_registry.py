@@ -1,0 +1,58 @@
+"""Tests of the scheme registry."""
+
+import pytest
+
+from repro.coding import FIGURE8_SCHEMES, available_schemes, make_scheme
+from repro.coding.baseline import BaselineEncoder
+from repro.coding.ncosets import NCosetsEncoder
+from repro.coding.wlcrc import WLCRCEncoder
+from repro.core.energy import EnergyModel
+from repro.core.errors import ConfigurationError
+
+
+class TestNames:
+    def test_all_advertised_schemes_construct(self):
+        for name in available_schemes():
+            encoder = make_scheme(name)
+            assert encoder.total_cells >= 256
+
+    def test_figure8_schemes_construct(self):
+        for name in FIGURE8_SCHEMES:
+            assert make_scheme(name) is not None
+
+    def test_default_granularities(self):
+        assert make_scheme("6cosets").granularity_bits == 512
+        assert make_scheme("wlc+4cosets").granularity_bits == 32
+        assert make_scheme("wlcrc").granularity_bits == 16
+        assert make_scheme("3-r-cosets").granularity_bits == 16
+
+    def test_granularity_suffixes(self):
+        assert make_scheme("6cosets-16").granularity_bits == 16
+        assert make_scheme("wlcrc-32").granularity_bits == 32
+        assert make_scheme("fnw-256").block_bits == 256
+
+    def test_case_insensitive(self):
+        assert isinstance(make_scheme("Baseline"), BaselineEncoder)
+        assert isinstance(make_scheme("WLCRC-16"), WLCRCEncoder)
+
+    def test_multiobjective_suffix(self):
+        encoder = make_scheme("wlcrc-16-mo")
+        assert isinstance(encoder, WLCRCEncoder)
+        assert encoder.endurance_threshold == pytest.approx(0.01)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ConfigurationError):
+            make_scheme("does-not-exist")
+        with pytest.raises(ConfigurationError):
+            make_scheme("wlcrc-24")
+
+
+class TestEnergyModelPlumbing:
+    def test_custom_energy_model_is_used(self):
+        model = EnergyModel(set_energy_pj=(0.0, 20.0, 75.0, 135.0))
+        encoder = make_scheme("wlcrc-16", model)
+        assert encoder.energy_model == model
+
+    def test_names_are_preserved(self):
+        for name in ("baseline", "flipmin", "din", "coc+4cosets", "wlcrc-16"):
+            assert make_scheme(name).name.startswith(name.split("-")[0])

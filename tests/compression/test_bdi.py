@@ -1,0 +1,140 @@
+"""Tests of Base-Delta-Immediate compression and its degenerate variants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import CompressionError
+from repro.core.line import LineBatch
+from repro.compression.bdi import (
+    BDICompressor,
+    BDIVariant,
+    RepeatedValueCompressor,
+    STANDARD_BDI_VARIANTS,
+    ZeroLineCompressor,
+    elements_to_line,
+    line_elements,
+)
+
+
+class TestElementViews:
+    @pytest.mark.parametrize("element_bytes", [2, 4, 8])
+    def test_roundtrip(self, random_lines, element_bytes):
+        words = random_lines.words
+        elements = line_elements(words, element_bytes)
+        assert elements.shape[-1] == 64 // element_bytes
+        assert np.array_equal(elements_to_line(elements, element_bytes), words)
+
+    def test_invalid_element_size(self, random_lines):
+        with pytest.raises(CompressionError):
+            line_elements(random_lines.words, 3)
+
+
+class TestDegenerateVariants:
+    def test_zero_line(self):
+        zero = ZeroLineCompressor()
+        batch = LineBatch.zeros(3)
+        assert (zero.sizes_bits(batch) == 0).all()
+        assert np.array_equal(zero.roundtrip(batch.words[0]), batch.words[0])
+
+    def test_zero_line_rejects_nonzero(self, random_lines):
+        with pytest.raises(CompressionError):
+            ZeroLineCompressor().compress_line(random_lines.words[0])
+
+    def test_repeated_value(self):
+        words = np.full((1, 8), 0xDEADBEEFCAFEF00D, dtype=np.uint64)
+        rep = RepeatedValueCompressor()
+        assert rep.sizes_bits(LineBatch(words))[0] == 64
+        assert np.array_equal(rep.roundtrip(words[0]), words[0])
+
+    def test_repeated_value_rejects_mixed(self, random_lines):
+        with pytest.raises(CompressionError):
+            RepeatedValueCompressor().compress_line(random_lines.words[0])
+
+
+class TestBDIVariants:
+    def test_variant_names_and_sizes(self):
+        variant = BDIVariant(8, 1)
+        assert variant.name == "bdi-b8d1"
+        assert variant.compressed_bits == 64 + 8 * 8
+
+    def test_invalid_configuration(self):
+        with pytest.raises(CompressionError):
+            BDIVariant(8, 8)
+        with pytest.raises(CompressionError):
+            BDIVariant(3, 1)
+
+    def test_fit_detection(self):
+        base = 0x1000
+        words = np.array([[base + i for i in range(8)]], dtype=np.uint64)
+        assert BDIVariant(8, 1).fits(LineBatch(words))[0]
+        words_wide = words.copy()
+        words_wide[0, 3] += 1 << 40
+        assert not BDIVariant(8, 1).fits(LineBatch(words_wide))[0]
+
+    def test_negative_deltas_roundtrip(self):
+        base = 0x80000
+        offsets = np.array([0, -3, 5, -120, 100, 7, -128, 127])
+        words = (base + offsets).astype(np.uint64).reshape(1, 8)
+        variant = BDIVariant(8, 1)
+        assert variant.fits(LineBatch(words))[0]
+        assert np.array_equal(variant.roundtrip(words[0]), words[0])
+
+    def test_wraparound_delta_roundtrip(self):
+        """Deltas are modular: a wrapped small delta must still reconstruct."""
+        words = np.array([[2**64 - 2, 3, 2**64 - 1, 0, 1, 2, 2**64 - 3, 4]], dtype=np.uint64)
+        variant = BDIVariant(8, 1)
+        assert variant.fits(LineBatch(words))[0]
+        assert np.array_equal(variant.roundtrip(words[0]), words[0])
+
+    @pytest.mark.parametrize("variant", STANDARD_BDI_VARIANTS, ids=lambda v: v.name)
+    def test_roundtrip_when_fits(self, variant, rng):
+        base = rng.integers(0, 2**40, dtype=np.uint64)
+        limit = 1 << (8 * variant.delta_bytes - 1)
+        elements = base + rng.integers(0, limit // 2, size=64 // variant.base_bytes, dtype=np.uint64)
+        words = elements_to_line(elements.astype(np.uint64), variant.base_bytes).reshape(1, 8)
+        if bool(variant.fits(LineBatch(words))[0]):
+            assert np.array_equal(variant.roundtrip(words[0]), words[0])
+
+    def test_compress_rejects_unfit_line(self, random_lines):
+        with pytest.raises(CompressionError):
+            BDIVariant(8, 1).compress_line(random_lines.words[0])
+
+
+class TestBestOfFamily:
+    def test_sizes_are_minimum_plus_tag(self):
+        bdi = BDICompressor()
+        batch = LineBatch.zeros(1)
+        assert bdi.sizes_bits(batch)[0] == bdi.tag_bits
+
+    def test_roundtrip_biased(self, biased_lines):
+        bdi = BDICompressor()
+        sizes = bdi.sizes_bits(biased_lines[:20])
+        for i in range(20):
+            if sizes[i] < 512:
+                words = biased_lines.words[i]
+                assert np.array_equal(bdi.roundtrip(words), words)
+
+    def test_uncompressible_line_reports_512(self, incompressible_lines):
+        bdi = BDICompressor()
+        sizes = bdi.sizes_bits(incompressible_lines)
+        assert sizes.max() <= 512
+
+
+@given(
+    st.integers(min_value=0, max_value=2**63),
+    st.lists(st.integers(min_value=-60, max_value=60), min_size=8, max_size=8),
+)
+@settings(max_examples=40, deadline=None)
+def test_bdi_b8d1_roundtrip_property(base, deltas):
+    """Property: any line of one base plus byte-sized deltas round-trips.
+
+    The deltas are kept within +/-60 so that the difference between any two
+    elements (BDI's base is the first element, not ``base``) stays within the
+    signed one-byte range.
+    """
+    words = np.array([(base + d) % 2**64 for d in deltas], dtype=np.uint64).reshape(1, 8)
+    variant = BDIVariant(8, 1)
+    assert variant.fits(LineBatch(words))[0]
+    assert np.array_equal(variant.roundtrip(words[0]), words[0])

@@ -1,0 +1,89 @@
+"""Tests of Coverage-Oriented Compression (the bank-of-compressors front-end)."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import CompressionError
+from repro.core.line import LineBatch
+from repro.compression.coc import (
+    COC_BUDGET_16BIT,
+    COC_BUDGET_32BIT,
+    COCCompressor,
+    RawLineCompressor,
+    WordDeltaCompressor,
+    default_coc_members,
+)
+
+
+class TestBankStructure:
+    def test_default_members(self):
+        members = default_coc_members()
+        assert len(members) == 11
+        names = [m.name for m in members]
+        assert "fpc" in names and "raw" in names and "zero-line" in names
+
+    def test_too_many_members_rejected(self):
+        members = default_coc_members() * 4
+        with pytest.raises(CompressionError):
+            COCCompressor(members=tuple(members))
+
+
+class TestRawMember:
+    def test_roundtrip(self, random_lines):
+        raw = RawLineCompressor()
+        words = random_lines.words[0]
+        assert raw.compress_line(words).size_bits == 512
+        assert np.array_equal(raw.roundtrip(words), words)
+
+
+class TestWordDeltaMember:
+    def test_fit_and_roundtrip(self):
+        base = 0xABC000
+        words = (base + np.array([0, 5, -3, 100, 7, 2, -9, 30])).astype(np.uint64).reshape(1, 8)
+        member = WordDeltaCompressor()
+        assert member.fits(LineBatch(words))[0]
+        assert np.array_equal(member.roundtrip(words[0]), words[0])
+
+    def test_unfit_line(self, random_lines):
+        member = WordDeltaCompressor()
+        assert not member.fits(random_lines[:4]).any()
+        with pytest.raises(CompressionError):
+            member.compress_line(random_lines.words[0])
+
+
+class TestCOC:
+    def test_sizes_are_at_most_line_size(self, biased_lines, random_lines):
+        coc = COCCompressor()
+        assert coc.sizes_bits(biased_lines).max() <= 512
+        assert coc.sizes_bits(random_lines).max() <= 512
+
+    def test_high_coverage_on_biased_data(self, biased_lines, random_lines):
+        coc = COCCompressor()
+        assert coc.coverage(biased_lines, COC_BUDGET_16BIT) > 0.6
+        assert coc.coverage(random_lines, COC_BUDGET_16BIT) < 0.1
+
+    def test_budgets_ordering(self):
+        assert COC_BUDGET_16BIT < COC_BUDGET_32BIT < 512
+
+    def test_roundtrip(self, biased_lines):
+        coc = COCCompressor()
+        for i in range(min(24, len(biased_lines))):
+            words = biased_lines.words[i]
+            assert np.array_equal(coc.roundtrip(words), words)
+
+    def test_best_member_matches_sizes(self, biased_lines):
+        coc = COCCompressor()
+        sizes = coc.sizes_bits(biased_lines[:8])
+        for i in range(8):
+            _, member = coc.best_member(biased_lines.words[i])
+            member_size = member.sizes_bits(biased_lines[i:i + 1])[0]
+            assert min(member_size + coc.tag_bits, 512) == sizes[i]
+
+    def test_decompress_rejects_bad_tag(self):
+        coc = COCCompressor()
+        from repro.compression.base import CompressedLine
+
+        bits = np.zeros(600, dtype=np.uint8)
+        bits[:5] = [1, 1, 1, 1, 1]  # member index 31 does not exist
+        with pytest.raises(CompressionError):
+            coc.decompress_line(CompressedLine(bits=bits, compressor="coc"))

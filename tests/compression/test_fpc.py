@@ -1,0 +1,93 @@
+"""Tests of Frequent Pattern Compression."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.line import LineBatch
+from repro.compression.fpc import (
+    FPCCompressor,
+    PATTERN_PAYLOAD_BITS,
+    classify_words32,
+    line_to_words32,
+    words32_to_line,
+)
+
+
+class TestWord32Conversion:
+    def test_roundtrip(self, random_lines):
+        words32 = line_to_words32(random_lines.words)
+        assert words32.shape == (len(random_lines), 16)
+        assert np.array_equal(words32_to_line(words32), random_lines.words)
+
+    def test_low_half_first(self):
+        words = np.array([[0x1111111122222222] + [0] * 7], dtype=np.uint64)
+        words32 = line_to_words32(words)
+        assert words32[0, 0] == 0x22222222
+        assert words32[0, 1] == 0x11111111
+
+
+class TestClassification:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (0x00000000, 0),            # zero
+            (0x00000005, 1),            # 4-bit sign-extended
+            (0xFFFFFFFD, 1),            # negative 4-bit
+            (0x0000007F, 2),            # byte sign-extended
+            (0xFFFFFF80, 2),
+            (0x00001234, 3),            # halfword sign-extended
+            (0xFFFF8000, 3),
+            (0x12340000, 4),            # halfword padded with zeros
+            (0x00110022, 5),            # two sign-extended bytes
+            (0xABABABAB, 6),            # repeated bytes
+            (0x12345678, 7),            # uncompressible
+        ],
+    )
+    def test_patterns(self, value, expected):
+        assert classify_words32(np.array([value], dtype=np.uint32))[0] == expected
+
+    def test_priority_zero_beats_everything(self):
+        # Zero also matches 'repeated bytes'; the zero pattern must win.
+        assert classify_words32(np.array([0], dtype=np.uint32))[0] == 0
+
+
+class TestSizes:
+    def test_zero_line_size(self):
+        sizes = FPCCompressor().sizes_bits(LineBatch.zeros(1))
+        assert sizes[0] == 16 * 3  # sixteen 3-bit prefixes, no payload
+
+    def test_random_line_can_exceed_512(self, random_lines):
+        sizes = FPCCompressor().sizes_bits(random_lines)
+        assert sizes.max() <= 16 * (3 + 32)
+        assert sizes.min() >= 16 * 3
+
+    def test_size_matches_stream_length(self, biased_lines):
+        fpc = FPCCompressor()
+        sizes = fpc.sizes_bits(biased_lines[:10])
+        for i in range(10):
+            stream = fpc.compress_line(biased_lines.words[i])
+            assert stream.size_bits == sizes[i]
+
+
+class TestRoundtrip:
+    def test_biased_lines_roundtrip(self, biased_lines):
+        fpc = FPCCompressor()
+        for i in range(min(24, len(biased_lines))):
+            words = biased_lines.words[i]
+            assert np.array_equal(fpc.roundtrip(words), words)
+
+    def test_random_lines_roundtrip(self, random_lines):
+        fpc = FPCCompressor()
+        for i in range(min(12, len(random_lines))):
+            words = random_lines.words[i]
+            assert np.array_equal(fpc.roundtrip(words), words)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=2**64 - 1), min_size=8, max_size=8))
+@settings(max_examples=40, deadline=None)
+def test_fpc_roundtrip_property(values):
+    """Property: FPC is lossless for arbitrary line content."""
+    words = np.array(values, dtype=np.uint64)
+    assert np.array_equal(FPCCompressor().roundtrip(words), words)

@@ -1,0 +1,51 @@
+"""Tests of the combined FPC+BDI compressor (DIN's compression front-end)."""
+
+import numpy as np
+import pytest
+
+from repro.core.line import LineBatch
+from repro.compression.fpc_bdi import DIN_COMPRESSION_BUDGET_BITS, FPCBDICompressor
+
+
+class TestSizes:
+    def test_budget_constant(self):
+        assert DIN_COMPRESSION_BUDGET_BITS == 369
+
+    def test_size_is_best_of_both(self, biased_lines):
+        combined = FPCBDICompressor()
+        sizes = combined.sizes_bits(biased_lines)
+        fpc_sizes = combined.fpc.sizes_bits(biased_lines)
+        bdi_sizes = combined.bdi.sizes_bits(biased_lines)
+        best = np.minimum(fpc_sizes, bdi_sizes)
+        assert (sizes <= np.minimum(best + 1, 512)).all()
+
+    def test_never_exceeds_line_size(self, random_lines):
+        assert FPCBDICompressor().sizes_bits(random_lines).max() <= 512
+
+
+class TestRoundtrip:
+    def test_biased_lines(self, biased_lines):
+        combined = FPCBDICompressor()
+        for i in range(min(24, len(biased_lines))):
+            words = biased_lines.words[i]
+            assert np.array_equal(combined.roundtrip(words), words)
+
+    def test_random_lines(self, random_lines):
+        combined = FPCBDICompressor()
+        for i in range(8):
+            words = random_lines.words[i]
+            assert np.array_equal(combined.roundtrip(words), words)
+
+    def test_zero_line(self):
+        combined = FPCBDICompressor()
+        words = np.zeros(8, dtype=np.uint64)
+        assert np.array_equal(combined.roundtrip(words), words)
+
+
+class TestCoverage:
+    def test_biased_coverage_between_random_and_full(self, biased_lines, random_lines):
+        combined = FPCBDICompressor()
+        biased_cov = combined.coverage(biased_lines, DIN_COMPRESSION_BUDGET_BITS)
+        random_cov = combined.coverage(random_lines, DIN_COMPRESSION_BUDGET_BITS)
+        assert random_cov <= 0.05
+        assert 0.2 <= biased_cov <= 0.95

@@ -1,0 +1,108 @@
+"""Tests of Word-Level Compression (WLC)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import CompressionError
+from repro.core.line import LineBatch
+from repro.compression.wlc import WLCCompressor, msb_run_compressible
+
+
+class TestWordCompressibility:
+    def test_all_zero_and_all_one_words_compress(self):
+        words = np.array([0, 2**64 - 1], dtype=np.uint64)
+        assert msb_run_compressible(words, 6).all()
+
+    def test_small_values_compress(self):
+        words = np.array([123, 2**57 - 1], dtype=np.uint64)
+        assert msb_run_compressible(words, 6).all()
+
+    def test_value_with_mixed_top_bits_does_not_compress(self):
+        word = np.array([np.uint64(1) << np.uint64(58)], dtype=np.uint64)
+        assert not msb_run_compressible(word, 6).any()
+        # ... but it does compress when only 5 MSBs are required.
+        assert msb_run_compressible(word, 5).all()
+
+    def test_k_validation(self):
+        with pytest.raises(CompressionError):
+            msb_run_compressible(np.array([0], dtype=np.uint64), 1)
+        with pytest.raises(CompressionError):
+            WLCCompressor(k=70)
+
+
+class TestGeometry:
+    def test_reclaimed_bits(self):
+        wlc = WLCCompressor(k=6)
+        assert wlc.reclaimed_bits_per_word == 5
+        assert wlc.reclaimed_bits_per_line == 40
+        assert wlc.sign_bit_index == 58
+
+    def test_sizes(self, compressible_lines, incompressible_lines):
+        wlc = WLCCompressor(k=6)
+        sizes = wlc.sizes_bits(compressible_lines)
+        assert (sizes == 512 - 40).all()
+        assert (wlc.sizes_bits(incompressible_lines) == 512).all()
+
+    def test_coverage(self, compressible_lines, incompressible_lines):
+        wlc = WLCCompressor(k=6)
+        both = LineBatch.concatenate([compressible_lines, incompressible_lines])
+        coverage = wlc.coverage(both, 511)
+        assert coverage == pytest.approx(len(compressible_lines) / len(both))
+
+
+class TestReclaimedBitManipulation:
+    def test_insert_and_extract(self, compressible_lines):
+        wlc = WLCCompressor(k=6)
+        aux = np.full(compressible_lines.words.shape, 0b10101, dtype=np.uint64)
+        stored = wlc.insert_reclaimed(compressible_lines.words, aux)
+        assert np.array_equal(wlc.extract_reclaimed(stored), aux)
+        # Data bits below the reclaimed region are untouched.
+        mask = np.uint64((1 << 59) - 1)
+        assert np.array_equal(stored & mask, compressible_lines.words & mask)
+
+    def test_insert_rejects_oversized_aux(self, compressible_lines):
+        wlc = WLCCompressor(k=6)
+        aux = np.full(compressible_lines.words.shape, 1 << 5, dtype=np.uint64)
+        with pytest.raises(CompressionError):
+            wlc.insert_reclaimed(compressible_lines.words, aux)
+
+    def test_sign_extension_restores_original(self, compressible_lines):
+        wlc = WLCCompressor(k=6)
+        aux = np.zeros(compressible_lines.words.shape, dtype=np.uint64)
+        stored = wlc.insert_reclaimed(compressible_lines.words, aux)
+        assert np.array_equal(wlc.sign_extend(stored), compressible_lines.words)
+
+
+class TestLineInterface:
+    def test_compress_decompress_roundtrip(self, compressible_lines):
+        wlc = WLCCompressor(k=6)
+        for i in range(min(8, len(compressible_lines))):
+            words = compressible_lines.words[i]
+            assert np.array_equal(wlc.roundtrip(words), words)
+
+    def test_compress_rejects_incompressible(self, incompressible_lines):
+        wlc = WLCCompressor(k=6)
+        with pytest.raises(CompressionError):
+            wlc.compress_line(incompressible_lines.words[0])
+
+    def test_stream_length(self, compressible_lines):
+        wlc = WLCCompressor(k=6)
+        stream = wlc.compress_line(compressible_lines.words[0])
+        assert stream.size_bits == 512 - 40
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=2**57 - 1), min_size=8, max_size=8),
+    st.booleans(),
+)
+@settings(max_examples=40, deadline=None)
+def test_wlc_roundtrip_property(values, negative):
+    """Property: any line of 57-bit (optionally sign-extended) words round-trips."""
+    words = np.array(values, dtype=np.uint64)
+    if negative:
+        words = ~words & np.uint64(2**64 - 1) | np.uint64(0xFE00000000000000)
+    wlc = WLCCompressor(k=6)
+    if bool(wlc.word_compressible(words).all()):
+        assert np.array_equal(wlc.roundtrip(words), words)

@@ -1,0 +1,71 @@
+"""Shared fixtures for the test suite.
+
+Fixtures keep trace sizes small so the whole suite runs in well under a
+minute; the statistical assertions in the evaluation tests are written
+against those small sizes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.line import LineBatch
+from repro.workloads.generator import generate_benchmark_trace, generate_random_trace
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    """Session-wide deterministic random generator."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def gcc_trace():
+    """A small synthetic gcc trace shared by the scheme/evaluation tests."""
+    return generate_benchmark_trace("gcc", length=200, seed=7)
+
+
+@pytest.fixture(scope="session")
+def libq_trace():
+    """A small synthetic libquantum (LMI) trace."""
+    return generate_benchmark_trace("libq", length=200, seed=7)
+
+
+@pytest.fixture(scope="session")
+def random_trace_small():
+    """A small uniformly random trace (the paper's random workload)."""
+    return generate_random_trace(length=128, seed=11)
+
+
+@pytest.fixture(scope="session")
+def biased_lines(gcc_trace) -> LineBatch:
+    """Biased (benchmark-like) memory lines."""
+    return gcc_trace.new
+
+
+@pytest.fixture(scope="session")
+def random_lines(random_trace_small) -> LineBatch:
+    """Uniformly random memory lines."""
+    return random_trace_small.new
+
+
+@pytest.fixture(scope="session")
+def compressible_lines(rng) -> LineBatch:
+    """Lines guaranteed to be WLC-compressible at k = 6 (top 6 bits identical)."""
+    words = rng.integers(0, 2**57, size=(64, 8), dtype=np.uint64)
+    ones = np.uint64(0xFC00_0000_0000_0000)
+    make_negative = rng.random((64, 8)) < 0.3
+    words = np.where(make_negative, words | ones, words)
+    return LineBatch(words)
+
+
+@pytest.fixture(scope="session")
+def incompressible_lines(rng) -> LineBatch:
+    """Lines guaranteed NOT to be WLC-compressible at k = 6."""
+    words = rng.integers(0, 2**64, size=(32, 8), dtype=np.uint64)
+    # Force a '10' pattern into the top bits of word 0 of every line.
+    words[:, 0] = (words[:, 0] & np.uint64(0x3FFF_FFFF_FFFF_FFFF)) | np.uint64(
+        0x8000_0000_0000_0000
+    )
+    return LineBatch(words)

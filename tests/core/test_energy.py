@@ -1,0 +1,79 @@
+"""Tests of the MLC PCM write-energy model."""
+
+import numpy as np
+import pytest
+
+from repro.core.energy import (
+    DEFAULT_ENERGY_MODEL,
+    EnergyModel,
+    FIGURE14_ENERGY_LEVELS,
+    figure14_energy_models,
+)
+
+
+class TestDefaults:
+    def test_table2_values(self):
+        model = DEFAULT_ENERGY_MODEL
+        assert model.reset_energy_pj == 36.0
+        assert model.set_energy_pj == (0.0, 20.0, 307.0, 547.0)
+
+    def test_states_ordered_by_energy(self):
+        energies = DEFAULT_ENERGY_MODEL.write_energy_per_state
+        assert np.all(np.diff(energies) > 0)
+
+    def test_total_write_energy_includes_reset(self):
+        energies = DEFAULT_ENERGY_MODEL.write_energy_per_state
+        assert energies[0] == pytest.approx(36.0)
+        assert energies[3] == pytest.approx(36.0 + 547.0)
+
+
+class TestCellWriteEnergy:
+    def test_idle_cells_cost_nothing(self):
+        states = np.array([[0, 1, 2, 3]])
+        changed = np.zeros_like(states, dtype=bool)
+        assert DEFAULT_ENERGY_MODEL.cell_write_energy(states, changed).sum() == 0
+
+    def test_changed_cells_cost_state_energy(self):
+        states = np.array([[0, 1, 2, 3]])
+        changed = np.ones_like(states, dtype=bool)
+        energy = DEFAULT_ENERGY_MODEL.cell_write_energy(states, changed)
+        assert energy.tolist() == [[36.0, 56.0, 343.0, 583.0]]
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            DEFAULT_ENERGY_MODEL.cell_write_energy(np.zeros((2, 3)), np.zeros((2, 4), dtype=bool))
+
+
+class TestValidation:
+    def test_negative_energy_rejected(self):
+        with pytest.raises(ValueError):
+            EnergyModel(reset_energy_pj=-1.0)
+        with pytest.raises(ValueError):
+            EnergyModel(set_energy_pj=(0.0, -1.0, 2.0, 3.0))
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(ValueError):
+            EnergyModel(set_energy_pj=(0.0, 1.0, 2.0))
+
+
+class TestScaling:
+    def test_scaled_intermediate_states(self):
+        scaled = DEFAULT_ENERGY_MODEL.scaled_intermediate_states(75.0, 135.0)
+        assert scaled.set_energy_pj == (0.0, 20.0, 75.0, 135.0)
+        assert scaled.reset_energy_pj == DEFAULT_ENERGY_MODEL.reset_energy_pj
+        # The original model is unchanged (frozen dataclass).
+        assert DEFAULT_ENERGY_MODEL.set_energy_pj[2] == 307.0
+
+    def test_figure14_models(self):
+        models = figure14_energy_models()
+        assert len(models) == len(FIGURE14_ENERGY_LEVELS)
+        assert models[0] == DEFAULT_ENERGY_MODEL
+        # Figure 14 only reduces intermediate-state energies.
+        for model in models:
+            assert model.set_energy_pj[0] == 0.0
+            assert model.set_energy_pj[1] == 20.0
+            assert model.set_energy_pj[2] <= 307.0
+            assert model.set_energy_pj[3] <= 547.0
+
+    def test_models_are_hashable(self):
+        assert len({m for m in figure14_energy_models()}) == 4

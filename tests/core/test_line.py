@@ -1,0 +1,109 @@
+"""Tests of the LineBatch container."""
+
+import numpy as np
+import pytest
+
+from repro.core.line import LineBatch
+from repro.core.symbols import SYMBOLS_PER_LINE, WORDS_PER_LINE
+
+
+class TestConstruction:
+    def test_zeros(self):
+        batch = LineBatch.zeros(5)
+        assert len(batch) == 5
+        assert batch.words.shape == (5, WORDS_PER_LINE)
+        assert batch.words.sum() == 0
+
+    def test_single_line_is_promoted_to_batch(self):
+        batch = LineBatch(np.arange(8, dtype=np.uint64))
+        assert len(batch) == 1
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            LineBatch(np.zeros((3, 7), dtype=np.uint64))
+
+    def test_random_is_reproducible(self):
+        a = LineBatch.random(4, np.random.default_rng(3))
+        b = LineBatch.random(4, np.random.default_rng(3))
+        assert a == b
+
+    def test_from_symbols_roundtrip(self, random_lines):
+        assert LineBatch.from_symbols(random_lines.symbols()) == random_lines
+
+    def test_from_bytes_roundtrip(self, random_lines):
+        assert LineBatch.from_bytes(random_lines.bytes()) == random_lines
+
+    def test_from_ints_roundtrip(self):
+        values = [0, 1, (1 << 511) | 7]
+        batch = LineBatch.from_ints(values)
+        assert batch.to_ints() == values
+
+    def test_from_ints_empty(self):
+        assert len(LineBatch.from_ints([])) == 0
+
+    def test_concatenate(self):
+        a = LineBatch.zeros(2)
+        b = LineBatch.random(3, np.random.default_rng(1))
+        merged = LineBatch.concatenate([a, b])
+        assert len(merged) == 5
+        assert merged[2:] == b
+
+    def test_concatenate_empty_list(self):
+        assert len(LineBatch.concatenate([])) == 0
+
+
+class TestViews:
+    def test_symbols_shape(self, random_lines):
+        assert random_lines.symbols().shape == (len(random_lines), SYMBOLS_PER_LINE)
+
+    def test_bits_shape(self, random_lines):
+        assert random_lines.bits().shape == (len(random_lines), 512)
+
+    def test_views_are_consistent(self, random_lines):
+        bits = random_lines.bits()
+        symbols = random_lines.symbols()
+        low = bits[:, 0::2]
+        high = bits[:, 1::2]
+        assert np.array_equal(low | (high << 1), symbols)
+
+
+class TestSequenceProtocol:
+    def test_indexing_returns_batches(self, random_lines):
+        single = random_lines[0]
+        assert isinstance(single, LineBatch)
+        assert len(single) == 1
+
+    def test_slicing(self, random_lines):
+        assert len(random_lines[2:6]) == 4
+
+    def test_iteration(self, random_lines):
+        count = sum(1 for _ in random_lines[:5])
+        assert count == 5
+
+    def test_equality_and_inequality(self):
+        a = LineBatch.zeros(2)
+        b = LineBatch.zeros(2)
+        c = LineBatch.random(2, np.random.default_rng(0))
+        assert a == b
+        assert a != c
+        assert a != "not a batch"
+
+    def test_equals_elementwise(self):
+        a = LineBatch.zeros(3)
+        b = LineBatch.zeros(3)
+        b.words[1, 0] = 9
+        mask = a.equals_elementwise(b)
+        assert mask.tolist() == [True, False, True]
+
+    def test_equals_elementwise_length_mismatch(self):
+        with pytest.raises(ValueError):
+            LineBatch.zeros(2).equals_elementwise(LineBatch.zeros(3))
+
+    def test_chunks(self, random_lines):
+        chunks = list(random_lines.chunks(50))
+        assert sum(len(c) for c in chunks) == len(random_lines)
+        assert all(len(c) <= 50 for c in chunks)
+
+    def test_chunks_rejects_non_positive(self, random_lines):
+        with pytest.raises(ValueError):
+            list(random_lines.chunks(0))

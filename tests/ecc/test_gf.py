@@ -1,0 +1,105 @@
+"""Tests of the GF(2^m) arithmetic used by the BCH code."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ecc.gf import DEFAULT_PRIMITIVE_POLYS, GaloisField
+
+
+@pytest.fixture(scope="module")
+def gf16():
+    return GaloisField(4)
+
+
+@pytest.fixture(scope="module")
+def gf1024():
+    return GaloisField(10)
+
+
+class TestConstruction:
+    def test_sizes(self, gf16, gf1024):
+        assert gf16.size == 16 and gf16.order == 15
+        assert gf1024.size == 1024 and gf1024.order == 1023
+
+    def test_default_polys_available(self):
+        for m in (3, 4, 8, 10):
+            assert m in DEFAULT_PRIMITIVE_POLYS
+            GaloisField(m)
+
+    def test_rejects_missing_degree(self):
+        with pytest.raises(ValueError):
+            GaloisField(7)
+
+    def test_rejects_non_primitive_polynomial(self):
+        # x^4 + 1 is not primitive (not even irreducible).
+        with pytest.raises(ValueError):
+            GaloisField(4, primitive_poly=0b10001)
+
+    def test_rejects_tiny_degree(self):
+        with pytest.raises(ValueError):
+            GaloisField(1)
+
+
+class TestArithmetic:
+    def test_multiplicative_identity(self, gf16):
+        for a in range(16):
+            assert gf16.multiply(a, 1) == a
+
+    def test_zero_annihilates(self, gf16):
+        for a in range(16):
+            assert gf16.multiply(a, 0) == 0
+
+    def test_inverse(self, gf16):
+        for a in range(1, 16):
+            assert gf16.multiply(a, gf16.inverse(a)) == 1
+
+    def test_inverse_of_zero_raises(self, gf16):
+        with pytest.raises(ZeroDivisionError):
+            gf16.inverse(0)
+
+    def test_alpha_powers_cycle(self, gf16):
+        assert gf16.alpha_power(0) == 1
+        assert gf16.alpha_power(gf16.order) == 1
+
+    def test_log_exp_consistency(self, gf1024):
+        for value in (1, 2, 5, 123, 1000):
+            assert gf1024.alpha_power(gf1024.log(value)) == value
+
+    def test_power(self, gf16):
+        a = 7
+        assert gf16.power(a, 0) == 1
+        assert gf16.power(a, 3) == gf16.multiply(gf16.multiply(a, a), a)
+        assert gf16.power(0, 5) == 0
+
+
+class TestPolynomials:
+    def test_poly_evaluate_constant(self, gf16):
+        assert gf16.poly_evaluate([7], 3) == 7
+
+    def test_poly_multiply_degree(self, gf16):
+        p = [1, 1]       # x + 1
+        q = [2, 0, 1]    # x^2 + 2
+        product = gf16.poly_multiply(p, q)
+        assert len(product) == 4
+
+    def test_minimal_polynomial_annihilates_element(self, gf1024):
+        for exponent in (1, 3, 5):
+            mask = gf1024.minimal_polynomial(exponent)
+            coefficients = [(mask >> i) & 1 for i in range(mask.bit_length())]
+            assert gf1024.poly_evaluate(coefficients, gf1024.alpha_power(exponent)) == 0
+
+    def test_minimal_polynomial_of_alpha_has_field_degree(self, gf1024):
+        mask = gf1024.minimal_polynomial(1)
+        assert mask.bit_length() - 1 == 10
+
+
+@given(st.integers(min_value=0, max_value=15), st.integers(min_value=0, max_value=15),
+       st.integers(min_value=0, max_value=15))
+@settings(max_examples=60, deadline=None)
+def test_field_axioms(a, b, c):
+    """Commutativity, associativity and distributivity over GF(16)."""
+    gf = GaloisField(4)
+    assert gf.multiply(a, b) == gf.multiply(b, a)
+    assert gf.multiply(a, gf.multiply(b, c)) == gf.multiply(gf.multiply(a, b), c)
+    assert gf.multiply(a, gf.add(b, c)) == gf.add(gf.multiply(a, b), gf.multiply(a, c))

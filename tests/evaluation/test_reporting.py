@@ -1,0 +1,58 @@
+"""Tests of the plain-text reporting helpers."""
+
+import pytest
+
+from repro.evaluation.reporting import (
+    format_series_table,
+    format_table,
+    format_value,
+    improvement_percent,
+)
+
+
+class TestFormatValue:
+    def test_float_precision(self):
+        assert format_value(1234.567, precision=1) == "1,234.6"
+
+    def test_int_grouping(self):
+        assert format_value(1000000) == "1,000,000"
+
+    def test_string_passthrough(self):
+        assert format_value("wlcrc-16") == "wlcrc-16"
+
+
+class TestFormatTable:
+    def test_contains_headers_and_rows(self):
+        table = format_table(["scheme", "energy"], [["baseline", 100.0], ["wlcrc", 48.5]])
+        assert "scheme" in table and "baseline" in table and "48.5" in table
+
+    def test_title_and_underline(self):
+        table = format_table(["a"], [[1]], title="Figure 8")
+        assert table.splitlines()[0] == "Figure 8"
+        assert set(table.splitlines()[1]) == {"="}
+
+    def test_alignment_width(self):
+        table = format_table(["name"], [["abcdefghij"]])
+        header, underline, row = table.splitlines()
+        assert len(header) == len(row)
+
+
+class TestFormatSeriesTable:
+    def test_rows_and_columns(self):
+        series = {"baseline": {"gcc": 1.0, "libq": 2.0}, "wlcrc": {"gcc": 0.5}}
+        table = format_series_table(series)
+        assert "baseline" in table and "gcc" in table and "libq" in table
+
+    def test_explicit_column_order(self):
+        series = {"row": {"b": 1.0, "a": 2.0}}
+        table = format_series_table(series, column_order=["a", "b"])
+        header = table.splitlines()[0]
+        assert header.index("a") < header.index("b")
+
+
+class TestImprovementPercent:
+    def test_improvement(self):
+        assert improvement_percent(100.0, 48.0) == pytest.approx(52.0)
+
+    def test_zero_baseline(self):
+        assert improvement_percent(0.0, 10.0) == 0.0

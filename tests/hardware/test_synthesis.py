@@ -1,0 +1,61 @@
+"""Tests of the analytical hardware-overhead model."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.hardware.synthesis import (
+    REFERENCE_AREA_MM2,
+    REFERENCE_READ_DELAY_NS,
+    REFERENCE_READ_ENERGY_PJ,
+    REFERENCE_WRITE_DELAY_NS,
+    REFERENCE_WRITE_ENERGY_PJ,
+    WLCRCSynthesisModel,
+)
+
+
+class TestReferencePoint:
+    def test_wlcrc16_reproduces_published_numbers(self):
+        estimate = WLCRCSynthesisModel().estimate(16)
+        assert estimate.area_mm2 == pytest.approx(REFERENCE_AREA_MM2)
+        assert estimate.write_delay_ns == pytest.approx(REFERENCE_WRITE_DELAY_NS)
+        assert estimate.read_delay_ns == pytest.approx(REFERENCE_READ_DELAY_NS)
+        assert estimate.write_energy_pj == pytest.approx(REFERENCE_WRITE_ENERGY_PJ)
+        assert estimate.read_energy_pj == pytest.approx(REFERENCE_READ_ENERGY_PJ)
+
+    def test_paper_overhead_claims(self):
+        """Section VI-B: area and energy overheads are negligible."""
+        estimate = WLCRCSynthesisModel().estimate(16)
+        assert estimate.area_overhead_fraction < 0.01
+        assert estimate.write_energy_overhead_fraction < 0.001
+
+
+class TestScaling:
+    def test_finer_granularity_costs_more_area_and_energy(self):
+        model = WLCRCSynthesisModel()
+        estimates = {g: model.estimate(g) for g in (8, 16, 32, 64)}
+        assert estimates[8].area_mm2 > estimates[16].area_mm2 > estimates[32].area_mm2
+        assert estimates[8].write_energy_pj > estimates[64].write_energy_pj
+        assert estimates[8].write_delay_ns >= estimates[64].write_delay_ns
+
+    def test_wlc_front_end_is_constant(self):
+        model = WLCRCSynthesisModel()
+        for granularity in (8, 16, 32, 64):
+            estimate = model.estimate(granularity)
+            assert estimate.wlc_area_mm2 == pytest.approx(0.0002)
+            assert estimate.wlc_delay_ns == pytest.approx(0.13)
+
+    def test_invalid_granularity(self):
+        with pytest.raises(ConfigurationError):
+            WLCRCSynthesisModel().estimate(48)
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ConfigurationError):
+            WLCRCSynthesisModel(encoder_modules=0)
+
+
+class TestOverheadTable:
+    def test_table_columns(self):
+        table = WLCRCSynthesisModel().overhead_table()
+        assert set(table) == {8, 16, 32, 64}
+        for row in table.values():
+            assert {"area_mm2", "write_delay_ns", "write_energy_pj", "area_overhead_pct"} <= set(row)

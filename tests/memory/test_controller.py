@@ -1,0 +1,76 @@
+"""Tests of the memory controller's queueing and scheduling policy."""
+
+import pytest
+
+from repro.coding import make_scheme
+from repro.core.config import PCMOrganization
+from repro.memory.controller import MemoryController
+from repro.pcm.device import PCMDevice
+
+
+def _controller(organization=None):
+    device = PCMDevice(make_scheme("baseline"), rows_per_bank=16)
+    return MemoryController(device, organization=organization or PCMOrganization())
+
+
+class TestQueueing:
+    def test_reads_have_priority_over_writes(self, biased_lines):
+        controller = _controller()
+        controller.enqueue_write(0, biased_lines[0])
+        controller.enqueue_read(1)
+        controller.tick()
+        assert controller.stats.reads_serviced == 1
+        assert controller.stats.writes_serviced == 0
+
+    def test_write_drain_above_high_watermark(self, biased_lines):
+        controller = _controller()
+        watermark = controller.write_queue_high_watermark
+        for i in range(watermark):
+            controller.enqueue_write(i, biased_lines[i % len(biased_lines)])
+        controller.enqueue_read(100)
+        controller.tick()
+        # The full write queue forces a write to drain before the read.
+        assert controller.stats.write_pause_drains == 1
+        assert controller.stats.writes_serviced == 1
+        assert controller.stats.reads_serviced == 0
+
+    def test_full_write_queue_stalls(self, biased_lines):
+        controller = _controller()
+        limit = controller.write_queue_limit
+        for i in range(limit + 3):
+            controller.enqueue_write(i, biased_lines[i % len(biased_lines)])
+        assert controller.stats.stalled_writes == 3
+        assert len(controller.write_queue) <= limit
+
+    def test_drain_empties_queues(self, biased_lines):
+        controller = _controller()
+        for i in range(5):
+            controller.enqueue_write(i, biased_lines[i])
+        controller.enqueue_read(2)
+        controller.drain()
+        assert not controller.read_queue and not controller.write_queue
+        assert controller.stats.writes_serviced == 5
+        assert controller.stats.reads_serviced == 1
+
+    def test_idle_tick_advances_time(self):
+        controller = _controller()
+        before = controller.cycle
+        controller.tick()
+        assert controller.cycle == before + 1
+
+
+class TestLatencies:
+    def test_latency_accounting(self, biased_lines):
+        controller = _controller()
+        controller.enqueue_write(0, biased_lines[0])
+        controller.enqueue_read(0)
+        controller.drain()
+        assert controller.stats.avg_read_latency > 0
+        assert controller.stats.avg_write_latency > 0
+
+    def test_write_metrics_exposed(self, biased_lines):
+        controller = _controller()
+        for i in range(4):
+            controller.enqueue_write(i, biased_lines[i])
+        controller.drain()
+        assert controller.write_metrics().requests == 4

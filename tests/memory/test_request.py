@@ -1,0 +1,28 @@
+"""Tests of the memory-request type."""
+
+import pytest
+
+from repro.core.line import LineBatch
+from repro.memory.request import MemoryRequest, RequestType
+
+
+class TestMemoryRequest:
+    def test_write_requires_data(self):
+        with pytest.raises(ValueError):
+            MemoryRequest(RequestType.WRITE, 0)
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryRequest(RequestType.READ, -3)
+
+    def test_is_write(self):
+        read = MemoryRequest(RequestType.READ, 1)
+        write = MemoryRequest(RequestType.WRITE, 1, data=LineBatch.zeros(1))
+        assert not read.is_write
+        assert write.is_write
+
+    def test_latency_requires_completion(self):
+        request = MemoryRequest(RequestType.READ, 1, issue_cycle=10)
+        assert request.latency is None
+        request.complete_cycle = 25
+        assert request.latency == 15

@@ -1,0 +1,47 @@
+"""Tests of the single-cell PCM model."""
+
+import pytest
+
+from repro.core.errors import SimulationError
+from repro.pcm.cell import PCMCell
+
+
+class TestProgramming:
+    def test_initial_state(self):
+        cell = PCMCell()
+        assert cell.state == 0
+        assert cell.writes == 0
+
+    def test_differential_write_skips_same_state(self):
+        cell = PCMCell(state=2)
+        assert cell.program(2) == 0.0
+        assert cell.writes == 0
+
+    def test_program_charges_state_energy(self):
+        cell = PCMCell()
+        energy = cell.program(3)
+        assert energy == pytest.approx(36.0 + 547.0)
+        assert cell.state == 3
+        assert cell.writes == 1
+
+    def test_non_differential_rewrites_same_state(self):
+        cell = PCMCell(state=1)
+        assert cell.program(1, differential=False) == pytest.approx(56.0)
+        assert cell.writes == 1
+
+    def test_invalid_states_rejected(self):
+        with pytest.raises(SimulationError):
+            PCMCell(state=7)
+        with pytest.raises(SimulationError):
+            PCMCell().program(4)
+
+
+class TestDisturbance:
+    def test_disturb_moves_to_set_state(self):
+        cell = PCMCell(state=3)
+        cell.disturb()
+        assert cell.state == 1
+
+    def test_immunity(self):
+        assert PCMCell(state=1).is_disturb_immune
+        assert not PCMCell(state=0).is_disturb_immune

@@ -1,0 +1,72 @@
+"""Tests of the multi-bank PCM device."""
+
+import numpy as np
+import pytest
+
+from repro.coding import make_scheme
+from repro.core.config import PCMOrganization
+from repro.core.errors import SimulationError
+from repro.pcm.device import PCMDevice
+
+
+@pytest.fixture()
+def device():
+    return PCMDevice(make_scheme("baseline"), rows_per_bank=16)
+
+
+class TestAddressDecoding:
+    def test_decode_is_a_bijection_over_banks(self, device):
+        seen = set()
+        for address in range(device.organization.total_banks):
+            decoded = device.decode_address(address)
+            seen.add(decoded.flat_bank)
+        assert len(seen) == device.organization.total_banks
+
+    def test_channel_interleaving(self, device):
+        a = device.decode_address(0)
+        b = device.decode_address(1)
+        assert a.channel != b.channel
+
+    def test_negative_address_rejected(self, device):
+        with pytest.raises(SimulationError):
+            device.decode_address(-1)
+
+
+class TestReadWrite:
+    def test_write_read_roundtrip(self, device, biased_lines):
+        device.write(1234, biased_lines[0])
+        assert device.read(1234) == biased_lines[0]
+
+    def test_distinct_addresses_do_not_interfere(self, device, biased_lines):
+        device.write(10, biased_lines[0])
+        device.write(11, biased_lines[1])
+        assert device.read(10) == biased_lines[0]
+        assert device.read(11) == biased_lines[1]
+
+    def test_conflicting_slot_resets_old_row(self, device, biased_lines):
+        org = device.organization
+        stride = org.channels * org.dimms_per_channel * org.banks_per_dimm * device.rows_per_bank
+        device.write(0, biased_lines[0])
+        device.write(stride, biased_lines[1])  # same bank slot, different physical row
+        assert device.read(stride) == biased_lines[1]
+
+    def test_metrics_and_wear(self, device, biased_lines):
+        for i in range(8):
+            device.write(i, biased_lines[i])
+        metrics = device.total_metrics()
+        assert metrics.requests == 8
+        assert device.banks_in_use > 1
+        assert device.max_cell_wear() >= 1
+
+    def test_rows_per_bank_validation(self):
+        with pytest.raises(SimulationError):
+            PCMDevice(make_scheme("baseline"), rows_per_bank=0)
+
+
+class TestOrganizationInteraction:
+    def test_custom_organization(self, biased_lines):
+        org = PCMOrganization(channels=1, dimms_per_channel=1, banks_per_dimm=4)
+        device = PCMDevice(make_scheme("baseline"), organization=org, rows_per_bank=8)
+        for i in range(8):
+            device.write(i, biased_lines[i])
+        assert device.banks_in_use <= org.total_banks

@@ -1,0 +1,41 @@
+"""Tests of the endurance / lifetime projection helpers."""
+
+import pytest
+
+from repro.pcm.endurance import LifetimeEstimate, estimate_lifetime, relative_lifetime
+
+
+class TestLifetimeEstimate:
+    def test_fewer_updated_cells_means_longer_life(self):
+        worse = estimate_lifetime(updated_cells_per_write=65.0)
+        better = estimate_lifetime(updated_cells_per_write=52.0)
+        assert better.lifetime_seconds > worse.lifetime_seconds
+
+    def test_zero_write_rate_is_infinite(self):
+        estimate = estimate_lifetime(updated_cells_per_write=52.0, writes_per_second=0.0)
+        assert estimate.lifetime_seconds == float("inf")
+
+    def test_zero_updated_cells_is_infinite(self):
+        estimate = estimate_lifetime(updated_cells_per_write=0.0)
+        assert estimate.line_writes_to_failure == float("inf")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            estimate_lifetime(updated_cells_per_write=-1.0)
+        with pytest.raises(ValueError):
+            estimate_lifetime(updated_cells_per_write=10.0, wear_leveling_efficiency=0.0)
+
+    def test_lifetime_units(self):
+        estimate = estimate_lifetime(updated_cells_per_write=52.0, writes_per_second=1.0)
+        assert estimate.lifetime_years == pytest.approx(
+            estimate.lifetime_seconds / (365.25 * 24 * 3600)
+        )
+
+
+class TestRelativeLifetime:
+    def test_paper_endurance_claim_translation(self):
+        """A 20 % reduction in updated cells is a 1.25x lifetime improvement."""
+        assert relative_lifetime(65.0, 52.0) == pytest.approx(1.25)
+
+    def test_degenerate_scheme(self):
+        assert relative_lifetime(65.0, 0.0) == float("inf")

@@ -1,0 +1,70 @@
+"""Tests of the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+from repro.evaluation import experiments
+
+
+@pytest.fixture(autouse=True)
+def _clear_cache():
+    experiments.clear_cache()
+    yield
+    experiments.clear_cache()
+
+
+class TestListCommand:
+    def test_list_prints_experiments_and_schemes(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "figure8" in output
+        assert "wlcrc-16" in output
+
+    def test_every_registered_experiment_is_listed(self, capsys):
+        main(["list"])
+        output = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in output
+
+
+class TestEvaluateCommand:
+    def test_evaluate_text_output(self, capsys):
+        code = main(["evaluate", "--scheme", "wlcrc-16", "--benchmark", "libq", "--trace-length", "80"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "wlcrc-16" in output
+        assert "avg_energy_pj" in output
+
+    def test_evaluate_json_output(self, capsys):
+        main(["evaluate", "--scheme", "baseline", "--benchmark", "gcc",
+              "--trace-length", "60", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert "baseline" in payload
+        assert payload["baseline"]["requests"] == 60
+
+
+class TestExperimentCommands:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        output = capsys.readouterr().out
+        assert "C1" in output and "S4" in output
+
+    def test_hardware_table(self, capsys):
+        assert main(["hardware", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "16" in payload
+
+    def test_run_subcommand_equivalent(self, capsys):
+        assert main(["run", "table1"]) == 0
+        assert "C1" in capsys.readouterr().out
+
+    def test_small_figure_run(self, capsys):
+        assert main(["figure4", "--trace-length", "40", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "ave." in payload
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "figure99"])

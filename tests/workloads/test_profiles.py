@@ -1,0 +1,74 @@
+"""Tests of the benchmark profiles."""
+
+import pytest
+
+from repro.workloads.profiles import (
+    ALL_BENCHMARKS,
+    BenchmarkProfile,
+    DEFAULT_MUTATION_MIX,
+    HMI_BENCHMARKS,
+    LMI_BENCHMARKS,
+    MUTATION_ACTIONS,
+    PROFILES,
+    get_profile,
+)
+
+
+class TestProfileTable:
+    def test_thirteen_benchmarks_minus_canneal_overlap(self):
+        """The paper evaluates 12 SPEC benchmarks plus canneal (12 named bars)."""
+        assert len(ALL_BENCHMARKS) == 12
+        assert set(ALL_BENCHMARKS) == set(HMI_BENCHMARKS) | set(LMI_BENCHMARKS)
+        assert not set(HMI_BENCHMARKS) & set(LMI_BENCHMARKS)
+
+    def test_canneal_is_the_only_parsec_workload(self):
+        parsec = [name for name, profile in PROFILES.items() if profile.suite == "parsec"]
+        assert parsec == ["cann"]
+
+    def test_mixes_sum_to_one(self):
+        for profile in PROFILES.values():
+            assert sum(profile.line_type_mix.values()) == pytest.approx(1.0)
+            assert sum(profile.mutation_mix.values()) == pytest.approx(1.0)
+
+    def test_hmi_rewrites_more_than_lmi(self):
+        hmi_avg = sum(PROFILES[b].change_word_fraction for b in HMI_BENCHMARKS) / len(HMI_BENCHMARKS)
+        lmi_avg = sum(PROFILES[b].change_word_fraction for b in LMI_BENCHMARKS) / len(LMI_BENCHMARKS)
+        assert hmi_avg > lmi_avg
+
+    def test_lookup(self):
+        assert get_profile("GCC").name == "gcc"
+        with pytest.raises(KeyError):
+            get_profile("doom")
+
+    def test_default_mutation_mix_is_valid(self):
+        assert set(DEFAULT_MUTATION_MIX) <= set(MUTATION_ACTIONS)
+        assert sum(DEFAULT_MUTATION_MIX.values()) == pytest.approx(1.0)
+
+
+class TestProfileValidation:
+    def _base_kwargs(self):
+        return dict(name="x", suite="spec2006", memory_intensity="high")
+
+    def test_rejects_bad_mix_sum(self):
+        with pytest.raises(ValueError):
+            BenchmarkProfile(line_type_mix={"zero": 0.5}, **self._base_kwargs())
+
+    def test_rejects_unknown_line_type(self):
+        with pytest.raises(ValueError):
+            BenchmarkProfile(line_type_mix={"bogus": 1.0}, **self._base_kwargs())
+
+    def test_rejects_unknown_mutation_action(self):
+        with pytest.raises(ValueError):
+            BenchmarkProfile(
+                line_type_mix={"zero": 1.0}, mutation_mix={"bogus": 1.0}, **self._base_kwargs()
+            )
+
+    def test_rejects_bad_intensity(self):
+        with pytest.raises(ValueError):
+            BenchmarkProfile(
+                name="x", suite="spec2006", memory_intensity="medium", line_type_mix={"zero": 1.0}
+            )
+
+    def test_is_high_intensity(self):
+        assert PROFILES["lesl"].is_high_intensity
+        assert not PROFILES["libq"].is_high_intensity

@@ -1,0 +1,96 @@
+"""Tests of the WriteTrace container and its file format."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import TraceError
+from repro.core.line import LineBatch
+from repro.workloads.trace import WriteTrace
+
+
+def _trace(n=10, with_addresses=False):
+    rng = np.random.default_rng(0)
+    addresses = np.arange(n, dtype=np.uint64) if with_addresses else None
+    return WriteTrace(
+        old=LineBatch.random(n, rng),
+        new=LineBatch.random(n, rng),
+        addresses=addresses,
+        name="unit",
+        metadata={"suite": "test"},
+    )
+
+
+class TestConstruction:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(TraceError):
+            WriteTrace(old=LineBatch.zeros(2), new=LineBatch.zeros(3))
+
+    def test_address_shape_checked(self):
+        with pytest.raises(TraceError):
+            WriteTrace(old=LineBatch.zeros(2), new=LineBatch.zeros(2), addresses=np.zeros(3))
+
+    def test_len(self):
+        assert len(_trace(7)) == 7
+
+
+class TestSlicing:
+    def test_slice_preserves_metadata(self):
+        trace = _trace(10, with_addresses=True)
+        part = trace[2:5]
+        assert len(part) == 3
+        assert part.metadata == trace.metadata
+        assert part.addresses.tolist() == [2, 3, 4]
+
+    def test_integer_index(self):
+        assert len(_trace(10)[4]) == 1
+
+    def test_chunks_cover_everything(self):
+        trace = _trace(10)
+        chunks = list(trace.chunks(3))
+        assert [len(c) for c in chunks] == [3, 3, 3, 1]
+
+    def test_chunks_validation(self):
+        with pytest.raises(TraceError):
+            list(_trace(4).chunks(0))
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, tmp_path):
+        trace = _trace(6, with_addresses=True)
+        path = trace.save(tmp_path / "trace.npz")
+        loaded = WriteTrace.load(path)
+        assert loaded.new == trace.new
+        assert loaded.old == trace.old
+        assert loaded.name == "unit"
+        assert loaded.metadata["suite"] == "test"
+        assert np.array_equal(loaded.addresses, trace.addresses)
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(TraceError):
+            WriteTrace.load(tmp_path / "nope.npz")
+
+    def test_load_rejects_non_trace_npz(self, tmp_path):
+        path = tmp_path / "other.npz"
+        np.savez(path, foo=np.zeros(3))
+        with pytest.raises(TraceError):
+            WriteTrace.load(path)
+
+
+class TestStatistics:
+    def test_changed_bit_fraction_bounds(self):
+        trace = _trace(10)
+        fraction = trace.changed_bit_fraction()
+        assert 0.0 <= fraction <= 1.0
+
+    def test_identical_trace_has_zero_changes(self):
+        lines = LineBatch.random(5, np.random.default_rng(1))
+        trace = WriteTrace(old=lines, new=lines)
+        assert trace.changed_bit_fraction() == 0.0
+
+    def test_empty_trace_statistics(self):
+        trace = WriteTrace(old=LineBatch.zeros(0), new=LineBatch.zeros(0))
+        assert trace.changed_bit_fraction() == 0.0
+
+    def test_symbol_histogram_total(self):
+        trace = _trace(4)
+        assert trace.symbol_histogram().sum() == 4 * 256
