@@ -1,0 +1,64 @@
+"""Serial-vs-parallel wall-clock of the granularity sweep.
+
+Runs the Figure 11-style granularity sweep once on the serial path
+(``n_jobs=1``) and once on the process-pool path (``n_jobs`` = all cores),
+records both wall-clock times and the speedup to ``benchmarks/results/``, and
+asserts the engine's core contract: the two runs produce *identical* metrics.
+
+No minimum speedup is asserted -- on a single-core machine the pool can only
+add overhead; the recorded table is the artefact of interest.
+"""
+
+import os
+import time
+
+from repro.coding.ncosets import make_six_cosets
+from repro.evaluation import format_series_table
+from repro.evaluation.experiments import benchmark_traces
+from repro.evaluation.sweeps import granularity_sweep
+
+from conftest import run_once, write_result
+
+GRANULARITIES = (8, 16, 32, 64)
+
+
+def _timed_sweep(traces, config, n_jobs):
+    start = time.perf_counter()
+    sweep = granularity_sweep(
+        lambda g, em: make_six_cosets(g, em),
+        GRANULARITIES,
+        traces,
+        config.evaluation,
+        n_jobs=n_jobs,
+    )
+    return sweep, time.perf_counter() - start
+
+
+def bench_parallel_scaling(benchmark, experiment_config):
+    traces = benchmark_traces(experiment_config)
+    all_cores = os.cpu_count() or 1
+
+    def measure():
+        serial, serial_s = _timed_sweep(traces, experiment_config, n_jobs=1)
+        parallel, parallel_s = _timed_sweep(traces, experiment_config, n_jobs=all_cores)
+        return serial, serial_s, parallel, parallel_s
+
+    serial, serial_s, parallel, parallel_s = run_once(benchmark, measure)
+
+    rows = {
+        "serial (n_jobs=1)": {"wall_clock_s": serial_s, "workers": 1},
+        f"parallel (n_jobs={all_cores})": {"wall_clock_s": parallel_s, "workers": all_cores},
+        "speedup": {"wall_clock_s": serial_s / parallel_s if parallel_s else 0.0, "workers": all_cores},
+    }
+    table = format_series_table(
+        rows,
+        title=f"Parallel scaling: granularity sweep {GRANULARITIES}, "
+        f"{len(traces)} traces, {all_cores} cores",
+        row_header="run",
+    )
+    write_result("parallel_scaling", table)
+
+    # The engine's contract: identical metrics for any worker count.
+    assert list(serial) == list(GRANULARITIES)
+    for granularity in GRANULARITIES:
+        assert serial[granularity] == parallel[granularity]

@@ -24,7 +24,7 @@ from typing import Callable, Dict, Optional, Sequence
 
 from . import evaluation
 from .coding import available_schemes, make_scheme
-from .evaluation import ExperimentConfig, evaluate_trace, format_series_table
+from .evaluation import ExperimentConfig, evaluate_schemes, format_series_table
 from .hardware import WLCRCSynthesisModel
 from .workloads import ALL_BENCHMARKS, generate_benchmark_trace
 
@@ -73,14 +73,29 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _jobs_argument(value: str) -> int:
+    jobs = int(value)
+    if jobs < -1:
+        raise argparse.ArgumentTypeError("must be a positive integer, 0 or -1 (all cores)")
+    return jobs
+
+
 def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--trace-length", type=int, default=4000, help="write requests per benchmark")
     parser.add_argument("--seed", type=int, default=2018, help="trace-generation seed")
+    parser.add_argument(
+        "--jobs",
+        type=_jobs_argument,
+        default=1,
+        help="worker processes for the evaluation (1 = serial, 0 or -1 = all cores)",
+    )
     parser.add_argument("--json", action="store_true", help="emit JSON instead of a text table")
 
 
 def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
-    return ExperimentConfig(trace_length=args.trace_length, seed=args.seed)
+    return ExperimentConfig(
+        trace_length=args.trace_length, seed=args.seed, n_jobs=args.jobs
+    )
 
 
 def _print_result(result, as_json: bool) -> None:
@@ -116,7 +131,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "evaluate":
         config = _config_from_args(args)
         trace = generate_benchmark_trace(args.benchmark, config.trace_length, config.seed)
-        metrics = evaluate_trace(make_scheme(args.scheme), trace, config.evaluation)
+        results = evaluate_schemes(
+            [make_scheme(args.scheme)], trace, config.evaluation, n_jobs=config.n_jobs
+        )
+        metrics = next(iter(results.values()))
         _print_result({args.scheme: metrics.as_dict()}, args.json)
         return 0
 

@@ -30,7 +30,7 @@ from ..core.metrics import WriteMetrics
 from ..workloads.generator import generate_benchmark_trace, generate_random_trace
 from ..workloads.profiles import ALL_BENCHMARKS, HMI_BENCHMARKS, LMI_BENCHMARKS
 from ..workloads.trace import WriteTrace
-from .runner import evaluate_trace
+from .parallel import ParallelRunner, WorkUnit
 from .sweeps import compression_coverage, energy_level_sweep, granularity_sweep
 
 #: Granularities of the Figure 1 motivation study.
@@ -53,6 +53,10 @@ class ExperimentConfig:
     benchmarks: Tuple[str, ...] = ALL_BENCHMARKS
     #: Chunk size of the vectorised evaluation.
     chunk_size: int = 2_048
+    #: Worker processes of the parallel evaluation engine (1 = serial,
+    #: 0/-1 = every core).  Results are identical for any value, so the
+    #: experiment caches deliberately ignore it.
+    n_jobs: int = 1
 
     @property
     def evaluation(self) -> EvaluationConfig:
@@ -104,10 +108,10 @@ def random_trace(config: ExperimentConfig = DEFAULT_EXPERIMENT_CONFIG) -> WriteT
 # Helper aggregations
 # ---------------------------------------------------------------------- #
 def _aggregate(traces: Mapping[str, WriteTrace], encoder, config: ExperimentConfig) -> WriteMetrics:
-    total = WriteMetrics()
-    for trace in traces.values():
-        total.merge(evaluate_trace(encoder, trace, config.evaluation))
-    return total
+    units = [
+        WorkUnit("total", encoder, trace, config.evaluation) for trace in traces.values()
+    ]
+    return ParallelRunner(config.n_jobs).run(units).get("total", WriteMetrics())
 
 
 def _energy_breakdown(metrics: WriteMetrics) -> Dict[str, float]:
@@ -137,7 +141,11 @@ def figure1(
     else:
         raise ValueError("workload must be 'random' or 'biased'")
     sweep = granularity_sweep(
-        lambda g, em: make_six_cosets(g, em), FIGURE1_GRANULARITIES, traces, config.evaluation
+        lambda g, em: make_six_cosets(g, em),
+        FIGURE1_GRANULARITIES,
+        traces,
+        config.evaluation,
+        n_jobs=config.n_jobs,
     )
     return {granularity: _energy_breakdown(metrics) for granularity, metrics in sweep.items()}
 
@@ -148,10 +156,21 @@ def _coset_comparison(
     factories: Mapping[str, Callable[[int, EnergyModel], object]],
     granularities: Sequence[int],
 ) -> Dict[str, Dict[int, Dict[str, float]]]:
-    results: Dict[str, Dict[int, Dict[str, float]]] = {}
+    # One fan-out across the whole (family x granularity x trace) cross-product
+    # instead of one sweep per family, so every combination runs concurrently.
+    units = []
     for label, factory in factories.items():
-        sweep = granularity_sweep(factory, granularities, traces, config.evaluation)
-        results[label] = {g: _energy_breakdown(m) for g, m in sweep.items()}
+        for g in granularities:
+            encoder = factory(g, DEFAULT_ENERGY_MODEL)
+            for trace in traces.values():
+                units.append(WorkUnit((label, g), encoder, trace, config.evaluation))
+    reduced = ParallelRunner(config.n_jobs).run(units)
+    results: Dict[str, Dict[int, Dict[str, float]]] = {}
+    for label in factories:
+        results[label] = {
+            g: _energy_breakdown(reduced.get((label, g), WriteMetrics()))
+            for g in granularities
+        }
     return results
 
 
@@ -180,7 +199,9 @@ def figure3(config: ExperimentConfig = DEFAULT_EXPERIMENT_CONFIG) -> Dict[str, D
 def figure4(config: ExperimentConfig = DEFAULT_EXPERIMENT_CONFIG) -> Dict[str, Dict[str, float]]:
     """Figure 4: percentage of compressed lines (WLC k=4..9, COC, FPC+BDI) per benchmark."""
     key = ("figure4", config.benchmarks, config.trace_length, config.seed)
-    return _cached(key, lambda: compression_coverage(benchmark_traces(config)))  # type: ignore[return-value]
+    return _cached(
+        key, lambda: compression_coverage(benchmark_traces(config), n_jobs=config.n_jobs)
+    )  # type: ignore[return-value]
 
 
 def figure5(config: ExperimentConfig = DEFAULT_EXPERIMENT_CONFIG) -> Dict[str, Dict[int, Dict[str, float]]]:
@@ -225,14 +246,19 @@ def evaluate_all_schemes(
 
     def build() -> Dict[str, Dict[str, WriteMetrics]]:
         traces = benchmark_traces(config)
-        results: Dict[str, Dict[str, WriteMetrics]] = {}
-        for scheme_name in schemes:
-            encoder = make_scheme(scheme_name)
-            results[scheme_name] = {
-                bench: evaluate_trace(encoder, trace, config.evaluation)
-                for bench, trace in traces.items()
+        encoders = {scheme_name: make_scheme(scheme_name) for scheme_name in schemes}
+        units = [
+            WorkUnit((scheme_name, bench), encoders[scheme_name], trace, config.evaluation)
+            for scheme_name in schemes
+            for bench, trace in traces.items()
+        ]
+        per_unit = ParallelRunner(config.n_jobs).run(units)
+        return {
+            scheme_name: {
+                bench: per_unit[(scheme_name, bench)] for bench in traces
             }
-        return results
+            for scheme_name in schemes
+        }
 
     return _cached(key, build)  # type: ignore[return-value]
 
@@ -286,15 +312,23 @@ def section8d_multiobjective(
 
     def build() -> Dict[str, Dict[str, float]]:
         traces = benchmark_traces(config)
-        plain = WLCRCEncoder(16)
-        multi = WLCRCEncoder(16, endurance_threshold=threshold)
-        baseline = make_scheme("baseline")
+        roles = {
+            "wlcrc-16": WLCRCEncoder(16),
+            "wlcrc-16-mo": WLCRCEncoder(16, endurance_threshold=threshold),
+            "baseline": make_scheme("baseline"),
+        }
+        units = [
+            WorkUnit((role, bench), encoder, trace, config.evaluation)
+            for bench, trace in traces.items()
+            for role, encoder in roles.items()
+        ]
+        per_unit = ParallelRunner(config.n_jobs).run(units)
         rows: Dict[str, Dict[str, float]] = {}
-        totals = {"wlcrc-16": WriteMetrics(), "wlcrc-16-mo": WriteMetrics(), "baseline": WriteMetrics()}
-        for bench, trace in traces.items():
-            plain_metrics = evaluate_trace(plain, trace, config.evaluation)
-            multi_metrics = evaluate_trace(multi, trace, config.evaluation)
-            base_metrics = evaluate_trace(baseline, trace, config.evaluation)
+        totals = {role: WriteMetrics() for role in roles}
+        for bench in traces:
+            plain_metrics = per_unit[("wlcrc-16", bench)]
+            multi_metrics = per_unit[("wlcrc-16-mo", bench)]
+            base_metrics = per_unit[("baseline", bench)]
             totals["wlcrc-16"].merge(plain_metrics)
             totals["wlcrc-16-mo"].merge(multi_metrics)
             totals["baseline"].merge(base_metrics)
@@ -332,9 +366,19 @@ def _wlc_granularity_metrics(
             "3cosets": lambda g, em: make_wlc_three_cosets(g, em),
             "WLCRC": lambda g, em: WLCRCEncoder(g, em),
         }
+        # One fan-out over all (family x granularity x trace) combinations.
+        units = []
+        for label, factory in families.items():
+            for g in GRANULARITIES_WLC:
+                encoder = factory(g, DEFAULT_ENERGY_MODEL)
+                for trace in traces.values():
+                    units.append(WorkUnit((label, g), encoder, trace, config.evaluation))
+        reduced = ParallelRunner(config.n_jobs).run(units)
         return {
-            label: granularity_sweep(factory, GRANULARITIES_WLC, traces, config.evaluation)
-            for label, factory in families.items()
+            label: {
+                g: reduced.get((label, g), WriteMetrics()) for g in GRANULARITIES_WLC
+            }
+            for label in families
         }
 
     return _cached(key, build)  # type: ignore[return-value]
@@ -388,6 +432,7 @@ def figure14(config: ExperimentConfig = DEFAULT_EXPERIMENT_CONFIG) -> Dict[str, 
             baseline_factory=lambda em: make_scheme("baseline", em),
             traces=traces,
             config=config.evaluation,
+            n_jobs=config.n_jobs,
         )
         return {
             f"S3={36 + s3:.0f}pJ / S4={36 + s4:.0f}pJ": values

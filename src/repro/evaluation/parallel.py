@@ -1,0 +1,229 @@
+"""Parallel trace-evaluation engine.
+
+The paper's headline results (Figures 8-14) sweep many encoder configurations
+over many per-benchmark write traces.  Every (encoder, trace, sweep-point)
+combination is independent, so the sweep is embarrassingly parallel; this
+module provides the harness that exploits that.
+
+:class:`ParallelRunner` fans *work units* -- an encoder evaluated on a trace
+under an :class:`~repro.core.config.EvaluationConfig` -- out over a
+:class:`concurrent.futures.ProcessPoolExecutor`.  Each unit is further split
+into its evaluation chunks (the same ``config.chunk_size`` chunks the serial
+runner uses), which become the individual executor tasks, so even a single
+long trace spreads across all workers.
+
+Determinism is a hard guarantee, not a best effort:
+
+* chunk results are reduced with :meth:`WriteMetrics.merge
+  <repro.core.metrics.WriteMetrics.merge>` in (unit, chunk) submission order,
+  so floating-point accumulation is identical for any worker count;
+* Monte-Carlo disturbance sampling draws from per-chunk
+  :class:`numpy.random.SeedSequence` streams spawned from
+  ``(config.seed, unit_index)`` (see
+  :func:`~repro.evaluation.runner.chunk_streams`), so sampled error counts do
+  not depend on scheduling either.
+
+``n_jobs=1`` (the default) executes the exact serial path in-process -- no
+executor, no pickling -- which makes it both the fallback and the reference
+the property tests compare the parallel path against bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+import numpy as np
+
+from ..coding.base import WriteEncoder
+from ..core.config import DEFAULT_EVALUATION_CONFIG, EvaluationConfig
+from ..core.disturbance import DEFAULT_DISTURBANCE_MODEL, DisturbanceModel
+from ..core.errors import ConfigurationError
+from ..core.metrics import WriteMetrics
+from ..workloads.trace import WriteTrace
+from .runner import chunk_streams, metrics_from_encoded, n_chunks_of
+
+
+def resolve_n_jobs(n_jobs: Optional[int]) -> int:
+    """Normalise an ``n_jobs`` request to a concrete worker count.
+
+    ``None``, ``0`` and ``-1`` all mean "use every available core" (the
+    joblib convention); positive values are taken literally.
+    """
+    if n_jobs is None or n_jobs in (0, -1):
+        return os.cpu_count() or 1
+    if n_jobs < -1:
+        raise ConfigurationError(f"n_jobs must be positive, 0, -1 or None: {n_jobs}")
+    return int(n_jobs)
+
+
+@dataclass(frozen=True)
+class WorkUnit:
+    """One independent piece of sweep work: a scheme evaluated on a trace.
+
+    ``key`` labels the unit for reduction -- units sharing a key have their
+    metrics merged (in submission order) by :meth:`ParallelRunner.run`.
+    Typical keys: a scheme name, a benchmark name, a granularity, or a
+    ``(sweep-point, role)`` tuple.
+    """
+
+    key: Hashable
+    encoder: WriteEncoder
+    trace: WriteTrace
+    config: EvaluationConfig = DEFAULT_EVALUATION_CONFIG
+    disturbance_model: DisturbanceModel = DEFAULT_DISTURBANCE_MODEL
+
+
+@dataclass(frozen=True)
+class _Shard:
+    """One chunk of one work unit -- the granularity of executor dispatch."""
+
+    unit_index: int
+    chunk_index: int
+    encoder: WriteEncoder
+    chunk: WriteTrace
+    disturbance_model: DisturbanceModel
+    stream: Optional[np.random.SeedSequence]
+
+
+def _evaluate_shard(shard: _Shard) -> Tuple[int, int, WriteMetrics]:
+    """Evaluate one shard; runs in a worker process (or inline when serial)."""
+    rng = np.random.default_rng(shard.stream) if shard.stream is not None else None
+    encoded = shard.encoder.encode_batch(shard.chunk.new, shard.chunk.old)
+    metrics = metrics_from_encoded(encoded, shard.encoder, shard.disturbance_model, rng)
+    return shard.unit_index, shard.chunk_index, metrics
+
+
+def _call_star(task: Tuple[Callable[..., Any], Tuple]) -> Any:
+    """Apply ``func(*args)``; module-level so it pickles into workers."""
+    func, args = task
+    return func(*args)
+
+
+class ParallelRunner:
+    """Fan (encoder x trace x sweep-point) work units out over worker processes.
+
+    Parameters
+    ----------
+    n_jobs:
+        Worker processes.  ``1`` (default) runs the exact serial path in the
+        current process; ``None``, ``0`` or ``-1`` use every available core.
+    executor_chunksize:
+        Tasks handed to each worker per round-trip (``chunksize`` of
+        :meth:`~concurrent.futures.Executor.map`).  Defaults to a heuristic
+        that keeps roughly four batches in flight per worker.
+
+    Results are bit-identical for every ``n_jobs`` value -- see the module
+    docstring for how seeding and reduction order guarantee this.
+    """
+
+    def __init__(self, n_jobs: int = 1, executor_chunksize: Optional[int] = None):
+        self.n_jobs = resolve_n_jobs(n_jobs)
+        self.executor_chunksize = executor_chunksize
+
+    # ------------------------------------------------------------------ #
+    # Work-unit evaluation
+    # ------------------------------------------------------------------ #
+    def _shards(self, units: Sequence[WorkUnit]) -> Iterator[_Shard]:
+        for unit_index, unit in enumerate(units):
+            streams = chunk_streams(
+                unit.config, n_chunks_of(unit.trace, unit.config), unit_index
+            )
+            chunks = unit.trace.chunks(unit.config.chunk_size)
+            for chunk_index, (chunk, stream) in enumerate(zip(chunks, streams)):
+                yield _Shard(
+                    unit_index=unit_index,
+                    chunk_index=chunk_index,
+                    encoder=unit.encoder,
+                    chunk=chunk,
+                    disturbance_model=unit.disturbance_model,
+                    stream=stream,
+                )
+
+    def map(self, units: Sequence[WorkUnit]) -> List[WriteMetrics]:
+        """Evaluate every unit and return one :class:`WriteMetrics` per unit.
+
+        ``map(units)[i]`` equals
+        ``evaluate_trace(units[i].encoder, units[i].trace, ..., unit_index=i)``
+        exactly, for any ``n_jobs``.
+        """
+        units = list(units)
+        shards = list(self._shards(units))
+        per_unit = [WriteMetrics() for _ in units]
+        for unit_index, _, metrics in self._execute(_evaluate_shard, shards):
+            per_unit[unit_index].merge(metrics)
+        return per_unit
+
+    def run(self, units: Sequence[WorkUnit]) -> Dict[Hashable, WriteMetrics]:
+        """Evaluate every unit and reduce the results by ``unit.key``.
+
+        Keys appear in first-submission order; units sharing a key are merged
+        in submission order (so e.g. per-granularity totals accumulate their
+        traces exactly like the serial sweep loop did).
+        """
+        units = list(units)
+        reduced: Dict[Hashable, WriteMetrics] = {}
+        for unit, metrics in zip(units, self.map(units)):
+            reduced.setdefault(unit.key, WriteMetrics()).merge(metrics)
+        return reduced
+
+    # ------------------------------------------------------------------ #
+    # Generic fan-out
+    # ------------------------------------------------------------------ #
+    def starmap(self, func: Callable[..., Any], tasks: Iterable[Tuple]) -> List[Any]:
+        """Apply ``func(*args)`` to every args-tuple, preserving order.
+
+        Used by sweep helpers whose work is not metric-shaped (e.g. the
+        compression-coverage study).  ``func`` must be picklable
+        (module-level) when ``n_jobs > 1``.
+        """
+        tasks = [(func, tuple(args)) for args in tasks]
+        return list(self._execute(_call_star, tasks))
+
+    # ------------------------------------------------------------------ #
+    # Execution backend
+    # ------------------------------------------------------------------ #
+    def _execute(self, worker: Callable[[Any], Any], items: Sequence[Any]) -> Iterator[Any]:
+        """Run ``worker`` over ``items`` serially or on the process pool.
+
+        Always yields results in input order (``Executor.map`` preserves it),
+        which the metric reduction relies on for float determinism.
+        """
+        if self.n_jobs == 1 or len(items) <= 1:
+            for item in items:
+                yield worker(item)
+            return
+        max_workers = min(self.n_jobs, len(items))
+        chunksize = self.executor_chunksize or max(1, len(items) // (max_workers * 4))
+        with ProcessPoolExecutor(max_workers=max_workers) as executor:
+            yield from executor.map(worker, items, chunksize=chunksize)
+
+
+# ---------------------------------------------------------------------- #
+# Convenience wrappers
+# ---------------------------------------------------------------------- #
+def parallel_map_metrics(
+    units: Sequence[WorkUnit], n_jobs: int = 1
+) -> List[WriteMetrics]:
+    """One-shot :meth:`ParallelRunner.map` with a throwaway runner."""
+    return ParallelRunner(n_jobs).map(units)
+
+
+def parallel_reduce_metrics(
+    units: Sequence[WorkUnit], n_jobs: int = 1
+) -> Dict[Hashable, WriteMetrics]:
+    """One-shot :meth:`ParallelRunner.run` with a throwaway runner."""
+    return ParallelRunner(n_jobs).run(units)

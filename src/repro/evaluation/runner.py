@@ -6,12 +6,23 @@ stored states and accumulates the three per-request metrics -- write energy
 (split into data and auxiliary components), updated cells, and expected
 write-disturbance errors.  Traces are processed in fixed-size chunks so that
 the vectorised encoders stay within a bounded memory footprint.
+
+Disturbance sampling is deterministic *per chunk*: every chunk draws from its
+own :class:`numpy.random.SeedSequence` stream derived from
+``(config.seed, unit_index, chunk_index)``, so results do not depend on how
+chunks are scheduled.  This is what lets the parallel engine in
+:mod:`repro.evaluation.parallel` produce bit-identical results for any worker
+count -- see :func:`chunk_streams`.
+
+The multi-scheme helpers (:func:`evaluate_schemes`,
+:func:`evaluate_benchmarks`) accept an ``n_jobs`` argument and fan their work
+units out over the parallel engine; ``n_jobs=1`` (the default) keeps the
+exact serial path.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Iterable, Mapping, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -67,16 +78,51 @@ def metrics_from_encoded(
     )
 
 
+def n_chunks_of(trace: WriteTrace, config: EvaluationConfig) -> int:
+    """Number of chunks ``trace`` is split into under ``config.chunk_size``."""
+    return -(-len(trace) // config.chunk_size) if len(trace) else 0
+
+
+def chunk_streams(
+    config: EvaluationConfig, n_chunks: int, unit_index: int = 0
+) -> List[Optional[np.random.SeedSequence]]:
+    """Per-chunk RNG streams for Monte-Carlo disturbance sampling.
+
+    Returns one :class:`numpy.random.SeedSequence` per chunk (or ``None`` per
+    chunk when ``config.sample_disturbance`` is off).  Stream ``c`` of work
+    unit ``u`` is ``SeedSequence(config.seed).spawn``-derived with spawn key
+    ``(u, c)``, so a chunk's random draws depend only on the evaluation seed
+    and the chunk's logical position -- never on which process evaluates it or
+    in which order.  The parallel engine relies on this to stay bit-identical
+    to the serial path for any ``n_jobs``.
+    """
+    if not config.sample_disturbance:
+        return [None] * n_chunks
+    if n_chunks <= 0:
+        return []
+    # Equivalent to SeedSequence(config.seed).spawn(unit_index + 1)[unit_index]
+    # without spawning the unit_index unused siblings.
+    unit_seq = np.random.SeedSequence(entropy=config.seed, spawn_key=(unit_index,))
+    return list(unit_seq.spawn(n_chunks))
+
+
 def evaluate_trace(
     encoder: WriteEncoder,
     trace: WriteTrace,
     config: EvaluationConfig = DEFAULT_EVALUATION_CONFIG,
     disturbance_model: DisturbanceModel = DEFAULT_DISTURBANCE_MODEL,
+    unit_index: int = 0,
 ) -> WriteMetrics:
-    """Evaluate one scheme on one write trace and return the aggregate metrics."""
+    """Evaluate one scheme on one write trace and return the aggregate metrics.
+
+    ``unit_index`` selects the disturbance-sampling stream when the trace is
+    one of several work units evaluated together (see :mod:`.parallel`); the
+    default of 0 matches a standalone run.
+    """
     total = WriteMetrics()
-    rng = np.random.default_rng(config.seed) if config.sample_disturbance else None
-    for chunk in trace.chunks(config.chunk_size):
+    streams = chunk_streams(config, n_chunks_of(trace, config), unit_index)
+    for chunk, stream in zip(trace.chunks(config.chunk_size), streams):
+        rng = np.random.default_rng(stream) if stream is not None else None
         encoded = encoder.encode_batch(chunk.new, chunk.old)
         total.merge(metrics_from_encoded(encoded, encoder, disturbance_model, rng))
     return total
@@ -87,12 +133,21 @@ def evaluate_schemes(
     trace: WriteTrace,
     config: EvaluationConfig = DEFAULT_EVALUATION_CONFIG,
     disturbance_model: DisturbanceModel = DEFAULT_DISTURBANCE_MODEL,
+    n_jobs: int = 1,
 ) -> Dict[str, WriteMetrics]:
-    """Evaluate several schemes on the same trace; keyed by scheme name."""
-    return {
-        encoder.name: evaluate_trace(encoder, trace, config, disturbance_model)
+    """Evaluate several schemes on the same trace; keyed by scheme name.
+
+    If two encoders share a name, the last one wins (dict semantics), matching
+    the historical behaviour.
+    """
+    from .parallel import ParallelRunner, WorkUnit
+
+    units = [
+        WorkUnit(encoder.name, encoder, trace, config, disturbance_model)
         for encoder in encoders
-    }
+    ]
+    per_unit = ParallelRunner(n_jobs).map(units)
+    return {encoder.name: metrics for encoder, metrics in zip(encoders, per_unit)}
 
 
 def evaluate_benchmarks(
@@ -100,12 +155,16 @@ def evaluate_benchmarks(
     traces: Mapping[str, WriteTrace],
     config: EvaluationConfig = DEFAULT_EVALUATION_CONFIG,
     disturbance_model: DisturbanceModel = DEFAULT_DISTURBANCE_MODEL,
+    n_jobs: int = 1,
 ) -> Dict[str, WriteMetrics]:
     """Evaluate one scheme across a set of per-benchmark traces."""
-    return {
-        name: evaluate_trace(encoder, trace, config, disturbance_model)
+    from .parallel import ParallelRunner, WorkUnit
+
+    units = [
+        WorkUnit(name, encoder, trace, config, disturbance_model)
         for name, trace in traces.items()
-    }
+    ]
+    return ParallelRunner(n_jobs).run(units)
 
 
 def average_metrics(per_benchmark: Mapping[str, WriteMetrics]) -> WriteMetrics:

@@ -8,24 +8,32 @@ Three sweep helpers cover the paper's sensitivity studies:
   intermediate-state energy configurations of Figure 14;
 * :func:`compression_coverage` -- fraction of compressible lines per
   benchmark for WLC (k = 4..9), COC and FPC+BDI (Figure 4).
+
+All three run on the parallel evaluation engine
+(:mod:`repro.evaluation.parallel`): every (sweep-point x trace) combination
+becomes an independent work unit, so an 8-point sweep over 14 traces fans out
+112 units across the worker pool.  ``n_jobs=1`` (the default) keeps the exact
+serial path and every ``n_jobs`` value produces bit-identical metrics.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..coding.base import WriteEncoder
+from ..compression.base import Compressor
 from ..compression.coc import COCCompressor
 from ..compression.fpc_bdi import DIN_COMPRESSION_BUDGET_BITS, FPCBDICompressor
 from ..compression.wlc import WLCCompressor
 from ..core.config import DEFAULT_EVALUATION_CONFIG, EvaluationConfig
 from ..core.energy import DEFAULT_ENERGY_MODEL, EnergyModel, figure14_energy_models
+from ..core.line import LineBatch
 from ..core.metrics import WriteMetrics
 from ..core.symbols import BITS_PER_LINE
 from ..workloads.trace import WriteTrace
-from .runner import evaluate_trace
+from .parallel import ParallelRunner, WorkUnit
 
 #: Budget (bits) a COC-compressed line must fit to count as "compressed" in Figure 4.
 COC_COVERAGE_BUDGET_BITS = 448
@@ -39,20 +47,21 @@ def granularity_sweep(
     traces: Mapping[str, WriteTrace],
     config: EvaluationConfig = DEFAULT_EVALUATION_CONFIG,
     energy_model: EnergyModel = DEFAULT_ENERGY_MODEL,
+    n_jobs: int = 1,
 ) -> Dict[int, WriteMetrics]:
     """Evaluate ``factory(granularity)`` on every trace for each granularity.
 
     Returns the per-granularity metrics aggregated across all traces (the
-    paper reports the SPEC+PARSEC average).
+    paper reports the SPEC+PARSEC average).  With ``n_jobs > 1`` the full
+    (granularity x trace) cross-product is evaluated concurrently.
     """
-    results: Dict[int, WriteMetrics] = {}
+    units: List[WorkUnit] = []
     for granularity in granularities:
         encoder = factory(granularity, energy_model)
-        total = WriteMetrics()
         for trace in traces.values():
-            total.merge(evaluate_trace(encoder, trace, config))
-        results[granularity] = total
-    return results
+            units.append(WorkUnit(granularity, encoder, trace, config))
+    reduced = ParallelRunner(n_jobs).run(units)
+    return {g: reduced.get(g, WriteMetrics()) for g in granularities}
 
 
 def energy_level_sweep(
@@ -61,6 +70,7 @@ def energy_level_sweep(
     traces: Mapping[str, WriteTrace],
     config: EvaluationConfig = DEFAULT_EVALUATION_CONFIG,
     energy_models: Optional[Sequence[EnergyModel]] = None,
+    n_jobs: int = 1,
 ) -> Dict[Tuple[float, float], Dict[str, float]]:
     """Figure 14 sweep: scheme-vs-baseline energy improvement per energy level.
 
@@ -68,15 +78,19 @@ def energy_level_sweep(
     with the baseline energy, the scheme energy and the percent improvement.
     """
     energy_models = list(energy_models or figure14_energy_models())
-    results: Dict[Tuple[float, float], Dict[str, float]] = {}
-    for model in energy_models:
+    units: List[WorkUnit] = []
+    for index, model in enumerate(energy_models):
         scheme = factory(model)
         baseline = baseline_factory(model)
-        scheme_total = WriteMetrics()
-        baseline_total = WriteMetrics()
         for trace in traces.values():
-            scheme_total.merge(evaluate_trace(scheme, trace, config))
-            baseline_total.merge(evaluate_trace(baseline, trace, config))
+            units.append(WorkUnit((index, "scheme"), scheme, trace, config))
+            units.append(WorkUnit((index, "baseline"), baseline, trace, config))
+    totals = ParallelRunner(n_jobs).run(units)
+
+    results: Dict[Tuple[float, float], Dict[str, float]] = {}
+    for index, model in enumerate(energy_models):
+        scheme_total = totals.get((index, "scheme"), WriteMetrics())
+        baseline_total = totals.get((index, "baseline"), WriteMetrics())
         improvement = 0.0
         if baseline_total.avg_energy_pj:
             improvement = 100.0 * (
@@ -91,34 +105,50 @@ def energy_level_sweep(
     return results
 
 
+def _coverage_cell(compressor: Compressor, lines: LineBatch, budget_bits: int) -> float:
+    """Coverage of one (compressor, benchmark) cell as a percentage."""
+    return 100.0 * compressor.coverage(lines, budget_bits)
+
+
 def compression_coverage(
     traces: Mapping[str, WriteTrace],
     wlc_k_values: Sequence[int] = (4, 5, 6, 7, 8, 9),
     coc_budget_bits: int = COC_COVERAGE_BUDGET_BITS,
     din_budget_bits: int = DIN_COMPRESSION_BUDGET_BITS,
+    n_jobs: int = 1,
 ) -> Dict[str, Dict[str, float]]:
     """Figure 4: fraction of compressed memory lines per benchmark and method.
 
     Coverage is measured on the new-data side of each trace.  WLC counts a
     line as compressed when all words share the top ``k`` bits; COC when the
     bank compresses it within ``coc_budget_bits``; FPC+BDI when it fits the
-    DIN budget.
+    DIN budget.  Each (benchmark, method) cell is an independent task on the
+    parallel engine.
     """
-    coc = COCCompressor()
-    fpc_bdi = FPCBDICompressor()
+    methods: List[Tuple[str, Compressor, int]] = [
+        (f"{k}-MSBs", WLCCompressor(k=k), BITS_PER_LINE - 1) for k in wlc_k_values
+    ]
+    methods.append(("COC", COCCompressor(), coc_budget_bits))
+    methods.append(("FPC+BDI", FPCBDICompressor(), din_budget_bits))
+
+    names = list(traces)
+    tasks = [
+        (compressor, traces[name].new, budget)
+        for name in names
+        for _, compressor, budget in methods
+    ]
+    values = ParallelRunner(n_jobs).starmap(_coverage_cell, tasks)
+
     results: Dict[str, Dict[str, float]] = {}
-    for name, trace in traces.items():
-        lines = trace.new
-        row: Dict[str, float] = {}
-        for k in wlc_k_values:
-            row[f"{k}-MSBs"] = 100.0 * WLCCompressor(k=k).coverage(lines, BITS_PER_LINE - 1)
-        row["COC"] = 100.0 * coc.coverage(lines, coc_budget_bits)
-        row["FPC+BDI"] = 100.0 * fpc_bdi.coverage(lines, din_budget_bits)
-        results[name] = row
+    for row_index, name in enumerate(names):
+        offset = row_index * len(methods)
+        results[name] = {
+            label: values[offset + column]
+            for column, (label, _, _) in enumerate(methods)
+        }
     if results:
-        methods = next(iter(results.values())).keys()
         results["ave."] = {
-            method: float(np.mean([row[method] for row in results.values() if method in row]))
-            for method in list(methods)
+            label: float(np.mean([row[label] for row in results.values() if label in row]))
+            for label, _, _ in methods
         }
     return results

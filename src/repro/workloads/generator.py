@@ -161,7 +161,10 @@ class LineGenerator:
         if types is None:
             types = self.assign_types(n)
         words = np.zeros((n, WORDS_PER_LINE), dtype=np.uint64)
-        for line_type in set(types.tolist()):
+        # Stable iteration order: set order is hash-salted per process, which
+        # would consume the seeded RNG in a process-dependent order and make
+        # "reproducible" traces differ between runs.
+        for line_type in sorted(set(types.tolist())):
             mask = types == line_type
             words[mask] = self.generate_words(line_type, int(mask.sum()))
         return LineBatch(words), types
