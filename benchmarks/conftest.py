@@ -18,6 +18,7 @@ Environment knobs:
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
@@ -49,6 +50,19 @@ def write_result(name: str, text: str) -> Path:
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     path = RESULTS_DIR / f"{name}.txt"
     path.write_text(text + "\n")
+    return path
+
+
+def write_json(name: str, payload: dict) -> Path:
+    """Persist a machine-readable benchmark result as ``BENCH_<name>.json``.
+
+    CI uploads every ``BENCH_*.json`` under ``benchmarks/results`` as a build
+    artifact, so these files are the accumulating perf trajectory of the
+    project; keep their schemas append-only.
+    """
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return path
 
 

@@ -13,20 +13,31 @@ Reproduce Figure 8 with short traces::
 Evaluate a single scheme on a single benchmark::
 
     wlcrc-repro evaluate --scheme wlcrc-16 --benchmark gcc --trace-length 5000
+
+Work with trace files and corpora (see README, "Trace formats")::
+
+    wlcrc-repro trace gen --benchmark gcc --length 20000 --corpus traces/
+    wlcrc-repro trace convert memory_access.trace --out converted.wtrc
+    wlcrc-repro trace info converted.wtrc
+    wlcrc-repro trace ls traces/
+    wlcrc-repro evaluate --scheme wlcrc-16 --trace converted.wtrc
 """
 
 from __future__ import annotations
 
 import argparse
+import difflib
 import json
 import sys
+from pathlib import Path
 from typing import Callable, Dict, Optional, Sequence
 
 from . import evaluation
 from .coding import available_schemes, make_scheme
+from .core.errors import ReproError, TraceError
 from .evaluation import ExperimentConfig, evaluate_schemes, format_series_table
 from .hardware import WLCRCSynthesisModel
-from .workloads import ALL_BENCHMARKS, generate_benchmark_trace
+from .workloads import ALL_BENCHMARKS, WriteTrace, generate_benchmark_trace
 
 #: Experiment name -> driver function in :mod:`repro.evaluation.experiments`.
 EXPERIMENTS: Dict[str, Callable] = {
@@ -68,9 +79,73 @@ def _build_parser() -> argparse.ArgumentParser:
 
     evaluate = subparsers.add_parser("evaluate", help="evaluate one scheme on one benchmark")
     evaluate.add_argument("--scheme", default="wlcrc-16", help="scheme name (see 'list')")
-    evaluate.add_argument("--benchmark", default="gcc", choices=list(ALL_BENCHMARKS))
+    evaluate.add_argument("--benchmark", default="gcc", help=f"benchmark name, one of: {', '.join(ALL_BENCHMARKS)}")
+    evaluate.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="evaluate on a trace file (.wtrc or .npz) instead of a generated benchmark",
+    )
     _add_config_arguments(evaluate)
+
+    trace = subparsers.add_parser("trace", help="generate, convert, and inspect trace files")
+    trace_commands = trace.add_subparsers(dest="trace_command", required=True)
+
+    gen = trace_commands.add_parser("gen", help="generate a synthetic benchmark trace")
+    gen.add_argument("--benchmark", default="gcc", help=f"benchmark profile, one of: {', '.join(ALL_BENCHMARKS)}")
+    gen.add_argument("--length", type=_positive_int, default=20_000, help="write requests to generate")
+    gen.add_argument("--seed", type=_nonnegative_int, default=2018, help="trace-generation seed")
+    _add_trace_output_arguments(gen)
+
+    convert = trace_commands.add_parser(
+        "convert", help="ingest an external address trace (ramulator2 / tracehm)"
+    )
+    convert.add_argument("input", help="path of the external ASCII trace")
+    convert.add_argument(
+        "--format",
+        dest="fmt",
+        default="auto",
+        choices=["auto", "ramulator2", "tracehm"],
+        help="input dialect (default: sniff from the first line)",
+    )
+    convert.add_argument(
+        "--profile",
+        default="gcc",
+        help="content profile used to synthesise line data for the addresses",
+    )
+    convert.add_argument("--seed", type=_nonnegative_int, default=None, help="extra seed folded into the synthesis")
+    _add_trace_output_arguments(convert)
+
+    info = trace_commands.add_parser("info", help="print a trace file's header and statistics")
+    info.add_argument("path", help="trace file (.wtrc or .npz)")
+    info.add_argument(
+        "--stats",
+        action="store_true",
+        help="also scan the trace data for statistics (full-file read)",
+    )
+    info.add_argument("--json", action="store_true", help="emit JSON")
+
+    ls = trace_commands.add_parser("ls", help="list the traces of a corpus directory")
+    ls.add_argument("corpus", help="corpus directory (holds index.json)")
+    ls.add_argument("--json", action="store_true", help="emit JSON")
     return parser
+
+
+def _add_trace_output_arguments(parser: argparse.ArgumentParser) -> None:
+    output = parser.add_mutually_exclusive_group(required=True)
+    output.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="output trace file (.wtrc for the raw mmap format, .npz for the archive)",
+    )
+    output.add_argument(
+        "--corpus",
+        default=None,
+        metavar="DIR",
+        help="register the trace in this corpus directory instead of --out",
+    )
+    parser.add_argument("--name", default=None, help="trace name inside the corpus")
 
 
 def _jobs_argument(value: str) -> int:
@@ -80,22 +155,62 @@ def _jobs_argument(value: str) -> int:
     return jobs
 
 
+def _positive_int(value: str) -> int:
+    parsed = int(value)
+    if parsed <= 0:
+        raise argparse.ArgumentTypeError("must be a positive integer")
+    return parsed
+
+
+def _nonnegative_int(value: str) -> int:
+    parsed = int(value)
+    if parsed < 0:
+        raise argparse.ArgumentTypeError("must be a non-negative integer")
+    return parsed
+
+
 def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--trace-length", type=int, default=4000, help="write requests per benchmark")
-    parser.add_argument("--seed", type=int, default=2018, help="trace-generation seed")
+    parser.add_argument("--trace-length", type=_positive_int, default=4000, help="write requests per benchmark")
+    parser.add_argument("--seed", type=_nonnegative_int, default=2018, help="trace-generation seed")
     parser.add_argument(
         "--jobs",
         type=_jobs_argument,
         default=1,
         help="worker processes for the evaluation (1 = serial, 0 or -1 = all cores)",
     )
+    parser.add_argument(
+        "--trace-dir",
+        default=None,
+        metavar="DIR",
+        help="trace-corpus directory: benchmark traces are cached there and memory-mapped",
+    )
     parser.add_argument("--json", action="store_true", help="emit JSON instead of a text table")
 
 
 def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
     return ExperimentConfig(
-        trace_length=args.trace_length, seed=args.seed, n_jobs=args.jobs
+        trace_length=args.trace_length,
+        seed=args.seed,
+        n_jobs=args.jobs,
+        trace_dir=args.trace_dir,
     )
+
+
+def _fail(message: str, candidates: Sequence[str] = ()) -> int:
+    """Print a friendly error (with 'did you mean' suggestions) and return 2."""
+    print(f"error: {message}", file=sys.stderr)
+    if candidates:
+        print(f"did you mean: {', '.join(candidates)}?", file=sys.stderr)
+    return 2
+
+
+def _suggest(name: str, known: Sequence[str]) -> Sequence[str]:
+    return difflib.get_close_matches(name, list(known), n=3, cutoff=0.4)
+
+
+def _unknown_name(kind: str, value: str, known: Sequence[str]) -> int:
+    """Exit-2 error for an unrecognised name, with close-match suggestions."""
+    return _fail(f"unknown {kind} {value!r}", _suggest(value, known))
 
 
 def _print_result(result, as_json: bool) -> None:
@@ -114,6 +229,179 @@ def _print_result(result, as_json: bool) -> None:
         print(result)
 
 
+# ---------------------------------------------------------------------- #
+# Trace subcommands
+# ---------------------------------------------------------------------- #
+def _write_trace_output(
+    trace: WriteTrace,
+    args: argparse.Namespace,
+    profile: Optional[str] = None,
+    seed: Optional[int] = None,
+) -> int:
+    """Store a trace per ``--out`` / ``--corpus`` and report where it went."""
+    from .traces import TraceCorpus
+
+    try:
+        if args.corpus is not None:
+            path = TraceCorpus(args.corpus).add(
+                trace, name=args.name, profile=profile, seed=seed
+            )
+        else:  # --out (argparse enforces exactly one of --out/--corpus)
+            if args.name:
+                trace.name = args.name
+            path = trace.save(args.out)
+    except (TraceError, OSError) as exc:  # missing directory, permissions, ...
+        return _fail(str(exc))
+    print(f"wrote {len(trace)} write requests to {path}")
+    return 0
+
+
+def _cmd_trace_gen(args: argparse.Namespace) -> int:
+    if args.benchmark not in ALL_BENCHMARKS:
+        return _unknown_name("benchmark", args.benchmark, ALL_BENCHMARKS)
+    trace = generate_benchmark_trace(args.benchmark, args.length, args.seed)
+    if args.name:
+        trace.name = args.name
+    return _write_trace_output(trace, args, profile=args.benchmark, seed=args.seed)
+
+
+def _cmd_trace_convert(args: argparse.Namespace) -> int:
+    from .traces import ingest_trace_file
+
+    if args.profile not in ALL_BENCHMARKS:
+        return _unknown_name("profile", args.profile, ALL_BENCHMARKS)
+    try:
+        trace = ingest_trace_file(
+            args.input, fmt=args.fmt, profile=args.profile, name=args.name, seed=args.seed
+        )
+    except TraceError as exc:
+        return _fail(str(exc))
+    return _write_trace_output(trace, args, profile=args.profile, seed=args.seed)
+
+
+def _cmd_trace_info(args: argparse.Namespace) -> int:
+    from .traces import is_wtrc_file, read_trace_header
+
+    path = Path(args.path)
+    try:
+        is_wtrc = path.exists() and is_wtrc_file(path)
+    except TraceError as exc:
+        return _fail(str(exc))
+    try:
+        if is_wtrc and not args.stats:
+            # Header-only: O(1) regardless of trace size.
+            header = read_trace_header(path)
+            info = {
+                "name": header.name,
+                "requests": header.n_lines,
+                "has_addresses": header.has_addresses,
+                "memory_mapped": True,
+                "metadata": dict(header.metadata),
+            }
+        else:
+            trace = WriteTrace.load(path)
+            info = {
+                "name": trace.name,
+                "requests": len(trace),
+                "has_addresses": trace.addresses is not None,
+                "memory_mapped": trace.mmap_path is not None,
+                "metadata": dict(trace.metadata),
+            }
+            if args.stats:
+                info["changed_bit_fraction"] = round(trace.changed_bit_fraction(), 6)
+    except TraceError as exc:
+        return _fail(str(exc))
+    if args.json:
+        print(json.dumps(info, indent=2, default=str))
+    else:
+        for key, value in info.items():
+            print(f"{key}: {value}")
+    return 0
+
+
+def _cmd_trace_ls(args: argparse.Namespace) -> int:
+    from .traces import TraceCorpus
+
+    corpus = TraceCorpus(args.corpus)
+    if not corpus.index_path.exists():
+        return _fail(f"{args.corpus} is not a trace corpus (no {corpus.index_path.name})")
+    try:
+        entries = corpus.entries()
+    except TraceError as exc:
+        return _fail(str(exc))
+    if args.json:
+        print(json.dumps({name: entry.as_dict() for name, entry in sorted(entries.items())}, indent=2))
+        return 0
+    if not entries:
+        print("corpus is empty")
+        return 0
+    rows = {
+        name: {
+            "lines": entry.n_lines,
+            "profile": entry.profile or "-",
+            # verbatim, not through the numeric formatter ("2018", not "2,018")
+            "seed": str(entry.seed) if entry.seed is not None else "-",
+            "file": entry.file,
+        }
+        for name, entry in sorted(entries.items())
+    }
+    print(format_series_table(rows, row_header="trace"))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    handlers = {
+        "gen": _cmd_trace_gen,
+        "convert": _cmd_trace_convert,
+        "info": _cmd_trace_info,
+        "ls": _cmd_trace_ls,
+    }
+    return handlers[args.trace_command](args)
+
+
+# ---------------------------------------------------------------------- #
+# Evaluate
+# ---------------------------------------------------------------------- #
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    config = _config_from_args(args)
+    try:
+        encoder = make_scheme(args.scheme)
+    except (ReproError, ValueError):
+        return _unknown_name("scheme", args.scheme, available_schemes())
+    if args.trace is not None:
+        try:
+            trace = WriteTrace.load(args.trace)
+        except TraceError as exc:
+            candidates = ()
+            parent = Path(args.trace).parent
+            if not Path(args.trace).exists() and parent.is_dir():
+                candidates = _suggest(
+                    Path(args.trace).name,
+                    [p.name for p in parent.iterdir() if p.suffix in (".wtrc", ".npz")],
+                )
+            return _fail(str(exc), candidates)
+        label = args.scheme  # keyed by scheme either way, so outputs compare
+    else:
+        if args.benchmark not in ALL_BENCHMARKS:
+            return _unknown_name("benchmark", args.benchmark, ALL_BENCHMARKS)
+        if config.trace_dir:
+            from .traces import TraceCorpus
+
+            try:
+                trace = TraceCorpus(config.trace_dir).get_or_generate(
+                    args.benchmark, config.trace_length, config.seed
+                )
+            except (TraceError, OSError) as exc:
+                return _fail(f"cannot use trace corpus {config.trace_dir}: {exc}")
+        else:
+            trace = generate_benchmark_trace(args.benchmark, config.trace_length, config.seed)
+        label = args.scheme
+    results = evaluate_schemes([encoder], trace, config.evaluation, n_jobs=config.n_jobs)
+    metrics = next(iter(results.values()))
+    _print_result({label: metrics.as_dict()}, args.json)
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point of the ``wlcrc-repro`` console script."""
     parser = _build_parser()
@@ -126,21 +414,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print("schemes:")
         for name in available_schemes():
             print(f"  {name}")
+        print("benchmarks:")
+        for name in ALL_BENCHMARKS:
+            print(f"  {name}")
         return 0
 
+    if args.command == "trace":
+        return _cmd_trace(args)
+
     if args.command == "evaluate":
-        config = _config_from_args(args)
-        trace = generate_benchmark_trace(args.benchmark, config.trace_length, config.seed)
-        results = evaluate_schemes(
-            [make_scheme(args.scheme)], trace, config.evaluation, n_jobs=config.n_jobs
-        )
-        metrics = next(iter(results.values()))
-        _print_result({args.scheme: metrics.as_dict()}, args.json)
-        return 0
+        return _cmd_evaluate(args)
 
     experiment_name = args.experiment if args.command == "run" else args.command
     config = _config_from_args(args)
-    result = EXPERIMENTS[experiment_name](config)
+    try:
+        result = EXPERIMENTS[experiment_name](config)
+    except (ReproError, OSError) as exc:
+        return _fail(str(exc))
     _print_result(result, args.json)
     return 0
 

@@ -30,7 +30,7 @@ from ..core.metrics import WriteMetrics
 from ..workloads.generator import generate_benchmark_trace, generate_random_trace
 from ..workloads.profiles import ALL_BENCHMARKS, HMI_BENCHMARKS, LMI_BENCHMARKS
 from ..workloads.trace import WriteTrace
-from .parallel import ParallelRunner, WorkUnit
+from .parallel import WorkUnit, shared_runner
 from .sweeps import compression_coverage, energy_level_sweep, granularity_sweep
 
 #: Granularities of the Figure 1 motivation study.
@@ -57,6 +57,12 @@ class ExperimentConfig:
     #: 0/-1 = every core).  Results are identical for any value, so the
     #: experiment caches deliberately ignore it.
     n_jobs: int = 1
+    #: Optional trace-corpus directory (see :class:`repro.traces.store
+    #: .TraceCorpus`).  When set, benchmark traces are generated once into
+    #: the corpus (content-addressed by profile, length, seed and generator
+    #: version) and memory-mapped from disk on every later run, so the
+    #: parallel engine ships workers mmap descriptors instead of trace data.
+    trace_dir: Optional[str] = None
 
     @property
     def evaluation(self) -> EvaluationConfig:
@@ -86,10 +92,23 @@ def _cached(key: Tuple, builder: Callable[[], object]) -> object:
 # Trace construction
 # ---------------------------------------------------------------------- #
 def benchmark_traces(config: ExperimentConfig = DEFAULT_EXPERIMENT_CONFIG) -> Dict[str, WriteTrace]:
-    """The per-benchmark synthetic traces used by the biased-workload studies."""
-    key = ("traces", config.benchmarks, config.trace_length, config.seed)
+    """The per-benchmark synthetic traces used by the biased-workload studies.
+
+    Without a ``trace_dir`` the traces are generated in memory (and memoised
+    per process); with one they are served memory-mapped from the corpus's
+    content-addressed cache, generating only on the first ever run.
+    """
+    key = ("traces", config.benchmarks, config.trace_length, config.seed, config.trace_dir)
 
     def build() -> Dict[str, WriteTrace]:
+        if config.trace_dir:
+            from ..traces.store import TraceCorpus
+
+            corpus = TraceCorpus(config.trace_dir)
+            return {
+                name: corpus.get_or_generate(name, config.trace_length, config.seed)
+                for name in config.benchmarks
+            }
         return {
             name: generate_benchmark_trace(name, config.trace_length, config.seed)
             for name in config.benchmarks
@@ -111,7 +130,7 @@ def _aggregate(traces: Mapping[str, WriteTrace], encoder, config: ExperimentConf
     units = [
         WorkUnit("total", encoder, trace, config.evaluation) for trace in traces.values()
     ]
-    return ParallelRunner(config.n_jobs).run(units).get("total", WriteMetrics())
+    return shared_runner(config.n_jobs).run(units).get("total", WriteMetrics())
 
 
 def _energy_breakdown(metrics: WriteMetrics) -> Dict[str, float]:
@@ -145,7 +164,7 @@ def figure1(
         FIGURE1_GRANULARITIES,
         traces,
         config.evaluation,
-        n_jobs=config.n_jobs,
+        runner=shared_runner(config.n_jobs),
     )
     return {granularity: _energy_breakdown(metrics) for granularity, metrics in sweep.items()}
 
@@ -164,7 +183,7 @@ def _coset_comparison(
             encoder = factory(g, DEFAULT_ENERGY_MODEL)
             for trace in traces.values():
                 units.append(WorkUnit((label, g), encoder, trace, config.evaluation))
-    reduced = ParallelRunner(config.n_jobs).run(units)
+    reduced = shared_runner(config.n_jobs).run(units)
     results: Dict[str, Dict[int, Dict[str, float]]] = {}
     for label in factories:
         results[label] = {
@@ -200,7 +219,10 @@ def figure4(config: ExperimentConfig = DEFAULT_EXPERIMENT_CONFIG) -> Dict[str, D
     """Figure 4: percentage of compressed lines (WLC k=4..9, COC, FPC+BDI) per benchmark."""
     key = ("figure4", config.benchmarks, config.trace_length, config.seed)
     return _cached(
-        key, lambda: compression_coverage(benchmark_traces(config), n_jobs=config.n_jobs)
+        key,
+        lambda: compression_coverage(
+            benchmark_traces(config), runner=shared_runner(config.n_jobs)
+        ),
     )  # type: ignore[return-value]
 
 
@@ -252,7 +274,7 @@ def evaluate_all_schemes(
             for scheme_name in schemes
             for bench, trace in traces.items()
         ]
-        per_unit = ParallelRunner(config.n_jobs).run(units)
+        per_unit = shared_runner(config.n_jobs).run(units)
         return {
             scheme_name: {
                 bench: per_unit[(scheme_name, bench)] for bench in traces
@@ -322,7 +344,7 @@ def section8d_multiobjective(
             for bench, trace in traces.items()
             for role, encoder in roles.items()
         ]
-        per_unit = ParallelRunner(config.n_jobs).run(units)
+        per_unit = shared_runner(config.n_jobs).run(units)
         rows: Dict[str, Dict[str, float]] = {}
         totals = {role: WriteMetrics() for role in roles}
         for bench in traces:
@@ -373,7 +395,7 @@ def _wlc_granularity_metrics(
                 encoder = factory(g, DEFAULT_ENERGY_MODEL)
                 for trace in traces.values():
                     units.append(WorkUnit((label, g), encoder, trace, config.evaluation))
-        reduced = ParallelRunner(config.n_jobs).run(units)
+        reduced = shared_runner(config.n_jobs).run(units)
         return {
             label: {
                 g: reduced.get((label, g), WriteMetrics()) for g in GRANULARITIES_WLC
@@ -432,7 +454,7 @@ def figure14(config: ExperimentConfig = DEFAULT_EXPERIMENT_CONFIG) -> Dict[str, 
             baseline_factory=lambda em: make_scheme("baseline", em),
             traces=traces,
             config=config.evaluation,
-            n_jobs=config.n_jobs,
+            runner=shared_runner(config.n_jobs),
         )
         return {
             f"S3={36 + s3:.0f}pJ / S4={36 + s4:.0f}pJ": values

@@ -26,12 +26,28 @@ Determinism is a hard guarantee, not a best effort:
 ``n_jobs=1`` (the default) executes the exact serial path in-process -- no
 executor, no pickling -- which makes it both the fallback and the reference
 the property tests compare the parallel path against bit-for-bit.
+
+Two scalability features ride on top of the executor:
+
+* **zero-copy trace transport** -- instead of pickling each chunk's arrays
+  into its task, the runner exports every unit's trace once through
+  :class:`repro.traces.transport.TraceExporter` (shared-memory segment for
+  in-memory traces, mmap descriptor for corpus-backed ones) and ships workers
+  ``(descriptor, start, stop)`` triples; pickling remains the transparent
+  fallback and every transport is bit-identical by construction;
+* **a persistent worker pool** -- used as a context manager (or with
+  ``persistent=True``) the runner keeps one
+  :class:`~concurrent.futures.ProcessPoolExecutor` alive across ``run()``
+  calls, so sweep helpers and experiment drivers stop paying pool start-up
+  per call (see :func:`shared_runner`).
 """
 
 from __future__ import annotations
 
+import atexit
 import os
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import (
     Any,
@@ -53,6 +69,7 @@ from ..core.config import DEFAULT_EVALUATION_CONFIG, EvaluationConfig
 from ..core.disturbance import DEFAULT_DISTURBANCE_MODEL, DisturbanceModel
 from ..core.errors import ConfigurationError
 from ..core.metrics import WriteMetrics
+from ..traces.transport import TraceDescriptor, TraceExporter, attach_trace
 from ..workloads.trace import WriteTrace
 from .runner import chunk_streams, metrics_from_encoded, n_chunks_of
 
@@ -89,20 +106,32 @@ class WorkUnit:
 
 @dataclass(frozen=True)
 class _Shard:
-    """One chunk of one work unit -- the granularity of executor dispatch."""
+    """One chunk of one work unit -- the granularity of executor dispatch.
+
+    The chunk's data travels either inline (``chunk``, the pickled fallback
+    and the serial path) or by reference (``descriptor`` naming a shared
+    segment or corpus file plus the ``[start, stop)`` line range); the two
+    are mutually exclusive.
+    """
 
     unit_index: int
     chunk_index: int
     encoder: WriteEncoder
-    chunk: WriteTrace
     disturbance_model: DisturbanceModel
     stream: Optional[np.random.SeedSequence]
+    chunk: Optional[WriteTrace] = None
+    descriptor: Optional[TraceDescriptor] = None
+    start: int = 0
+    stop: int = 0
 
 
 def _evaluate_shard(shard: _Shard) -> Tuple[int, int, WriteMetrics]:
     """Evaluate one shard; runs in a worker process (or inline when serial)."""
+    chunk = shard.chunk
+    if chunk is None:
+        chunk = attach_trace(shard.descriptor)[shard.start:shard.stop]
     rng = np.random.default_rng(shard.stream) if shard.stream is not None else None
-    encoded = shard.encoder.encode_batch(shard.chunk.new, shard.chunk.old)
+    encoded = shard.encoder.encode_batch(chunk.new, chunk.old)
     metrics = metrics_from_encoded(encoded, shard.encoder, shard.disturbance_model, rng)
     return shard.unit_index, shard.chunk_index, metrics
 
@@ -125,32 +154,111 @@ class ParallelRunner:
         Tasks handed to each worker per round-trip (``chunksize`` of
         :meth:`~concurrent.futures.Executor.map`).  Defaults to a heuristic
         that keeps roughly four batches in flight per worker.
+    transport:
+        How chunk data reaches the workers: ``"auto"`` (mmap for
+        corpus-backed traces, shared memory for in-memory ones, pickling as
+        fallback), ``"mmap"`` or ``"shm"`` to *request* exactly one
+        descriptor kind (traces that cannot travel that way -- e.g. an
+        in-memory trace under ``"mmap"`` -- silently fall back to pickling),
+        or ``"pickle"`` to force the legacy behaviour everywhere.  The
+        transport benchmark compares all three.
+    persistent:
+        Keep the process pool alive across ``run()``/``map()`` calls until
+        :meth:`close` (entering the runner as a context manager implies
+        this).  One-shot runners keep the historical
+        build-and-tear-down-per-call behaviour.
 
-    Results are bit-identical for every ``n_jobs`` value -- see the module
-    docstring for how seeding and reduction order guarantee this.
+    Results are bit-identical for every ``n_jobs`` value *and* every
+    transport -- see the module docstring for how seeding and reduction order
+    guarantee this.
     """
 
-    def __init__(self, n_jobs: int = 1, executor_chunksize: Optional[int] = None):
+    def __init__(
+        self,
+        n_jobs: int = 1,
+        executor_chunksize: Optional[int] = None,
+        transport: str = "auto",
+        persistent: bool = False,
+    ):
         self.n_jobs = resolve_n_jobs(n_jobs)
         self.executor_chunksize = executor_chunksize
+        if transport not in ("auto", "mmap", "shm", "pickle"):
+            raise ConfigurationError(f"unknown transport {transport!r}")
+        self.transport = transport
+        self.persistent = persistent
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._exporter: Optional[TraceExporter] = None
+        self._enter_depth = 0
+        self._persistent_before_enter = persistent
+
+    # ------------------------------------------------------------------ #
+    # Pool lifetime
+    # ------------------------------------------------------------------ #
+    def __enter__(self) -> "ParallelRunner":
+        # Depth-counted so nested `with` blocks on one runner neither close
+        # the pool mid-outer-block nor clobber the saved mode.
+        if self._enter_depth == 0:
+            self._persistent_before_enter = self.persistent
+            self.persistent = True
+        self._enter_depth += 1
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._enter_depth -= 1
+        if self._enter_depth > 0:
+            return
+        self.close()
+        # Restore the pre-enter mode: a runner reused after its `with` block
+        # behaves like one-shot again instead of silently rebuilding a pool
+        # and exporter that nothing would ever shut down.
+        self.persistent = self._persistent_before_enter
+
+    def close(self) -> None:
+        """Shut down the persistent worker pool and exports (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
+        if self._exporter is not None:
+            self._exporter.release()
+            self._exporter = None
 
     # ------------------------------------------------------------------ #
     # Work-unit evaluation
     # ------------------------------------------------------------------ #
-    def _shards(self, units: Sequence[WorkUnit]) -> Iterator[_Shard]:
+    def _shards(
+        self,
+        units: Sequence[WorkUnit],
+        descriptors: Optional[Sequence[Optional[TraceDescriptor]]] = None,
+    ) -> Iterator[_Shard]:
         for unit_index, unit in enumerate(units):
             streams = chunk_streams(
                 unit.config, n_chunks_of(unit.trace, unit.config), unit_index
             )
-            chunks = unit.trace.chunks(unit.config.chunk_size)
+            descriptor = descriptors[unit_index] if descriptors else None
+            chunk_size = unit.config.chunk_size
+            if descriptor is not None:
+                for chunk_index, stream in enumerate(streams):
+                    start = chunk_index * chunk_size
+                    yield _Shard(
+                        unit_index=unit_index,
+                        chunk_index=chunk_index,
+                        encoder=unit.encoder,
+                        disturbance_model=unit.disturbance_model,
+                        stream=stream,
+                        descriptor=descriptor,
+                        start=start,
+                        stop=min(len(unit.trace), start + chunk_size),
+                    )
+                continue
+            chunks = unit.trace.chunks(chunk_size)
             for chunk_index, (chunk, stream) in enumerate(zip(chunks, streams)):
                 yield _Shard(
                     unit_index=unit_index,
                     chunk_index=chunk_index,
                     encoder=unit.encoder,
-                    chunk=chunk,
                     disturbance_model=unit.disturbance_model,
                     stream=stream,
+                    chunk=chunk,
                 )
 
     def map(self, units: Sequence[WorkUnit]) -> List[WriteMetrics]:
@@ -158,13 +266,39 @@ class ParallelRunner:
 
         ``map(units)[i]`` equals
         ``evaluate_trace(units[i].encoder, units[i].trace, ..., unit_index=i)``
-        exactly, for any ``n_jobs``.
+        exactly, for any ``n_jobs`` and any transport.
         """
         units = list(units)
-        shards = list(self._shards(units))
         per_unit = [WriteMetrics() for _ in units]
-        for unit_index, _, metrics in self._execute(_evaluate_shard, shards):
-            per_unit[unit_index].merge(metrics)
+        # A persistent runner keeps one exporter for its whole lifetime, so
+        # repeated run() calls over the same (memoised) traces reuse one
+        # shared-memory segment per trace -- stable descriptors also mean the
+        # workers' attachment caches hit instead of accumulating stale
+        # segments.  One-shot runners release their exports per call.
+        if self.persistent:
+            if self._exporter is None:
+                self._exporter = TraceExporter(self.transport)
+            exporter = self._exporter
+        else:
+            exporter = TraceExporter(self.transport)
+        try:
+            descriptors = None
+            total_shards = sum(n_chunks_of(unit.trace, unit.config) for unit in units)
+            # Export only when _execute will actually dispatch to workers;
+            # otherwise the shm copy (and the parent-side attachment it would
+            # leave in the worker cache) is pure waste.
+            if self.n_jobs > 1 and total_shards > 1 and self.transport != "pickle":
+                descriptors = [exporter.export(unit.trace) for unit in units]
+            shards = list(self._shards(units, descriptors))
+            for unit_index, _, metrics in self._execute(_evaluate_shard, shards):
+                per_unit[unit_index].merge(metrics)
+        finally:
+            if exporter is not self._exporter:
+                exporter.release()
+            elif self._exporter is not None:
+                # Keep this call's exports for reuse next run(); drop the
+                # rest so looping over ever-new traces can't grow /dev/shm.
+                self._exporter.prune(id(unit.trace) for unit in units)
         return per_unit
 
     def run(self, units: Sequence[WorkUnit]) -> Dict[Hashable, WriteMetrics]:
@@ -200,16 +334,65 @@ class ParallelRunner:
         """Run ``worker`` over ``items`` serially or on the process pool.
 
         Always yields results in input order (``Executor.map`` preserves it),
-        which the metric reduction relies on for float determinism.
+        which the metric reduction relies on for float determinism.  A
+        persistent runner reuses one lazily created pool across calls; a
+        one-shot runner builds and tears the pool down per call, as before.
         """
         if self.n_jobs == 1 or len(items) <= 1:
             for item in items:
                 yield worker(item)
             return
-        max_workers = min(self.n_jobs, len(items))
-        chunksize = self.executor_chunksize or max(1, len(items) // (max_workers * 4))
+        max_workers = self.n_jobs if self.persistent else min(self.n_jobs, len(items))
+        chunksize = self.executor_chunksize or max(
+            1, len(items) // (min(self.n_jobs, len(items)) * 4)
+        )
+        if self.persistent:
+            if self._executor is None:
+                self._executor = ProcessPoolExecutor(max_workers=max_workers)
+            try:
+                yield from self._executor.map(worker, items, chunksize=chunksize)
+            except BrokenProcessPool:
+                # Discard the dead pool so the next call gets a fresh one;
+                # otherwise one OOM-killed worker would poison this runner
+                # (and, via shared_runner, the whole session) forever.
+                self.close()
+                raise
+            return
         with ProcessPoolExecutor(max_workers=max_workers) as executor:
             yield from executor.map(worker, items, chunksize=chunksize)
+
+
+# ---------------------------------------------------------------------- #
+# Shared persistent runners
+# ---------------------------------------------------------------------- #
+_SHARED_RUNNERS: Dict[int, ParallelRunner] = {}
+
+
+def shared_runner(n_jobs: int = 1) -> ParallelRunner:
+    """The process-wide persistent runner for ``n_jobs`` workers.
+
+    Experiment drivers and sweep helpers route their fan-outs through this
+    so that one :class:`~concurrent.futures.ProcessPoolExecutor` is built per
+    worker count and reused across every ``run()`` call of the session,
+    instead of paying pool start-up per sweep.  Pools are torn down at
+    interpreter exit (or explicitly via :func:`shutdown_shared_runners`).
+    """
+    jobs = resolve_n_jobs(n_jobs)
+    runner = _SHARED_RUNNERS.get(jobs)
+    if runner is None:
+        runner = ParallelRunner(jobs, persistent=True)
+        _SHARED_RUNNERS[jobs] = runner
+    return runner
+
+
+def shutdown_shared_runners() -> None:
+    """Close every pool created by :func:`shared_runner` (idempotent)."""
+    for runner in _SHARED_RUNNERS.values():
+        runner.close()
+    _SHARED_RUNNERS.clear()
+
+
+atexit.register(shutdown_shared_runners)
 
 
 # ---------------------------------------------------------------------- #

@@ -134,11 +134,14 @@ def evaluate_schemes(
     config: EvaluationConfig = DEFAULT_EVALUATION_CONFIG,
     disturbance_model: DisturbanceModel = DEFAULT_DISTURBANCE_MODEL,
     n_jobs: int = 1,
+    runner: Optional["ParallelRunner"] = None,
 ) -> Dict[str, WriteMetrics]:
     """Evaluate several schemes on the same trace; keyed by scheme name.
 
     If two encoders share a name, the last one wins (dict semantics), matching
-    the historical behaviour.
+    the historical behaviour.  Passing ``runner`` reuses an existing (e.g.
+    persistent) :class:`~repro.evaluation.parallel.ParallelRunner` instead of
+    building a throwaway pool.
     """
     from .parallel import ParallelRunner, WorkUnit
 
@@ -146,7 +149,7 @@ def evaluate_schemes(
         WorkUnit(encoder.name, encoder, trace, config, disturbance_model)
         for encoder in encoders
     ]
-    per_unit = ParallelRunner(n_jobs).map(units)
+    per_unit = (runner or ParallelRunner(n_jobs)).map(units)
     return {encoder.name: metrics for encoder, metrics in zip(encoders, per_unit)}
 
 
@@ -156,6 +159,7 @@ def evaluate_benchmarks(
     config: EvaluationConfig = DEFAULT_EVALUATION_CONFIG,
     disturbance_model: DisturbanceModel = DEFAULT_DISTURBANCE_MODEL,
     n_jobs: int = 1,
+    runner: Optional["ParallelRunner"] = None,
 ) -> Dict[str, WriteMetrics]:
     """Evaluate one scheme across a set of per-benchmark traces."""
     from .parallel import ParallelRunner, WorkUnit
@@ -164,7 +168,7 @@ def evaluate_benchmarks(
         WorkUnit(name, encoder, trace, config, disturbance_model)
         for name, trace in traces.items()
     ]
-    return ParallelRunner(n_jobs).run(units)
+    return (runner or ParallelRunner(n_jobs)).run(units)
 
 
 def average_metrics(per_benchmark: Mapping[str, WriteMetrics]) -> WriteMetrics:

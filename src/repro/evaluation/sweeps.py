@@ -48,6 +48,7 @@ def granularity_sweep(
     config: EvaluationConfig = DEFAULT_EVALUATION_CONFIG,
     energy_model: EnergyModel = DEFAULT_ENERGY_MODEL,
     n_jobs: int = 1,
+    runner: Optional[ParallelRunner] = None,
 ) -> Dict[int, WriteMetrics]:
     """Evaluate ``factory(granularity)`` on every trace for each granularity.
 
@@ -60,7 +61,7 @@ def granularity_sweep(
         encoder = factory(granularity, energy_model)
         for trace in traces.values():
             units.append(WorkUnit(granularity, encoder, trace, config))
-    reduced = ParallelRunner(n_jobs).run(units)
+    reduced = (runner or ParallelRunner(n_jobs)).run(units)
     return {g: reduced.get(g, WriteMetrics()) for g in granularities}
 
 
@@ -71,6 +72,7 @@ def energy_level_sweep(
     config: EvaluationConfig = DEFAULT_EVALUATION_CONFIG,
     energy_models: Optional[Sequence[EnergyModel]] = None,
     n_jobs: int = 1,
+    runner: Optional[ParallelRunner] = None,
 ) -> Dict[Tuple[float, float], Dict[str, float]]:
     """Figure 14 sweep: scheme-vs-baseline energy improvement per energy level.
 
@@ -85,7 +87,7 @@ def energy_level_sweep(
         for trace in traces.values():
             units.append(WorkUnit((index, "scheme"), scheme, trace, config))
             units.append(WorkUnit((index, "baseline"), baseline, trace, config))
-    totals = ParallelRunner(n_jobs).run(units)
+    totals = (runner or ParallelRunner(n_jobs)).run(units)
 
     results: Dict[Tuple[float, float], Dict[str, float]] = {}
     for index, model in enumerate(energy_models):
@@ -116,6 +118,7 @@ def compression_coverage(
     coc_budget_bits: int = COC_COVERAGE_BUDGET_BITS,
     din_budget_bits: int = DIN_COMPRESSION_BUDGET_BITS,
     n_jobs: int = 1,
+    runner: Optional[ParallelRunner] = None,
 ) -> Dict[str, Dict[str, float]]:
     """Figure 4: fraction of compressed memory lines per benchmark and method.
 
@@ -137,7 +140,7 @@ def compression_coverage(
         for name in names
         for _, compressor, budget in methods
     ]
-    values = ParallelRunner(n_jobs).starmap(_coverage_cell, tasks)
+    values = (runner or ParallelRunner(n_jobs)).starmap(_coverage_cell, tasks)
 
     results: Dict[str, Dict[str, float]] = {}
     for row_index, name in enumerate(names):

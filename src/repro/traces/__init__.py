@@ -1,0 +1,64 @@
+"""Trace corpus, format ingest, and zero-copy transport.
+
+This package is the trace *infrastructure* layer of the reproduction:
+
+* :mod:`.store` -- a versioned on-disk trace format (``.wtrc``: JSON header
+  plus raw little-endian ``uint64`` arrays) that loads through
+  :class:`numpy.memmap`, and :class:`~.store.TraceCorpus`, a directory of
+  traces with an index and content-addressed caching of generated traces;
+* :mod:`.ingest` -- parsers for external address-trace formats (ramulator2's
+  ``R/W 0xADDR 0xSIZE`` ASCII traces, tracehm's tab-separated traces) plus the
+  content synthesiser that turns an address-only trace into a full
+  (old, new) differential write trace;
+* :mod:`.transport` -- zero-copy handoff of traces to the parallel evaluation
+  engine via ``multiprocessing.shared_memory`` segments or memory-mapped
+  corpus files, with a transparent pickle fallback.
+"""
+
+from .ingest import (
+    TRACE_FORMATS,
+    detect_trace_format,
+    ingest_trace_file,
+    parse_ramulator_trace,
+    parse_tracehm_trace,
+    synthesize_write_trace,
+)
+from .store import (
+    CORPUS_INDEX_NAME,
+    TRACE_SUFFIX,
+    TraceCorpus,
+    is_wtrc_file,
+    load_trace,
+    read_trace_header,
+    save_trace,
+    trace_cache_key,
+)
+from .transport import (
+    MmapTraceDescriptor,
+    ShmTraceDescriptor,
+    TraceExporter,
+    attach_trace,
+    shared_memory_available,
+)
+
+__all__ = [
+    "CORPUS_INDEX_NAME",
+    "MmapTraceDescriptor",
+    "ShmTraceDescriptor",
+    "TRACE_FORMATS",
+    "TRACE_SUFFIX",
+    "TraceCorpus",
+    "TraceExporter",
+    "attach_trace",
+    "detect_trace_format",
+    "ingest_trace_file",
+    "is_wtrc_file",
+    "load_trace",
+    "parse_ramulator_trace",
+    "parse_tracehm_trace",
+    "read_trace_header",
+    "save_trace",
+    "shared_memory_available",
+    "synthesize_write_trace",
+    "trace_cache_key",
+]

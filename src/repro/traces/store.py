@@ -1,0 +1,472 @@
+"""Versioned on-disk trace format and the trace corpus.
+
+The ``.wtrc`` format stores a :class:`~repro.workloads.trace.WriteTrace` as a
+small JSON header followed by the raw little-endian ``uint64`` arrays (old
+words, new words, optional addresses), 64-byte aligned::
+
+    bytes 0..3    magic  b"WTRC"
+    bytes 4..5    format version (uint16 LE)
+    bytes 6..7    reserved (zero)
+    bytes 8..15   JSON header length in bytes (uint64 LE)
+    bytes 16..    UTF-8 JSON header, zero-padded to ``data_offset``
+    data_offset.. old words  (n, 8)  '<u8'
+                  new words  (n, 8)  '<u8'
+                  addresses  (n,)    '<u8'   (only when has_addresses)
+
+Because the payload is raw fixed-layout arrays, :func:`load_trace` opens the
+file with :class:`numpy.memmap`: a loaded trace never materialises in RAM and
+the parallel engine can ship ``(path, offset, length)`` descriptors to worker
+processes instead of pickled arrays (see :mod:`repro.traces.transport`).
+
+:class:`TraceCorpus` manages a directory of such traces: a JSON index maps
+trace names to files plus provenance (line count, profile, seed), and
+:meth:`TraceCorpus.get_or_generate` caches generated traces content-addressed
+by ``(profile, n_lines, seed, generator version)`` so repeated experiment
+runs share one on-disk copy.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import json
+import os
+import struct
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Union
+
+import numpy as np
+
+from ..core.errors import TraceError
+from ..core.line import LineBatch
+from ..core.symbols import WORDS_PER_LINE
+from ..workloads.trace import WriteTrace
+
+try:  # POSIX advisory locking for concurrent corpus writers
+    import fcntl as _fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    _fcntl = None
+
+#: File magic of the on-disk trace format.
+TRACE_MAGIC = b"WTRC"
+#: Current format version written by :func:`save_trace`.
+TRACE_FORMAT_VERSION = 1
+#: Canonical file suffix of the raw trace format.
+TRACE_SUFFIX = ".wtrc"
+#: Alignment of the array payload (keeps mmap pages and cache lines tidy).
+DATA_ALIGNMENT = 64
+#: Name of the corpus index file.
+CORPUS_INDEX_NAME = "index.json"
+
+_PREAMBLE = struct.Struct("<4sHHQ")
+
+
+@dataclass(frozen=True)
+class TraceHeader:
+    """Parsed header of a ``.wtrc`` file."""
+
+    version: int
+    n_lines: int
+    name: str
+    metadata: Dict[str, str]
+    has_addresses: bool
+    data_offset: int
+
+    @property
+    def old_offset(self) -> int:
+        return self.data_offset
+
+    @property
+    def new_offset(self) -> int:
+        return self.data_offset + self.n_lines * WORDS_PER_LINE * 8
+
+    @property
+    def addresses_offset(self) -> Optional[int]:
+        if not self.has_addresses:
+            return None
+        return self.data_offset + 2 * self.n_lines * WORDS_PER_LINE * 8
+
+    @property
+    def payload_bytes(self) -> int:
+        per_line = 2 * WORDS_PER_LINE * 8 + (8 if self.has_addresses else 0)
+        return self.n_lines * per_line
+
+
+def _atomic_write(path: Path, mode: str, write) -> None:
+    """Write a file atomically: unique temp name in the same directory, then
+    ``os.replace``.  Concurrent writers of the same path cannot interleave;
+    whichever replace lands last wins with an intact file."""
+    fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=path.name + ".", suffix=".tmp")
+    try:
+        with os.fdopen(fd, mode) as fh:
+            write(fh)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def save_trace(trace: WriteTrace, path: Union[str, Path]) -> Path:
+    """Write ``trace`` to ``path`` in the raw ``.wtrc`` format."""
+    path = Path(path)
+    header = {
+        "format": "wtrc",
+        "version": TRACE_FORMAT_VERSION,
+        "n_lines": len(trace),
+        "name": trace.name,
+        "metadata": {str(k): str(v) for k, v in trace.metadata.items()},
+        "has_addresses": trace.addresses is not None,
+    }
+    header_bytes = json.dumps(header, sort_keys=True).encode("utf-8")
+    data_offset = _PREAMBLE.size + len(header_bytes)
+    data_offset = -(-data_offset // DATA_ALIGNMENT) * DATA_ALIGNMENT
+    path.parent.mkdir(parents=True, exist_ok=True)
+
+    def write_array(fh, array: np.ndarray) -> None:
+        if array.size == 0:  # cast("B") rejects zero-size views
+            return
+        # memoryview streams the buffer without the full in-RAM bytes copy
+        # .tobytes() would make -- ascontiguousarray is a view when the array
+        # is already contiguous little-endian uint64 (the usual case).
+        fh.write(memoryview(np.ascontiguousarray(array, dtype="<u8")).cast("B"))
+
+    def write(fh) -> None:
+        fh.write(_PREAMBLE.pack(TRACE_MAGIC, TRACE_FORMAT_VERSION, 0, len(header_bytes)))
+        fh.write(header_bytes)
+        fh.write(b"\0" * (data_offset - _PREAMBLE.size - len(header_bytes)))
+        write_array(fh, trace.old.words)
+        write_array(fh, trace.new.words)
+        if trace.addresses is not None:
+            write_array(fh, trace.addresses)
+
+    _atomic_write(path, "wb", write)
+    return path
+
+
+def is_wtrc_file(path: Union[str, Path]) -> bool:
+    """Whether ``path`` starts with the raw trace format's magic bytes."""
+    try:
+        with open(path, "rb") as fh:
+            return fh.read(len(TRACE_MAGIC)) == TRACE_MAGIC
+    except OSError as exc:
+        raise TraceError(f"cannot read trace file {path}: {exc}") from exc
+
+
+def read_trace_header(path: Union[str, Path]) -> TraceHeader:
+    """Read and validate the header of a ``.wtrc`` file."""
+    path = Path(path)
+    if not path.exists():
+        raise TraceError(f"trace file not found: {path}")
+    try:
+        fh = open(path, "rb")
+    except OSError as exc:  # directory, permission, I/O errors
+        raise TraceError(f"cannot read trace file {path}: {exc}") from exc
+    with fh:
+        preamble = fh.read(_PREAMBLE.size)
+        if len(preamble) < _PREAMBLE.size:
+            raise TraceError(f"{path} is too short to be a trace file")
+        magic, version, _, header_len = _PREAMBLE.unpack(preamble)
+        if magic != TRACE_MAGIC:
+            raise TraceError(f"{path} is not a {TRACE_SUFFIX} trace file (bad magic)")
+        if version > TRACE_FORMAT_VERSION:
+            raise TraceError(
+                f"{path} uses trace format version {version}; this library "
+                f"supports up to {TRACE_FORMAT_VERSION}"
+            )
+        if header_len > path.stat().st_size - _PREAMBLE.size:
+            raise TraceError(
+                f"{path} has a corrupt trace header: header length {header_len} "
+                "exceeds the file size"
+            )
+        try:
+            header = json.loads(fh.read(header_len).decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise TraceError(f"{path} has a corrupt trace header: {exc}") from exc
+    data_offset = _PREAMBLE.size + header_len
+    data_offset = -(-data_offset // DATA_ALIGNMENT) * DATA_ALIGNMENT
+    try:
+        n_lines = int(header["n_lines"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise TraceError(f"{path} has a corrupt trace header: bad n_lines") from exc
+    if n_lines < 0:
+        raise TraceError(f"{path} has a corrupt trace header: n_lines = {n_lines}")
+    parsed = TraceHeader(
+        version=version,
+        n_lines=n_lines,
+        name=str(header.get("name", path.stem)),
+        metadata={str(k): str(v) for k, v in header.get("metadata", {}).items()},
+        has_addresses=bool(header.get("has_addresses", False)),
+        data_offset=data_offset,
+    )
+    expected = data_offset + parsed.payload_bytes
+    actual = path.stat().st_size
+    if actual < expected:
+        raise TraceError(
+            f"{path} is truncated: header promises {expected} bytes, file has {actual}"
+        )
+    return parsed
+
+
+def load_trace(path: Union[str, Path], mmap: bool = True) -> WriteTrace:
+    """Load a ``.wtrc`` trace, memory-mapped by default.
+
+    With ``mmap=True`` (the default) the returned trace's arrays are read-only
+    views of a :class:`numpy.memmap`, so loading a multi-gigabyte corpus trace
+    costs no RAM, and the trace carries ``mmap_path`` so the parallel engine's
+    transport can hand workers ``(path, offset, length)`` descriptors instead
+    of the data itself.
+    """
+    path = Path(path)
+    header = read_trace_header(path)
+    n = header.n_lines
+
+    def _array(offset: int, shape) -> np.ndarray:
+        if n == 0:
+            return np.zeros(shape, dtype=np.uint64)
+        if mmap:
+            return np.memmap(path, dtype="<u8", mode="r", offset=offset, shape=shape)
+        with open(path, "rb") as fh:
+            fh.seek(offset)
+            count = int(np.prod(shape))
+            return np.fromfile(fh, dtype="<u8", count=count).reshape(shape)
+
+    old = _array(header.old_offset, (n, WORDS_PER_LINE))
+    new = _array(header.new_offset, (n, WORDS_PER_LINE))
+    addresses = None
+    if header.has_addresses:
+        addresses = _array(header.addresses_offset, (n,))
+    stat = path.stat()
+    return WriteTrace(
+        old=LineBatch(old),
+        new=LineBatch(new),
+        addresses=addresses,
+        name=header.name,
+        metadata=dict(header.metadata),
+        mmap_path=path if mmap else None,
+        mmap_stat=(stat.st_mtime_ns, stat.st_size) if mmap else None,
+    )
+
+
+def trace_cache_key(profile: str, n_lines: int, seed: int, generator_version: int) -> str:
+    """Content-address of a generated trace: stable across runs and machines."""
+    blob = json.dumps(
+        {
+            "profile": profile,
+            "n_lines": int(n_lines),
+            "seed": int(seed),
+            "generator_version": int(generator_version),
+        },
+        sort_keys=True,
+    ).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()[:16]
+
+
+@dataclass
+class CorpusEntry:
+    """One trace registered in a corpus index."""
+
+    name: str
+    file: str
+    n_lines: int
+    profile: Optional[str] = None
+    seed: Optional[int] = None
+    digest: Optional[str] = None
+    metadata: Dict[str, str] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, object]:
+        entry: Dict[str, object] = {
+            "file": self.file,
+            "n_lines": self.n_lines,
+            "metadata": self.metadata,
+        }
+        if self.profile is not None:
+            entry["profile"] = self.profile
+        if self.seed is not None:
+            entry["seed"] = self.seed
+        if self.digest is not None:
+            entry["digest"] = self.digest
+        return entry
+
+
+class TraceCorpus:
+    """A directory of ``.wtrc`` traces with an index and generation cache.
+
+    Layout::
+
+        <root>/index.json          name -> file, line count, profile, seed
+        <root>/<name>.wtrc         traces added with :meth:`add`
+        <root>/cache/<digest>.wtrc content-addressed generated traces
+
+    The corpus is the unit the experiment drivers point at
+    (``ExperimentConfig.trace_dir``): benchmark traces are generated once,
+    cached on disk keyed by ``(profile, n_lines, seed, generator version)``,
+    and every later run memory-maps the cached copy.
+    """
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+
+    # ------------------------------------------------------------------ #
+    # Index handling
+    # ------------------------------------------------------------------ #
+    @property
+    def index_path(self) -> Path:
+        return self.root / CORPUS_INDEX_NAME
+
+    @contextlib.contextmanager
+    def _index_lock(self):
+        """Exclusive advisory lock serialising index read-modify-write.
+
+        Two runs sharing a corpus (the advertised use of the generation
+        cache) would otherwise race on index.json and drop each other's
+        entries.  No-op where ``fcntl`` is unavailable.
+        """
+        if _fcntl is None:  # pragma: no cover - non-POSIX platforms
+            yield
+            return
+        self.root.mkdir(parents=True, exist_ok=True)
+        with open(self.root / ".index.lock", "w") as lock:
+            _fcntl.flock(lock, _fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                _fcntl.flock(lock, _fcntl.LOCK_UN)
+
+    def _read_index(self) -> Dict[str, CorpusEntry]:
+        if not self.index_path.exists():
+            return {}
+        try:
+            raw = json.loads(self.index_path.read_text())
+        except json.JSONDecodeError as exc:
+            raise TraceError(f"corrupt corpus index {self.index_path}: {exc}") from exc
+        entries: Dict[str, CorpusEntry] = {}
+        for name, entry in raw.get("traces", {}).items():
+            entries[name] = CorpusEntry(
+                name=name,
+                file=str(entry["file"]),
+                n_lines=int(entry["n_lines"]),
+                profile=entry.get("profile"),
+                seed=entry.get("seed"),
+                digest=entry.get("digest"),
+                metadata={str(k): str(v) for k, v in entry.get("metadata", {}).items()},
+            )
+        return entries
+
+    def _write_index(self, entries: Dict[str, CorpusEntry]) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "version": 1,
+            "traces": {name: entry.as_dict() for name, entry in sorted(entries.items())},
+        }
+        _atomic_write(
+            self.index_path,
+            "w",
+            lambda fh: fh.write(json.dumps(payload, indent=2, sort_keys=True) + "\n"),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def names(self) -> List[str]:
+        """Registered trace names, sorted."""
+        return sorted(self._read_index())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._read_index()
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def entries(self) -> Dict[str, CorpusEntry]:
+        """The full index as ``name -> entry``."""
+        return self._read_index()
+
+    def path_of(self, name: str) -> Path:
+        """Absolute path of a registered trace file."""
+        entries = self._read_index()
+        if name not in entries:
+            raise TraceError(
+                f"trace {name!r} is not in corpus {self.root} "
+                f"(have: {', '.join(sorted(entries)) or 'none'})"
+            )
+        return self.root / entries[name].file
+
+    def add(
+        self,
+        trace: WriteTrace,
+        name: Optional[str] = None,
+        profile: Optional[str] = None,
+        seed: Optional[int] = None,
+        digest: Optional[str] = None,
+    ) -> Path:
+        """Save ``trace`` into the corpus under ``name`` and index it."""
+        name = name or trace.name
+        if not name:
+            raise TraceError("corpus traces need a non-empty name")
+        if "/" in name or "\\" in name or name in (".", "..") or name.startswith("."):
+            raise TraceError(
+                f"invalid corpus trace name {name!r}: names must not contain "
+                "path separators or start with a dot"
+            )
+        rel = f"{name}{TRACE_SUFFIX}"
+        # File and index entry update under one lock, so concurrent adds of
+        # the same name cannot leave the index describing the losing file.
+        with self._index_lock():
+            path = save_trace(trace, self.root / rel)
+            entries = self._read_index()
+            entries[name] = CorpusEntry(
+                name=name,
+                file=rel,
+                n_lines=len(trace),
+                profile=profile,
+                seed=seed,
+                digest=digest,
+                metadata={str(k): str(v) for k, v in trace.metadata.items()},
+            )
+            self._write_index(entries)
+        return path
+
+    def load(self, name: str, mmap: bool = True) -> WriteTrace:
+        """Load a registered trace (memory-mapped by default)."""
+        return load_trace(self.path_of(name), mmap=mmap)
+
+    def get_or_generate(
+        self,
+        profile: str,
+        n_lines: int,
+        seed: int = 2018,
+        mmap: bool = True,
+    ) -> WriteTrace:
+        """Return the cached generated trace for ``(profile, n_lines, seed)``.
+
+        The cache is content-addressed by :func:`trace_cache_key`, which also
+        folds in the trace generator's algorithm version -- bumping
+        :data:`repro.workloads.generator.GENERATOR_VERSION` invalidates every
+        cached trace at once.
+        """
+        from ..workloads.generator import GENERATOR_VERSION, generate_benchmark_trace
+
+        digest = trace_cache_key(profile, n_lines, seed, GENERATOR_VERSION)
+        cached = self.root / "cache" / f"{digest}{TRACE_SUFFIX}"
+        if not cached.exists():
+            trace = generate_benchmark_trace(profile, n_lines, seed)
+            save_trace(trace, cached)
+            with self._index_lock():
+                entries = self._read_index()
+                name = f"{profile}-n{n_lines}-s{seed}"
+                entries[name] = CorpusEntry(
+                    name=name,
+                    file=str(cached.relative_to(self.root)),
+                    n_lines=n_lines,
+                    profile=profile,
+                    seed=seed,
+                    digest=digest,
+                    metadata=dict(trace.metadata),
+                )
+                self._write_index(entries)
+        return load_trace(cached, mmap=mmap)

@@ -1,6 +1,7 @@
 """Synthetic SPEC CPU2006 / PARSEC-like workloads and write-trace utilities."""
 
 from .generator import (
+    GENERATOR_VERSION,
     LineGenerator,
     MAGNITUDE_BANDS,
     POINTER_BASE,
@@ -22,6 +23,7 @@ from .trace import WriteTrace
 __all__ = [
     "ALL_BENCHMARKS",
     "BenchmarkProfile",
+    "GENERATOR_VERSION",
     "HMI_BENCHMARKS",
     "LINE_TYPES",
     "LMI_BENCHMARKS",

@@ -15,7 +15,7 @@ All generation is vectorised and driven by a seeded :class:`numpy.random
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -23,6 +23,12 @@ from ..core.line import LineBatch
 from ..core.symbols import WORDS_PER_LINE
 from .profiles import BenchmarkProfile, get_profile
 from .trace import WriteTrace
+
+#: Version of the trace-generation algorithm.  Bump whenever a change makes
+#: generated traces differ for the same (profile, length, seed); the trace
+#: corpus folds it into its content-addressed cache keys, so stale on-disk
+#: traces are regenerated instead of silently reused.
+GENERATOR_VERSION = 1
 
 #: Integer magnitude (in bits) of each magnitude band; see
 #: :attr:`BenchmarkProfile.magnitude_bits`.
@@ -35,6 +41,22 @@ POINTER_BASE = 0x0000_7F00_0000_0000
 def _mask(bits: np.ndarray) -> np.ndarray:
     """Bit masks ``2^bits - 1`` as uint64 (vectorised, bits <= 63)."""
     return (np.uint64(1) << bits.astype(np.uint64)) - np.uint64(1)
+
+
+@dataclass(frozen=True)
+class MutationPlan:
+    """Pre-drawn inputs of one mutation pass (see :meth:`LineGenerator.plan_mutations`)."""
+
+    #: Mutation action names, in the profile's ``mutation_mix`` order.
+    actions: List[str]
+    #: ``(n, 8)`` bool: which words are rewritten.
+    change: np.ndarray
+    #: ``(n, 8)`` int: index into ``actions`` per word.
+    action_index: np.ndarray
+    #: Replacement words of the actions independent of the previous value.
+    independent: Dict[str, np.ndarray]
+    #: ``(n, 8)`` low-32-bit fills of the ``low_random`` action.
+    low_random: np.ndarray
 
 
 class LineGenerator:
@@ -169,6 +191,65 @@ class LineGenerator:
             words[mask] = self.generate_words(line_type, int(mask.sum()))
         return LineBatch(words), types
 
+    def plan_mutations(self, n: int, types: np.ndarray) -> "MutationPlan":
+        """Draw every random input of a mutation pass up front, vectorised.
+
+        The plan holds, for ``n`` prospective writes: which words change, the
+        action each changed word takes (per the profile's ``mutation_mix``),
+        and the replacement values of the actions that do not depend on the
+        previous word value.  :meth:`apply_mutations` turns a plan plus
+        previous values into new values; splitting the two lets the trace
+        ingest resolve per-address rewrite chains round by round while
+        sharing these exact semantics (and RNG draw order) with
+        :meth:`mutate_lines`.
+        """
+        change = self.rng.random((n, WORDS_PER_LINE)) < self.profile.change_word_fraction
+        actions = list(self.profile.mutation_mix.keys())
+        probs = np.array([self.profile.mutation_mix[a] for a in actions])
+        probs = probs / probs.sum()
+        action_index = self.rng.choice(len(actions), size=(n, WORDS_PER_LINE), p=probs)
+        independent = {
+            "same_type": self.generate_lines(n, types)[0].words,
+            "type_change": self.generate_lines(n)[0].words,
+            "ones_fill": ~(self._raw(n) & np.uint64(0xFFFF)),
+        }
+        low_random = self._raw(n) & np.uint64(0xFFFFFFFF)
+        return MutationPlan(
+            actions=actions,
+            change=change,
+            action_index=action_index,
+            independent=independent,
+            low_random=low_random,
+        )
+
+    def apply_mutations(
+        self,
+        plan: "MutationPlan",
+        words: np.ndarray,
+        rows: Union[slice, np.ndarray] = slice(None),
+    ) -> np.ndarray:
+        """New word values for ``words`` under rows ``rows`` of ``plan``.
+
+        ``words`` are the previous values of the selected writes (the
+        complement / low-random actions transform them); independent actions
+        take their precomputed replacements from the plan.
+        """
+        value = words.copy()
+        for index, action in enumerate(plan.actions):
+            mask = plan.change[rows] & (plan.action_index[rows] == index)
+            if not mask.any():
+                continue
+            if action == "zero_fill":
+                replacement = np.zeros_like(words)
+            elif action == "complement":
+                replacement = ~words
+            elif action == "low_random":
+                replacement = (words & ~np.uint64(0xFFFFFFFF)) | plan.low_random[rows]
+            else:
+                replacement = plan.independent[action][rows]
+            value = np.where(mask, replacement, value)
+        return value
+
     def mutate_lines(self, lines: LineBatch, types: np.ndarray) -> LineBatch:
         """Produce the next write value of each line (differential-write locality).
 
@@ -181,34 +262,8 @@ class LineGenerator:
         actions are what give the written cells the strong ``00``/``11`` bias
         the paper observes in real workloads.
         """
-        n = len(lines)
-        words = lines.words.copy()
-        change = self.rng.random((n, WORDS_PER_LINE)) < self.profile.change_word_fraction
-
-        actions = list(self.profile.mutation_mix.keys())
-        probs = np.array([self.profile.mutation_mix[a] for a in actions])
-        probs = probs / probs.sum()
-        action_index = self.rng.choice(len(actions), size=(n, WORDS_PER_LINE), p=probs)
-
-        same_type_words, _ = self.generate_lines(n, types)
-        type_change_words, _ = self.generate_lines(n)
-        ones_fill = ~(self._raw(n) & np.uint64(0xFFFF))
-        zero_fill = np.zeros_like(words)
-        complemented = ~words
-        low_random = (words & ~np.uint64(0xFFFFFFFF)) | (self._raw(n) & np.uint64(0xFFFFFFFF))
-
-        replacements = {
-            "same_type": same_type_words.words,
-            "zero_fill": zero_fill,
-            "ones_fill": ones_fill,
-            "complement": complemented,
-            "type_change": type_change_words.words,
-            "low_random": low_random,
-        }
-        for index, action in enumerate(actions):
-            mask = change & (action_index == index)
-            words = np.where(mask, replacements[action], words)
-        return LineBatch(words)
+        plan = self.plan_mutations(len(lines), types)
+        return LineBatch(self.apply_mutations(plan, lines.words))
 
 
 class TraceGenerator:

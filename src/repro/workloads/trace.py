@@ -8,8 +8,10 @@ the two sides as :class:`~repro.core.line.LineBatch` objects plus optional
 per-request addresses (used by the memory-controller / PCM-device path) and a
 metadata dictionary.
 
-Traces can be saved to and loaded from ``.npz`` files for reuse across
-experiments.
+Traces can be saved to and loaded from two formats, dispatched on the file
+suffix: compressed ``.npz`` archives (the historical format) and the raw
+``.wtrc`` corpus format of :mod:`repro.traces.store`, which loads through
+:class:`numpy.memmap` so a corpus-backed trace never materialises in RAM.
 """
 
 from __future__ import annotations
@@ -33,6 +35,17 @@ class WriteTrace:
     addresses: Optional[np.ndarray] = None
     name: str = "trace"
     metadata: Dict[str, str] = field(default_factory=dict)
+    #: Set by the corpus loader when the arrays are memory-mapped views of a
+    #: ``.wtrc`` file; the parallel engine's transport uses it to hand workers
+    #: an ``(path, offset, length)`` descriptor instead of the data.  Slicing
+    #: drops it (a slice no longer matches the file layout).
+    mmap_path: Optional[Path] = field(default=None, compare=False, repr=False)
+    #: ``(st_mtime_ns, st_size)`` of the mapped file at load time.  The
+    #: transport compares it against the file's current stat before building
+    #: an mmap descriptor: if the path was overwritten since the load, the
+    #: trace's views still read the old inode, so shipping the path to
+    #: workers would silently evaluate different data.
+    mmap_stat: Optional[tuple] = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if len(self.old) != len(self.new):
@@ -68,8 +81,21 @@ class WriteTrace:
     # Persistence
     # ------------------------------------------------------------------ #
     def save(self, path: Union[str, Path]) -> Path:
-        """Save the trace to an ``.npz`` file and return the path."""
+        """Save the trace and return the path actually written.
+
+        ``.wtrc`` selects the raw corpus format (header + little-endian
+        ``uint64`` arrays, memory-mappable; see :mod:`repro.traces.store`);
+        anything else is saved as a compressed ``.npz`` archive -- numpy
+        appends the ``.npz`` suffix when missing, and the returned path
+        reflects that.
+        """
         path = Path(path)
+        if path.suffix == ".wtrc":
+            from ..traces.store import save_trace
+
+            return save_trace(self, path)
+        if path.suffix != ".npz":
+            path = path.with_name(path.name + ".npz")
         payload = {
             "old": self.old.words,
             "new": self.new.words,
@@ -83,12 +109,27 @@ class WriteTrace:
         return path
 
     @classmethod
-    def load(cls, path: Union[str, Path]) -> "WriteTrace":
-        """Load a trace previously written by :meth:`save`."""
+    def load(cls, path: Union[str, Path], mmap: bool = True) -> "WriteTrace":
+        """Load a trace previously written by :meth:`save`.
+
+        The format is sniffed from the file itself: raw ``.wtrc`` traces are
+        memory-mapped (unless ``mmap=False``), ``.npz`` archives are
+        decompressed into RAM as before.
+        """
         path = Path(path)
         if not path.exists():
             raise TraceError(f"trace file not found: {path}")
-        with np.load(path, allow_pickle=False) as data:
+        from ..traces.store import is_wtrc_file, load_trace
+
+        if is_wtrc_file(path):
+            return load_trace(path, mmap=mmap)
+        try:
+            archive = np.load(path, allow_pickle=False)
+        except Exception as exc:  # zipfile/pickle/EOF errors for garbage input
+            raise TraceError(f"{path} is not a write-trace file: {exc}") from exc
+        if not isinstance(archive, np.lib.npyio.NpzFile):  # a bare .npy array
+            raise TraceError(f"{path} is not a write-trace file (expected .npz or .wtrc)")
+        with archive as data:
             if "old" not in data or "new" not in data:
                 raise TraceError(f"{path} is not a write-trace file")
             metadata = {
@@ -109,11 +150,20 @@ class WriteTrace:
     # Convenience statistics
     # ------------------------------------------------------------------ #
     def changed_bit_fraction(self) -> float:
-        """Average fraction of line bits that differ between old and new values."""
+        """Average fraction of line bits that differ between old and new values.
+
+        Computed in bounded-size chunks so it stays cheap on memory-mapped
+        corpus traces (unpackbits over a whole 200M-line trace would
+        materialise hundreds of gigabytes).
+        """
         if len(self) == 0:
             return 0.0
-        diff = self.old.words ^ self.new.words
-        changed_bits = np.unpackbits(diff.view(np.uint8), axis=-1).sum()
+        changed_bits = 0
+        block = 1 << 16
+        for start in range(0, len(self), block):
+            stop = start + block
+            diff = self.old.words[start:stop] ^ self.new.words[start:stop]
+            changed_bits += int(np.unpackbits(diff.view(np.uint8), axis=-1).sum())
         return float(changed_bits) / (len(self) * 512)
 
     def symbol_histogram(self) -> np.ndarray:

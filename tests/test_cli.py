@@ -1,11 +1,15 @@
 """Tests of the command-line interface."""
 
 import json
+from pathlib import Path
 
 import pytest
 
 from repro.cli import EXPERIMENTS, main
 from repro.evaluation import experiments
+
+#: The checked-in ramulator2-format sample trace (README's ingest example).
+SAMPLE_TRACE = Path(__file__).resolve().parent / "data" / "sample_ramulator2.trace"
 
 
 @pytest.fixture(autouse=True)
@@ -68,3 +72,162 @@ class TestExperimentCommands:
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             main(["run", "figure99"])
+
+
+class TestFriendlyErrors:
+    """Unknown names exit 2 with a 'did you mean' hint, not a traceback."""
+
+    def test_unknown_scheme(self, capsys):
+        assert main(["evaluate", "--scheme", "wlrc-16", "--trace-length", "40"]) == 2
+        err = capsys.readouterr().err
+        assert "wlrc-16" in err
+        assert "did you mean" in err
+        assert "wlcrc-16" in err
+
+    def test_unknown_benchmark(self, capsys):
+        assert main(["evaluate", "--benchmark", "gccc", "--trace-length", "40"]) == 2
+        err = capsys.readouterr().err
+        assert "did you mean" in err
+        assert "gcc" in err
+
+    def test_bad_trace_path(self, capsys, tmp_path):
+        missing = tmp_path / "nope.wtrc"
+        assert main(["evaluate", "--trace", str(missing)]) == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_bad_trace_path_suggests_neighbours(self, capsys, tmp_path):
+        from repro.workloads.generator import generate_benchmark_trace
+
+        generate_benchmark_trace("gcc", 8, 1).save(tmp_path / "gcc.wtrc")
+        assert main(["evaluate", "--trace", str(tmp_path / "gcc2.wtrc")]) == 2
+        err = capsys.readouterr().err
+        assert "did you mean" in err and "gcc.wtrc" in err
+
+    def test_trace_gen_unknown_benchmark(self, capsys, tmp_path):
+        code = main(["trace", "gen", "--benchmark", "gc", "--out", str(tmp_path / "t.wtrc")])
+        assert code == 2
+        assert "did you mean" in capsys.readouterr().err
+
+    def test_trace_path_pointing_at_directory(self, capsys, tmp_path):
+        assert main(["evaluate", "--trace", str(tmp_path)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_corrupt_trace_file(self, capsys, tmp_path):
+        junk = tmp_path / "junk.npz"
+        junk.write_bytes(b"definitely not an archive")
+        assert main(["evaluate", "--trace", str(junk)]) == 2
+        assert "not a write-trace file" in capsys.readouterr().err
+
+    def test_trace_dir_pointing_at_file(self, capsys, tmp_path):
+        not_a_dir = tmp_path / "file"
+        not_a_dir.write_text("x")
+        assert main(["evaluate", "--scheme", "baseline", "--trace-length", "40",
+                     "--trace-dir", str(not_a_dir)]) == 2
+        assert "error:" in capsys.readouterr().err
+        assert main(["figure4", "--trace-length", "40",
+                     "--trace-dir", str(not_a_dir)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_negative_numeric_arguments_rejected(self, tmp_path):
+        for argv in (
+            ["trace", "gen", "--benchmark", "gcc", "--length", "-5",
+             "--out", str(tmp_path / "t.wtrc")],
+            ["trace", "convert", str(SAMPLE_TRACE), "--seed", "-5",
+             "--out", str(tmp_path / "t.wtrc")],
+            ["evaluate", "--trace-length", "-5"],
+        ):
+            with pytest.raises(SystemExit) as excinfo:
+                main(argv)
+            assert excinfo.value.code == 2
+
+    def test_trace_gen_invalid_corpus_name(self, capsys, tmp_path):
+        code = main(["trace", "gen", "--benchmark", "gcc", "--length", "10",
+                     "--corpus", str(tmp_path / "corpus"), "--name", "a/b"])
+        assert code == 2
+        assert "invalid corpus trace name" in capsys.readouterr().err
+
+
+class TestTraceCommands:
+    def test_gen_to_file_and_info(self, capsys, tmp_path):
+        out = tmp_path / "gcc.wtrc"
+        assert main(["trace", "gen", "--benchmark", "gcc", "--length", "50", "--out", str(out)]) == 0
+        assert out.exists()
+        capsys.readouterr()
+        assert main(["trace", "info", str(out), "--json"]) == 0
+        info = json.loads(capsys.readouterr().out)
+        assert info["requests"] == 50
+        assert info["memory_mapped"] is True
+        assert "changed_bit_fraction" not in info  # header-only by default
+        assert main(["trace", "info", str(out), "--stats", "--json"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert 0.0 < stats["changed_bit_fraction"] < 1.0
+
+    def test_gen_requires_an_output(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["trace", "gen", "--benchmark", "gcc", "--length", "10"])
+        assert excinfo.value.code == 2
+        assert "--out" in capsys.readouterr().err
+
+    def test_out_and_corpus_are_exclusive(self, capsys, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["trace", "gen", "--benchmark", "gcc", "--length", "10",
+                  "--out", str(tmp_path / "t.wtrc"), "--corpus", str(tmp_path / "c")])
+        assert excinfo.value.code == 2
+        assert "not allowed with" in capsys.readouterr().err
+
+    def test_gen_into_corpus_and_ls(self, capsys, tmp_path):
+        corpus = tmp_path / "corpus"
+        assert main(["trace", "gen", "--benchmark", "libq", "--length", "30",
+                     "--corpus", str(corpus), "--name", "mylibq"]) == 0
+        capsys.readouterr()
+        assert main(["trace", "ls", str(corpus), "--json"]) == 0
+        listing = json.loads(capsys.readouterr().out)
+        assert listing["mylibq"]["n_lines"] == 30
+        assert listing["mylibq"]["profile"] == "libq"
+
+    def test_ls_rejects_non_corpus(self, capsys, tmp_path):
+        assert main(["trace", "ls", str(tmp_path)]) == 2
+        assert "not a trace corpus" in capsys.readouterr().err
+
+    def test_convert_sample_and_evaluate(self, capsys, tmp_path):
+        """Acceptance: convert the checked-in ramulator2 sample, then evaluate."""
+        corpus = tmp_path / "corpus"
+        assert main(["trace", "convert", str(SAMPLE_TRACE), "--corpus", str(corpus),
+                     "--name", "sample"]) == 0
+        capsys.readouterr()
+        trace_file = corpus / "sample.wtrc"
+        assert trace_file.exists()
+        assert main(["evaluate", "--scheme", "wlcrc-16", "--trace", str(trace_file),
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["wlcrc-16"]["requests"] == 992  # keyed by scheme
+
+    def test_convert_evaluate_parallel_matches_serial(self, capsys, tmp_path):
+        out = tmp_path / "sample.wtrc"
+        assert main(["trace", "convert", str(SAMPLE_TRACE), "--out", str(out)]) == 0
+        capsys.readouterr()
+        assert main(["evaluate", "--scheme", "baseline", "--trace", str(out), "--json"]) == 0
+        serial = json.loads(capsys.readouterr().out)
+        assert main(["evaluate", "--scheme", "baseline", "--trace", str(out),
+                     "--jobs", "4", "--json"]) == 0
+        parallel = json.loads(capsys.readouterr().out)
+        assert serial == parallel
+
+    def test_convert_bad_input(self, capsys, tmp_path):
+        bad = tmp_path / "bad.trace"
+        bad.write_text("hello world\n")
+        assert main(["trace", "convert", str(bad), "--out", str(tmp_path / "o.wtrc")]) == 2
+        assert "cannot detect" in capsys.readouterr().err
+
+
+class TestCorpusBackedExperiments:
+    def test_trace_dir_caches_and_reproduces(self, capsys, tmp_path):
+        corpus = tmp_path / "corpus"
+        assert main(["evaluate", "--scheme", "baseline", "--benchmark", "gcc",
+                     "--trace-length", "60", "--trace-dir", str(corpus), "--json"]) == 0
+        corpus_run = json.loads(capsys.readouterr().out)
+        assert (corpus / "cache").exists()
+        assert main(["evaluate", "--scheme", "baseline", "--benchmark", "gcc",
+                     "--trace-length", "60", "--json"]) == 0
+        memory_run = json.loads(capsys.readouterr().out)
+        assert corpus_run == memory_run

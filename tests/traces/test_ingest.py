@@ -1,0 +1,193 @@
+"""Tests of the external-trace parsers and the content synthesiser."""
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.errors import TraceError
+from repro.traces.ingest import (
+    detect_trace_format,
+    ingest_trace_file,
+    parse_ramulator_trace,
+    parse_tracehm_trace,
+    synthesize_write_trace,
+)
+
+#: The checked-in 1k-line ramulator2-style sample trace (see README).
+SAMPLE = Path(__file__).resolve().parents[1] / "data" / "sample_ramulator2.trace"
+
+
+class TestRamulatorParser:
+    def test_sample_trace_parses(self):
+        addresses = parse_ramulator_trace(SAMPLE)
+        assert len(addresses) > 0
+        assert addresses.dtype == np.uint64
+        assert (addresses % 64 == 0).all()
+
+    def test_reads_are_filtered(self, tmp_path):
+        path = tmp_path / "t.trace"
+        path.write_text("R 0x1000 0x40\nW 0x2000 0x40\nR 0x3000 0x40\n")
+        assert parse_ramulator_trace(path).tolist() == [0x2000]
+
+    def test_wide_access_expands_to_lines(self, tmp_path):
+        path = tmp_path / "t.trace"
+        path.write_text("W 0x1000 0x100\n")
+        assert parse_ramulator_trace(path).tolist() == [0x1000, 0x1040, 0x1080, 0x10C0]
+
+    def test_unaligned_access_coalesces(self, tmp_path):
+        path = tmp_path / "t.trace"
+        path.write_text("W 0x1030 0x40\n")  # straddles two 64B lines
+        assert parse_ramulator_trace(path).tolist() == [0x1000, 0x1040]
+
+    def test_size_defaults_to_one_line(self, tmp_path):
+        path = tmp_path / "t.trace"
+        path.write_text("W 0x1000\n")
+        assert parse_ramulator_trace(path).tolist() == [0x1000]
+
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        path = tmp_path / "t.trace"
+        path.write_text("# header\n\nW 0x40 0x40\n")
+        assert parse_ramulator_trace(path).tolist() == [0x40]
+
+    def test_out_of_range_address_rejected(self, tmp_path):
+        """Negative or >64-bit addresses must raise TraceError, not OverflowError."""
+        for line in ("W 0x1FFFFFFFFFFFFFFFFFF 0x40", "W -8 0x40"):
+            path = tmp_path / "t.trace"
+            path.write_text(line + "\n")
+            with pytest.raises(TraceError, match="64-bit"):
+                parse_ramulator_trace(path)
+        path = tmp_path / "hm.trace"
+        path.write_text("0\t0x1FFFFFFFFFFFFFFFFFF\t1\n")
+        with pytest.raises(TraceError, match="64-bit"):
+            parse_tracehm_trace(path)
+
+    def test_implausible_size_rejected(self, tmp_path):
+        """A corrupt size field must error, not expand into billions of lines."""
+        path = tmp_path / "t.trace"
+        path.write_text("W 0x0 0xFFFFFFFFFFFF\n")
+        with pytest.raises(TraceError, match="implausible access size"):
+            parse_ramulator_trace(path)
+
+    def test_garbage_rejected_with_location(self, tmp_path):
+        path = tmp_path / "t.trace"
+        path.write_text("W 0x40 0x40\nX 0x80 0x40\n")
+        with pytest.raises(TraceError, match=":2"):
+            parse_ramulator_trace(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(TraceError, match="not found"):
+            parse_ramulator_trace(tmp_path / "nope.trace")
+
+    def test_directory_input_rejected(self, tmp_path):
+        with pytest.raises(TraceError, match="cannot read"):
+            parse_ramulator_trace(tmp_path)
+
+
+class TestTracehmParser:
+    def test_writes_only(self, tmp_path):
+        path = tmp_path / "t.trace"
+        path.write_text("0\t0x1000\t1\n1\t0x2000\t0\n2\t0x3010\t1\n")
+        assert parse_tracehm_trace(path).tolist() == [0x1000, 0x3000]
+
+    def test_malformed_line_rejected(self, tmp_path):
+        path = tmp_path / "t.trace"
+        path.write_text("0\t0x1000\n")
+        with pytest.raises(TraceError, match=":1"):
+            parse_tracehm_trace(path)
+
+
+class TestFormatDetection:
+    def test_detects_ramulator(self):
+        assert detect_trace_format(SAMPLE) == "ramulator2"
+
+    def test_detects_tracehm(self, tmp_path):
+        path = tmp_path / "t.trace"
+        path.write_text("0\t0x1000\t1\n")
+        assert detect_trace_format(path) == "tracehm"
+
+    def test_unknown_format_rejected(self, tmp_path):
+        path = tmp_path / "t.trace"
+        path.write_text("hello world\n")
+        with pytest.raises(TraceError, match="cannot detect"):
+            detect_trace_format(path)
+
+
+class TestSynthesis:
+    def test_deterministic_per_address_stream(self):
+        addresses = np.arange(20, dtype=np.uint64) * 64
+        first = synthesize_write_trace(addresses)
+        second = synthesize_write_trace(addresses)
+        assert first.old == second.old
+        assert first.new == second.new
+
+    def test_different_streams_differ(self):
+        a = synthesize_write_trace(np.arange(20, dtype=np.uint64) * 64)
+        b = synthesize_write_trace(np.arange(1, 21, dtype=np.uint64) * 64)
+        assert a.new != b.new
+
+    def test_seed_perturbs_contents(self):
+        addresses = np.arange(20, dtype=np.uint64) * 64
+        unseeded = synthesize_write_trace(addresses)
+        seeded = synthesize_write_trace(addresses, seed=1)
+        assert unseeded.new != seeded.new
+
+    def test_rewrites_chain_through_address_state(self):
+        """The j-th write's old value is the (j-1)-th write's new value."""
+        addresses = np.array([0, 64, 0, 0, 64], dtype=np.uint64)
+        trace = synthesize_write_trace(addresses)
+        assert (trace.old.words[2] == trace.new.words[0]).all()
+        assert (trace.old.words[3] == trace.new.words[2]).all()
+        assert (trace.old.words[4] == trace.new.words[1]).all()
+
+    def test_empty_stream(self):
+        trace = synthesize_write_trace(np.array([], dtype=np.uint64))
+        assert len(trace) == 0
+
+    def test_hot_line_stream_stays_fast(self):
+        """Skewed streams (one hot line) must not degrade quadratically."""
+        import time
+
+        rng = np.random.default_rng(0)
+        addresses = np.where(
+            rng.random(20_000) < 0.9, 0, rng.integers(1, 500, 20_000) * 64
+        ).astype(np.uint64)
+        start = time.perf_counter()
+        trace = synthesize_write_trace(addresses)
+        elapsed = time.perf_counter() - start
+        assert elapsed < 10.0  # the pre-fix round loop took minutes here
+        # the ~18k-write chain through the hot line is still exact
+        hot = np.flatnonzero(addresses == 0)
+        assert (trace.old.words[hot[1]] == trace.new.words[hot[0]]).all()
+        assert (trace.old.words[hot[-1]] == trace.new.words[hot[-2]]).all()
+
+    def test_addresses_and_metadata_recorded(self):
+        addresses = np.array([0, 64, 0], dtype=np.uint64)
+        trace = synthesize_write_trace(addresses, profile="lbm", name="ext")
+        assert np.array_equal(trace.addresses, addresses)
+        assert trace.name == "ext"
+        assert trace.metadata["profile"] == "lbm"
+        assert trace.metadata["unique_lines"] == "2"
+
+
+class TestIngestFile:
+    def test_sample_end_to_end(self):
+        trace = ingest_trace_file(SAMPLE)
+        addresses = parse_ramulator_trace(SAMPLE)
+        assert len(trace) == len(addresses)
+        assert np.array_equal(trace.addresses, addresses)
+        assert trace.metadata["source_format"] == "ramulator2"
+        # real content: old and new differ somewhere, but not everywhere
+        assert 0.0 < trace.changed_bit_fraction() < 1.0
+
+    def test_explicit_format(self, tmp_path):
+        path = tmp_path / "t.trace"
+        path.write_text("0\t0x1000\t1\n")
+        trace = ingest_trace_file(path, fmt="tracehm")
+        assert len(trace) == 1
+
+    def test_unknown_format_name(self, tmp_path):
+        path = tmp_path / "t.trace"
+        path.write_text("W 0x40 0x40\n")
+        with pytest.raises(TraceError, match="unknown trace format"):
+            ingest_trace_file(path, fmt="elf")

@@ -1,0 +1,215 @@
+"""Tests of the raw trace format and the trace corpus."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import TraceError
+from repro.core.line import LineBatch
+from repro.traces.store import (
+    TraceCorpus,
+    load_trace,
+    read_trace_header,
+    save_trace,
+    trace_cache_key,
+)
+from repro.workloads.generator import GENERATOR_VERSION, generate_benchmark_trace
+from repro.workloads.trace import WriteTrace
+
+
+def _add_one(corpus_dir, name):
+    """Worker for the concurrent-add test; module-level so it pickles."""
+    TraceCorpus(corpus_dir).add(_trace(n=4), name=name)
+
+
+def _trace(n=16, with_addresses=True, name="unit"):
+    rng = np.random.default_rng(3)
+    addresses = (np.arange(n, dtype=np.uint64) * 64) if with_addresses else None
+    return WriteTrace(
+        old=LineBatch.random(n, rng),
+        new=LineBatch.random(n, rng),
+        addresses=addresses,
+        name=name,
+        metadata={"suite": "test", "origin": "store-test"},
+    )
+
+
+class TestFileFormat:
+    def test_roundtrip_preserves_everything(self, tmp_path):
+        trace = _trace()
+        path = save_trace(trace, tmp_path / "t.wtrc")
+        loaded = load_trace(path)
+        assert loaded.old == trace.old
+        assert loaded.new == trace.new
+        assert np.array_equal(loaded.addresses, trace.addresses)
+        assert loaded.name == trace.name
+        assert loaded.metadata == trace.metadata
+
+    def test_roundtrip_without_addresses(self, tmp_path):
+        path = save_trace(_trace(with_addresses=False), tmp_path / "t.wtrc")
+        assert load_trace(path).addresses is None
+
+    def test_mmap_load_is_memory_mapped(self, tmp_path):
+        path = save_trace(_trace(), tmp_path / "t.wtrc")
+        loaded = load_trace(path, mmap=True)
+        assert loaded.mmap_path == path
+        words = loaded.old.words
+        assert isinstance(words, np.memmap) or isinstance(words.base, np.memmap)
+
+    def test_non_mmap_load(self, tmp_path):
+        path = save_trace(_trace(), tmp_path / "t.wtrc")
+        loaded = load_trace(path, mmap=False)
+        assert loaded.mmap_path is None
+        assert loaded.old == load_trace(path, mmap=True).old
+
+    def test_slicing_drops_mmap_path(self, tmp_path):
+        path = save_trace(_trace(), tmp_path / "t.wtrc")
+        assert load_trace(path)[2:5].mmap_path is None
+
+    def test_empty_trace_roundtrip(self, tmp_path):
+        empty = WriteTrace(old=LineBatch.zeros(0), new=LineBatch.zeros(0))
+        loaded = load_trace(save_trace(empty, tmp_path / "empty.wtrc"))
+        assert len(loaded) == 0
+
+    def test_header_exposes_layout(self, tmp_path):
+        trace = _trace(n=10)
+        path = save_trace(trace, tmp_path / "t.wtrc")
+        header = read_trace_header(path)
+        assert header.n_lines == 10
+        assert header.has_addresses
+        assert header.data_offset % 64 == 0
+        assert header.new_offset - header.old_offset == 10 * 8 * 8
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "bad.wtrc"
+        path.write_bytes(b"NOPE" + b"\0" * 64)
+        with pytest.raises(TraceError, match="bad magic"):
+            read_trace_header(path)
+
+    def test_truncated_file_rejected(self, tmp_path):
+        path = save_trace(_trace(), tmp_path / "t.wtrc")
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) - 100])
+        with pytest.raises(TraceError, match="truncated"):
+            read_trace_header(path)
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(TraceError, match="not found"):
+            load_trace(tmp_path / "nope.wtrc")
+
+    def test_huge_header_length_rejected(self, tmp_path):
+        """A crafted header_len must raise TraceError, not MemoryError."""
+        import struct
+
+        path = tmp_path / "evil.wtrc"
+        path.write_bytes(struct.pack("<4sHHQ", b"WTRC", 1, 0, 2**62))
+        with pytest.raises(TraceError, match="header length"):
+            read_trace_header(path)
+
+    def test_corrupt_header_fields_rejected(self, tmp_path):
+        import json as json_module
+        import struct
+
+        for bad_header in ({"name": "x"}, {"n_lines": -5}, {"n_lines": "many"}):
+            path = tmp_path / "bad.wtrc"
+            body = json_module.dumps(bad_header).encode()
+            path.write_bytes(
+                struct.pack("<4sHHQ", b"WTRC", 1, 0, len(body)) + body + b"\0" * 64
+            )
+            with pytest.raises(TraceError, match="n_lines"):
+                read_trace_header(path)
+
+    def test_future_version_rejected(self, tmp_path):
+        path = save_trace(_trace(), tmp_path / "t.wtrc")
+        data = bytearray(path.read_bytes())
+        data[4:6] = (99).to_bytes(2, "little")
+        path.write_bytes(bytes(data))
+        with pytest.raises(TraceError, match="version"):
+            read_trace_header(path)
+
+
+class TestWriteTraceDispatch:
+    """WriteTrace.save/.load route by format (satellite: round-trip coverage)."""
+
+    def test_wtrc_suffix_roundtrip(self, tmp_path):
+        trace = _trace()
+        path = trace.save(tmp_path / "t.wtrc")
+        loaded = WriteTrace.load(path)
+        assert loaded.mmap_path is not None
+        assert loaded.old == trace.old
+        assert loaded.new == trace.new
+        assert np.array_equal(loaded.addresses, trace.addresses)
+        assert loaded.metadata == trace.metadata
+
+    def test_npz_suffix_keeps_archive_format(self, tmp_path):
+        trace = _trace()
+        path = trace.save(tmp_path / "t.npz")
+        loaded = WriteTrace.load(path)
+        assert loaded.mmap_path is None
+        assert loaded.old == trace.old
+        assert np.array_equal(loaded.addresses, trace.addresses)
+        assert loaded.metadata == trace.metadata
+
+
+class TestCorpus:
+    def test_add_then_load(self, tmp_path):
+        corpus = TraceCorpus(tmp_path / "corpus")
+        trace = _trace(name="mytrace")
+        corpus.add(trace, profile="gcc", seed=7)
+        assert "mytrace" in corpus
+        assert corpus.names() == ["mytrace"]
+        loaded = corpus.load("mytrace")
+        assert loaded.new == trace.new
+        entry = corpus.entries()["mytrace"]
+        assert entry.profile == "gcc"
+        assert entry.seed == 7
+        assert entry.n_lines == len(trace)
+
+    def test_path_escaping_names_rejected(self, tmp_path):
+        corpus = TraceCorpus(tmp_path / "corpus")
+        for name in ("../evil", "a/b", "..", ".hidden", "a\\b"):
+            with pytest.raises(TraceError, match="invalid corpus trace name"):
+                corpus.add(_trace(), name=name)
+        assert not (tmp_path / "evil.wtrc").exists()
+
+    def test_unknown_name_lists_alternatives(self, tmp_path):
+        corpus = TraceCorpus(tmp_path / "corpus")
+        corpus.add(_trace(name="alpha"))
+        with pytest.raises(TraceError, match="alpha"):
+            corpus.load("beta")
+
+    def test_get_or_generate_caches_on_disk(self, tmp_path):
+        corpus = TraceCorpus(tmp_path / "corpus")
+        first = corpus.get_or_generate("gcc", 64, seed=5)
+        files = sorted((tmp_path / "corpus" / "cache").iterdir())
+        second = corpus.get_or_generate("gcc", 64, seed=5)
+        assert sorted((tmp_path / "corpus" / "cache").iterdir()) == files
+        assert first.new == second.new
+        assert first.old == second.old
+        # and the cached trace equals a fresh in-memory generation
+        fresh = generate_benchmark_trace("gcc", 64, 5)
+        assert first.new == fresh.new
+
+    def test_cache_key_distinguishes_inputs(self):
+        base = trace_cache_key("gcc", 64, 5, GENERATOR_VERSION)
+        assert trace_cache_key("gcc", 64, 6, GENERATOR_VERSION) != base
+        assert trace_cache_key("gcc", 65, 5, GENERATOR_VERSION) != base
+        assert trace_cache_key("lbm", 64, 5, GENERATOR_VERSION) != base
+        assert trace_cache_key("gcc", 64, 5, GENERATOR_VERSION + 1) != base
+
+    def test_concurrent_adds_keep_every_entry(self, tmp_path):
+        """Index updates are serialised: parallel writers don't drop entries."""
+        import multiprocessing
+
+        corpus_dir = tmp_path / "corpus"
+        names = [f"t{i}" for i in range(6)]
+        with multiprocessing.Pool(3) as pool:
+            pool.starmap(_add_one, [(str(corpus_dir), name) for name in names])
+        assert TraceCorpus(corpus_dir).names() == sorted(names)
+
+    def test_generated_traces_are_indexed(self, tmp_path):
+        corpus = TraceCorpus(tmp_path / "corpus")
+        corpus.get_or_generate("lbm", 32, seed=9)
+        entry = corpus.entries()["lbm-n32-s9"]
+        assert entry.profile == "lbm"
+        assert entry.seed == 9
+        assert entry.n_lines == 32

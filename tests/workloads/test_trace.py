@@ -75,6 +75,59 @@ class TestPersistence:
         with pytest.raises(TraceError):
             WriteTrace.load(path)
 
+    def test_load_rejects_garbage_file(self, tmp_path):
+        """Corrupt/non-archive files raise TraceError, not raw zipfile errors."""
+        path = tmp_path / "junk.npz"
+        path.write_bytes(b"this is not an npz archive at all")
+        with pytest.raises(TraceError):
+            WriteTrace.load(path)
+
+    def test_load_rejects_bare_npy_array(self, tmp_path):
+        path = tmp_path / "array.npy"
+        np.save(path, np.zeros(4))
+        with pytest.raises(TraceError):
+            WriteTrace.load(path)
+
+    def test_load_rejects_directory(self, tmp_path):
+        with pytest.raises(TraceError):
+            WriteTrace.load(tmp_path)
+
+    def test_wtrc_roundtrip(self, tmp_path):
+        """The .wtrc suffix selects the raw memory-mappable corpus format."""
+        trace = _trace(6, with_addresses=True)
+        path = trace.save(tmp_path / "trace.wtrc")
+        loaded = WriteTrace.load(path)
+        assert loaded.new == trace.new
+        assert loaded.old == trace.old
+        assert loaded.name == "unit"
+        assert loaded.metadata["suite"] == "test"
+        assert np.array_equal(loaded.addresses, trace.addresses)
+        assert loaded.mmap_path == path
+
+    def test_wtrc_load_without_mmap(self, tmp_path):
+        trace = _trace(6)
+        path = trace.save(tmp_path / "trace.wtrc")
+        loaded = WriteTrace.load(path, mmap=False)
+        assert loaded.mmap_path is None
+        assert loaded.new == trace.new
+
+    def test_save_returns_actual_npz_path_for_other_suffixes(self, tmp_path):
+        """numpy appends .npz to foreign suffixes; save() must report it."""
+        trace = _trace(4)
+        path = trace.save(tmp_path / "trace.txt")
+        assert path.name == "trace.txt.npz"
+        assert path.exists()
+        assert WriteTrace.load(path).new == trace.new
+
+    def test_format_sniffed_by_magic_not_suffix(self, tmp_path):
+        """Loading dispatches on file content, so renamed files still load."""
+        trace = _trace(4, with_addresses=True)
+        original = trace.save(tmp_path / "trace.wtrc")
+        renamed = tmp_path / "trace.bin"
+        original.rename(renamed)
+        loaded = WriteTrace.load(renamed)
+        assert loaded.new == trace.new
+
 
 class TestStatistics:
     def test_changed_bit_fraction_bounds(self):
