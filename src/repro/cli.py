@@ -14,13 +14,21 @@ Evaluate a single scheme on a single benchmark::
 
     wlcrc-repro evaluate --scheme wlcrc-16 --benchmark gcc --trace-length 5000
 
-Work with trace files and corpora (see README, "Trace formats")::
+Work with trace files and corpora (see README, "Trace formats" and
+"Streaming large traces")::
 
     wlcrc-repro trace gen --benchmark gcc --length 20000 --corpus traces/
     wlcrc-repro trace convert memory_access.trace --out converted.wtrc
     wlcrc-repro trace info converted.wtrc
     wlcrc-repro trace ls traces/
+    wlcrc-repro trace gc traces/ --max-bytes 2G
     wlcrc-repro evaluate --scheme wlcrc-16 --trace converted.wtrc
+    wlcrc-repro evaluate --scheme wlcrc-16 --trace memory_access.trace --jobs 4
+
+``trace convert`` to a ``.wtrc`` target and ``evaluate --trace`` on a raw
+ASCII trace both *stream*: the input is parsed, synthesised and written (or
+evaluated) in fixed-size chunks, so traces far larger than RAM work with
+bounded memory.
 """
 
 from __future__ import annotations
@@ -37,6 +45,7 @@ from .coding import available_schemes, make_scheme
 from .core.errors import ReproError, TraceError
 from .evaluation import ExperimentConfig, evaluate_schemes, format_series_table
 from .hardware import WLCRCSynthesisModel
+from .traces.ingest import TRACE_FORMATS
 from .workloads import ALL_BENCHMARKS, WriteTrace, generate_benchmark_trace
 
 #: Experiment name -> driver function in :mod:`repro.evaluation.experiments`.
@@ -84,7 +93,21 @@ def _build_parser() -> argparse.ArgumentParser:
         "--trace",
         default=None,
         metavar="PATH",
-        help="evaluate on a trace file (.wtrc or .npz) instead of a generated benchmark",
+        help="evaluate on a trace file instead of a generated benchmark: "
+        ".wtrc/.npz files load directly, a raw ASCII address trace "
+        "(ramulator2 / ramulator2-inst / tracehm) is streamed through a "
+        "temporary .wtrc with bounded memory",
+    )
+    evaluate.add_argument(
+        "--trace-format",
+        default="auto",
+        choices=["auto", *TRACE_FORMATS],
+        help="dialect of an ASCII --trace input (default: sniff)",
+    )
+    evaluate.add_argument(
+        "--profile",
+        default="gcc",
+        help="content profile used to synthesise line data for an ASCII --trace input",
     )
     _add_config_arguments(evaluate)
 
@@ -98,14 +121,16 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_trace_output_arguments(gen)
 
     convert = trace_commands.add_parser(
-        "convert", help="ingest an external address trace (ramulator2 / tracehm)"
+        "convert",
+        help="ingest an external address trace (ramulator2 / ramulator2-inst "
+        "/ tracehm); .wtrc and corpus targets stream with bounded memory",
     )
     convert.add_argument("input", help="path of the external ASCII trace")
     convert.add_argument(
         "--format",
         dest="fmt",
         default="auto",
-        choices=["auto", "ramulator2", "tracehm"],
+        choices=["auto", *TRACE_FORMATS],
         help="input dialect (default: sniff from the first line)",
     )
     convert.add_argument(
@@ -128,6 +153,26 @@ def _build_parser() -> argparse.ArgumentParser:
     ls = trace_commands.add_parser("ls", help="list the traces of a corpus directory")
     ls.add_argument("corpus", help="corpus directory (holds index.json)")
     ls.add_argument("--json", action="store_true", help="emit JSON")
+
+    gc = trace_commands.add_parser(
+        "gc",
+        help="evict least-recently-used cached traces until the corpus's "
+        "cache/ directory fits a byte budget (named traces are never evicted)",
+    )
+    gc.add_argument("corpus", help="corpus directory (holds index.json)")
+    gc.add_argument(
+        "--max-bytes",
+        type=_size_argument,
+        required=True,
+        metavar="SIZE",
+        help="cache byte budget; plain bytes or a K/M/G/T-suffixed size (e.g. 2G)",
+    )
+    gc.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="report what would be evicted without deleting anything",
+    )
+    gc.add_argument("--json", action="store_true", help="emit JSON")
     return parser
 
 
@@ -169,6 +214,31 @@ def _nonnegative_int(value: str) -> int:
     return parsed
 
 
+_SIZE_SUFFIXES = {"K": 1 << 10, "M": 1 << 20, "G": 1 << 30, "T": 1 << 40}
+
+
+def _size_argument(value: str) -> int:
+    """Byte count, plain (``1048576``) or binary-suffixed (``1M``, ``2G``)."""
+    text = value.strip().upper()
+    if text.endswith("B") and len(text) > 1:  # accept 2GB / 512KB spellings
+        text = text[:-1]
+    scale = 1
+    if text and text[-1] in _SIZE_SUFFIXES:
+        scale = _SIZE_SUFFIXES[text[-1]]
+        text = text[:-1]
+    try:
+        parsed = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"cannot parse size {value!r}; use bytes or a K/M/G/T suffix"
+        )
+    if not (0 <= parsed < float(1 << 62)):  # rejects negatives, inf and nan
+        raise argparse.ArgumentTypeError(
+            f"size {value!r} must be a finite non-negative byte count"
+        )
+    return int(parsed * scale)
+
+
 def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--trace-length", type=_positive_int, default=4000, help="write requests per benchmark")
     parser.add_argument("--seed", type=_nonnegative_int, default=2018, help="trace-generation seed")
@@ -184,6 +254,14 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
         metavar="DIR",
         help="trace-corpus directory: benchmark traces are cached there and memory-mapped",
     )
+    parser.add_argument(
+        "--trace-cache-budget",
+        type=_size_argument,
+        default=None,
+        metavar="SIZE",
+        help="byte budget of the --trace-dir generation cache; least-recently-"
+        "used cached traces are evicted past it (bytes or K/M/G/T suffix)",
+    )
     parser.add_argument("--json", action="store_true", help="emit JSON instead of a text table")
 
 
@@ -193,6 +271,7 @@ def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         seed=args.seed,
         n_jobs=args.jobs,
         trace_dir=args.trace_dir,
+        trace_cache_budget=args.trace_cache_budget,
     )
 
 
@@ -266,10 +345,51 @@ def _cmd_trace_gen(args: argparse.Namespace) -> int:
 
 
 def _cmd_trace_convert(args: argparse.Namespace) -> int:
-    from .traces import ingest_trace_file
+    from .traces import (
+        TRACE_SUFFIX,
+        TraceCorpus,
+        ingest_trace_file,
+        read_trace_header,
+        stream_ingest_to_wtrc,
+    )
 
     if args.profile not in ALL_BENCHMARKS:
         return _unknown_name("profile", args.profile, ALL_BENCHMARKS)
+    streamed_target = None
+    corpus = None
+    if args.corpus is not None:
+        corpus = TraceCorpus(args.corpus)
+        name = args.name or Path(args.input).stem
+        try:
+            TraceCorpus.validate_name(name)
+        except TraceError as exc:
+            return _fail(str(exc))
+        streamed_target = corpus.root / f"{name}{TRACE_SUFFIX}"
+    elif Path(args.out).suffix == TRACE_SUFFIX:
+        name = args.name or Path(args.input).stem
+        streamed_target = Path(args.out)
+    if streamed_target is not None:
+        # Raw-format targets stream: parse -> synthesise -> write, one chunk
+        # at a time, so multi-GB ASCII traces convert with bounded memory.
+        try:
+            stream_ingest_to_wtrc(
+                args.input,
+                streamed_target,
+                fmt=args.fmt,
+                profile=args.profile,
+                name=name,
+                seed=args.seed,
+            )
+            if corpus is not None:
+                corpus.add_path(
+                    streamed_target, name=name, profile=args.profile, seed=args.seed
+                )
+            n_lines = read_trace_header(streamed_target).n_lines
+        except (TraceError, OSError) as exc:
+            return _fail(str(exc))
+        print(f"wrote {n_lines} write requests to {streamed_target}")
+        return 0
+    # .npz archives need the materialised arrays; keep the in-memory path.
     try:
         trace = ingest_trace_file(
             args.input, fmt=args.fmt, profile=args.profile, name=args.name, seed=args.seed
@@ -349,12 +469,38 @@ def _cmd_trace_ls(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace_gc(args: argparse.Namespace) -> int:
+    from .traces import TraceCorpus
+
+    corpus = TraceCorpus(args.corpus)
+    if not corpus.root.is_dir():
+        return _fail(f"{args.corpus} is not a trace corpus directory")
+    try:
+        report = corpus.gc(budget_bytes=args.max_bytes, dry_run=args.dry_run)
+    except TraceError as exc:
+        return _fail(str(exc))
+    if args.json:
+        print(json.dumps(report, indent=2))
+        return 0
+    verb = "would evict" if args.dry_run else "evicted"
+    removed = report["removed"]
+    if removed:
+        print(f"{verb} {len(removed)} cached trace(s), freeing {report['freed_bytes']} bytes:")
+        for name in removed:
+            print(f"  cache/{name}")
+    else:
+        print("cache already within budget; nothing to evict")
+    print(f"cache size: {report['kept_bytes']} bytes (budget {report['budget_bytes']})")
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     handlers = {
         "gen": _cmd_trace_gen,
         "convert": _cmd_trace_convert,
         "info": _cmd_trace_info,
         "ls": _cmd_trace_ls,
+        "gc": _cmd_trace_gc,
     }
     return handlers[args.trace_command](args)
 
@@ -362,16 +508,69 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 # ---------------------------------------------------------------------- #
 # Evaluate
 # ---------------------------------------------------------------------- #
+def _load_evaluation_trace(args: argparse.Namespace):
+    """Resolve ``--trace`` into a trace plus a cleanup callback.
+
+    ``.wtrc``/``.npz`` files (by suffix or sniffed magic) load as before --
+    raw traces memory-mapped, archives decompressed.  Anything else is
+    treated as a raw ASCII address trace and *streamed*: ingest writes a
+    temporary ``.wtrc`` one chunk at a time, the evaluation memory-maps it
+    (so ``--jobs`` ships workers mmap descriptors), and the cleanup callback
+    removes the temporary file afterwards.  Peak memory is bounded by the
+    synthesis quantum, never the trace length.
+    """
+    import shutil
+    import tempfile
+
+    from .traces import is_wtrc_file, stream_ingest_to_wtrc
+    from .traces.store import load_trace
+
+    path = Path(args.trace)
+    if not path.exists():
+        raise TraceError(f"trace file not found: {path}")
+    known_container = path.suffix in (".wtrc", ".npz")
+    if not known_container and path.is_file():
+        with open(path, "rb") as fh:
+            magic = fh.read(4)
+        known_container = magic.startswith(b"PK") or is_wtrc_file(path)
+    if known_container or not path.is_file():
+        return WriteTrace.load(args.trace), lambda: None
+    if args.profile not in ALL_BENCHMARKS:
+        raise TraceError(
+            f"unknown profile {args.profile!r} for ASCII trace synthesis "
+            f"(have: {', '.join(ALL_BENCHMARKS)})"
+        )
+    tmp_dir = Path(tempfile.mkdtemp(prefix="wlcrc-stream-"))
+    try:
+        # seed=None matches `trace convert`'s default synthesis, so
+        # evaluating the ASCII file directly is bit-identical to converting
+        # it first and evaluating the .wtrc (--seed only seeds generated
+        # benchmark traces and disturbance sampling).
+        spooled = stream_ingest_to_wtrc(
+            path,
+            tmp_dir / f"{path.stem}.wtrc",
+            fmt=args.trace_format,
+            profile=args.profile,
+        )
+        return load_trace(spooled, mmap=True), lambda: shutil.rmtree(
+            tmp_dir, ignore_errors=True
+        )
+    except BaseException:
+        shutil.rmtree(tmp_dir, ignore_errors=True)
+        raise
+
+
 def _cmd_evaluate(args: argparse.Namespace) -> int:
     config = _config_from_args(args)
     try:
         encoder = make_scheme(args.scheme)
     except (ReproError, ValueError):
         return _unknown_name("scheme", args.scheme, available_schemes())
+    cleanup = lambda: None  # noqa: E731 - trivial default
     if args.trace is not None:
         try:
-            trace = WriteTrace.load(args.trace)
-        except TraceError as exc:
+            trace, cleanup = _load_evaluation_trace(args)
+        except (TraceError, OSError) as exc:
             candidates = ()
             parent = Path(args.trace).parent
             if not Path(args.trace).exists() and parent.is_dir():
@@ -388,15 +587,18 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
             from .traces import TraceCorpus
 
             try:
-                trace = TraceCorpus(config.trace_dir).get_or_generate(
-                    args.benchmark, config.trace_length, config.seed
-                )
+                trace = TraceCorpus(
+                    config.trace_dir, cache_budget_bytes=config.trace_cache_budget
+                ).get_or_generate(args.benchmark, config.trace_length, config.seed)
             except (TraceError, OSError) as exc:
                 return _fail(f"cannot use trace corpus {config.trace_dir}: {exc}")
         else:
             trace = generate_benchmark_trace(args.benchmark, config.trace_length, config.seed)
         label = args.scheme
-    results = evaluate_schemes([encoder], trace, config.evaluation, n_jobs=config.n_jobs)
+    try:
+        results = evaluate_schemes([encoder], trace, config.evaluation, n_jobs=config.n_jobs)
+    finally:
+        cleanup()
     metrics = next(iter(results.values()))
     _print_result({label: metrics.as_dict()}, args.json)
     return 0

@@ -63,6 +63,11 @@ class ExperimentConfig:
     #: version) and memory-mapped from disk on every later run, so the
     #: parallel engine ships workers mmap descriptors instead of trace data.
     trace_dir: Optional[str] = None
+    #: Optional byte budget of the corpus's generation cache.  When set (and
+    #: ``trace_dir`` is used) the least-recently-used cached traces are
+    #: evicted after each cache miss so ``cache/`` cannot grow without
+    #: bound; ``repro trace gc`` runs the same collection from the CLI.
+    trace_cache_budget: Optional[int] = None
 
     @property
     def evaluation(self) -> EvaluationConfig:
@@ -104,7 +109,9 @@ def benchmark_traces(config: ExperimentConfig = DEFAULT_EXPERIMENT_CONFIG) -> Di
         if config.trace_dir:
             from ..traces.store import TraceCorpus
 
-            corpus = TraceCorpus(config.trace_dir)
+            corpus = TraceCorpus(
+                config.trace_dir, cache_budget_bytes=config.trace_cache_budget
+            )
             return {
                 name: corpus.get_or_generate(name, config.trace_length, config.seed)
                 for name in config.benchmarks

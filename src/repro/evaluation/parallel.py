@@ -39,13 +39,20 @@ Two scalability features ride on top of the executor:
   ``persistent=True``) the runner keeps one
   :class:`~concurrent.futures.ProcessPoolExecutor` alive across ``run()``
   calls, so sweep helpers and experiment drivers stop paying pool start-up
-  per call (see :func:`shared_runner`).
+  per call (see :func:`shared_runner`);
+* **streaming dispatch with backpressure** -- a work unit may carry a
+  :class:`~repro.workloads.trace.ChunkSource` instead of a materialised
+  trace; its chunks are then produced lazily and submitted with at most
+  ``window`` in flight, so a trace larger than RAM evaluates with memory
+  bounded by ``window x chunk_size`` lines while the submission-order
+  reduction keeps the result bit-identical to the serial path.
 """
 
 from __future__ import annotations
 
 import atexit
 import os
+from collections import deque
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
@@ -60,6 +67,7 @@ from typing import (
     Optional,
     Sequence,
     Tuple,
+    Union,
 )
 
 import numpy as np
@@ -70,8 +78,8 @@ from ..core.disturbance import DEFAULT_DISTURBANCE_MODEL, DisturbanceModel
 from ..core.errors import ConfigurationError
 from ..core.metrics import WriteMetrics
 from ..traces.transport import TraceDescriptor, TraceExporter, attach_trace
-from ..workloads.trace import WriteTrace
-from .runner import chunk_streams, metrics_from_encoded, n_chunks_of
+from ..workloads.trace import ChunkSource, WriteTrace
+from .runner import chunk_stream, chunk_streams, metrics_from_encoded, n_chunks_of
 
 
 def resolve_n_jobs(n_jobs: Optional[int]) -> int:
@@ -95,11 +103,16 @@ class WorkUnit:
     metrics merged (in submission order) by :meth:`ParallelRunner.run`.
     Typical keys: a scheme name, a benchmark name, a granularity, or a
     ``(sweep-point, role)`` tuple.
+
+    ``trace`` is a materialised :class:`WriteTrace` or any re-iterable
+    :class:`~repro.workloads.trace.ChunkSource`; units carrying a streaming
+    source are dispatched through the bounded-window streaming path (see
+    :meth:`ParallelRunner.map`).
     """
 
     key: Hashable
     encoder: WriteEncoder
-    trace: WriteTrace
+    trace: Union[WriteTrace, ChunkSource]
     config: EvaluationConfig = DEFAULT_EVALUATION_CONFIG
     disturbance_model: DisturbanceModel = DEFAULT_DISTURBANCE_MODEL
 
@@ -136,9 +149,25 @@ def _evaluate_shard(shard: _Shard) -> Tuple[int, int, WriteMetrics]:
     return shard.unit_index, shard.chunk_index, metrics
 
 
+@dataclass(frozen=True)
+class _ExportedTrace:
+    """Placeholder for a :class:`WriteTrace` argument of a ``starmap`` task.
+
+    Carries the transport descriptor instead of the trace's arrays; the
+    worker resolves it back into a (view-backed) trace via the per-process
+    attachment cache before calling the task function.
+    """
+
+    descriptor: TraceDescriptor
+
+
 def _call_star(task: Tuple[Callable[..., Any], Tuple]) -> Any:
     """Apply ``func(*args)``; module-level so it pickles into workers."""
     func, args = task
+    args = tuple(
+        attach_trace(arg.descriptor) if isinstance(arg, _ExportedTrace) else arg
+        for arg in args
+    )
     return func(*args)
 
 
@@ -167,6 +196,13 @@ class ParallelRunner:
         :meth:`close` (entering the runner as a context manager implies
         this).  One-shot runners keep the historical
         build-and-tear-down-per-call behaviour.
+    window:
+        In-flight task cap of the *streaming* dispatch path (work units whose
+        trace is a :class:`~repro.workloads.trace.ChunkSource` rather than a
+        materialised trace).  At most ``window`` chunks exist between the
+        producing iterator and the reducer at any moment -- the backpressure
+        that bounds memory by ``window x chunk_size`` lines no matter how
+        long the stream is.  Defaults to ``4 x n_jobs``.
 
     Results are bit-identical for every ``n_jobs`` value *and* every
     transport -- see the module docstring for how seeding and reduction order
@@ -179,6 +215,7 @@ class ParallelRunner:
         executor_chunksize: Optional[int] = None,
         transport: str = "auto",
         persistent: bool = False,
+        window: Optional[int] = None,
     ):
         self.n_jobs = resolve_n_jobs(n_jobs)
         self.executor_chunksize = executor_chunksize
@@ -186,6 +223,9 @@ class ParallelRunner:
             raise ConfigurationError(f"unknown transport {transport!r}")
         self.transport = transport
         self.persistent = persistent
+        if window is not None and window < 1:
+            raise ConfigurationError(f"window must be a positive integer: {window}")
+        self.window = window
         self._executor: Optional[ProcessPoolExecutor] = None
         self._exporter: Optional[TraceExporter] = None
         self._enter_depth = 0
@@ -267,8 +307,18 @@ class ParallelRunner:
         ``map(units)[i]`` equals
         ``evaluate_trace(units[i].encoder, units[i].trace, ..., unit_index=i)``
         exactly, for any ``n_jobs`` and any transport.
+
+        Units whose trace is a streaming :class:`~repro.workloads.trace
+        .ChunkSource` (no ``len``, chunks produced on the fly) are dispatched
+        through the bounded-window streaming path; a call mixing streaming
+        and materialised units runs entirely on that path (materialised
+        traces then travel pickled per chunk instead of zero-copy, which is
+        correct but slower -- keep streaming sources in their own call when
+        that matters).
         """
         units = list(units)
+        if any(not isinstance(unit.trace, WriteTrace) for unit in units):
+            return self._map_streaming(units)
         per_unit = [WriteMetrics() for _ in units]
         # A persistent runner keeps one exporter for its whole lifetime, so
         # repeated run() calls over the same (memoised) traces reuse one
@@ -301,6 +351,36 @@ class ParallelRunner:
                 self._exporter.prune(id(unit.trace) for unit in units)
         return per_unit
 
+    def _map_streaming(self, units: Sequence[WorkUnit]) -> List[WriteMetrics]:
+        """Evaluate units whose chunks are produced on the fly.
+
+        Shards are generated lazily -- unit by unit, chunk by chunk, in
+        exactly the serial order -- and dispatched with at most
+        :attr:`window` in flight (:meth:`_execute_windowed`), so ingest and
+        synthesis advance only as fast as the workers drain them and the
+        whole pipeline never holds more than ``window`` chunks.  Results are
+        reduced in submission order, which keeps the metrics bit-identical
+        to the serial path for any ``n_jobs``.
+        """
+        per_unit = [WriteMetrics() for _ in units]
+
+        def shards() -> Iterator[_Shard]:
+            for unit_index, unit in enumerate(units):
+                chunk_size = unit.config.chunk_size
+                for chunk_index, chunk in enumerate(unit.trace.chunks(chunk_size)):
+                    yield _Shard(
+                        unit_index=unit_index,
+                        chunk_index=chunk_index,
+                        encoder=unit.encoder,
+                        disturbance_model=unit.disturbance_model,
+                        stream=chunk_stream(unit.config, unit_index, chunk_index),
+                        chunk=chunk,
+                    )
+
+        for unit_index, _, metrics in self._execute_windowed(_evaluate_shard, shards()):
+            per_unit[unit_index].merge(metrics)
+        return per_unit
+
     def run(self, units: Sequence[WorkUnit]) -> Dict[Hashable, WriteMetrics]:
         """Evaluate every unit and reduce the results by ``unit.key``.
 
@@ -323,9 +403,49 @@ class ParallelRunner:
         Used by sweep helpers whose work is not metric-shaped (e.g. the
         compression-coverage study).  ``func`` must be picklable
         (module-level) when ``n_jobs > 1``.
+
+        Any :class:`WriteTrace` argument rides the zero-copy transport: the
+        parent exports it once (shared-memory segment or mmap descriptor,
+        per the runner's ``transport`` policy) and workers receive a
+        ~100-byte handle they resolve via the per-process attachment cache,
+        instead of each task pickling the trace's arrays.  Traces the policy
+        cannot carry fall back to pickling transparently; results are
+        identical either way.
         """
-        tasks = [(func, tuple(args)) for args in tasks]
-        return list(self._execute(_call_star, tasks))
+        tasks = [tuple(args) for args in tasks]
+        dispatching = (
+            self.n_jobs > 1 and len(tasks) > 1 and self.transport != "pickle"
+        )
+        if not dispatching:
+            return list(self._execute(_call_star, [(func, args) for args in tasks]))
+        if self.persistent:
+            if self._exporter is None:
+                self._exporter = TraceExporter(self.transport)
+            exporter = self._exporter
+        else:
+            exporter = TraceExporter(self.transport)
+        try:
+            wrapped = [
+                (func, tuple(self._export_arg(arg, exporter) for arg in args))
+                for args in tasks
+            ]
+            return list(self._execute(_call_star, wrapped))
+        finally:
+            if exporter is not self._exporter:
+                exporter.release()
+            elif self._exporter is not None:
+                self._exporter.prune(
+                    id(arg) for args in tasks for arg in args
+                    if isinstance(arg, WriteTrace)
+                )
+
+    @staticmethod
+    def _export_arg(arg: Any, exporter: TraceExporter) -> Any:
+        if isinstance(arg, WriteTrace):
+            descriptor = exporter.export(arg)
+            if descriptor is not None:
+                return _ExportedTrace(descriptor)
+        return arg
 
     # ------------------------------------------------------------------ #
     # Execution backend
@@ -360,6 +480,51 @@ class ParallelRunner:
             return
         with ProcessPoolExecutor(max_workers=max_workers) as executor:
             yield from executor.map(worker, items, chunksize=chunksize)
+
+    def _execute_windowed(
+        self, worker: Callable[[Any], Any], items: Iterable[Any]
+    ) -> Iterator[Any]:
+        """Run ``worker`` over a lazily produced stream with backpressure.
+
+        Unlike :meth:`_execute` (which materialises its items and lets
+        ``Executor.map`` submit everything upfront), this pulls from ``items``
+        only while fewer than :attr:`window` tasks are in flight and yields
+        results in submission order -- the producer, the pool and the reducer
+        stay within a bounded number of chunks of each other no matter how
+        long the stream is.  ``n_jobs=1`` consumes the stream inline, one
+        item at a time.
+        """
+        if self.n_jobs == 1:
+            for item in items:
+                yield worker(item)
+            return
+        window = self.window or 4 * self.n_jobs
+        if self.persistent:
+            if self._executor is None:
+                self._executor = ProcessPoolExecutor(max_workers=self.n_jobs)
+            try:
+                yield from self._windowed(self._executor, worker, items, window)
+            except BrokenProcessPool:
+                self.close()
+                raise
+            return
+        with ProcessPoolExecutor(max_workers=self.n_jobs) as executor:
+            yield from self._windowed(executor, worker, items, window)
+
+    @staticmethod
+    def _windowed(
+        executor: ProcessPoolExecutor,
+        worker: Callable[[Any], Any],
+        items: Iterable[Any],
+        window: int,
+    ) -> Iterator[Any]:
+        pending: "deque" = deque()
+        for item in items:
+            while len(pending) >= window:
+                yield pending.popleft().result()
+            pending.append(executor.submit(worker, item))
+        while pending:
+            yield pending.popleft().result()
 
 
 # ---------------------------------------------------------------------- #

@@ -83,45 +83,56 @@ def n_chunks_of(trace: WriteTrace, config: EvaluationConfig) -> int:
     return -(-len(trace) // config.chunk_size) if len(trace) else 0
 
 
+def chunk_stream(
+    config: EvaluationConfig, unit_index: int, chunk_index: int
+) -> Optional[np.random.SeedSequence]:
+    """RNG stream of one evaluation chunk (Monte-Carlo disturbance sampling).
+
+    Stream ``c`` of work unit ``u`` is the :class:`numpy.random.SeedSequence`
+    with entropy ``config.seed`` and spawn key ``(u, c)`` -- exactly what
+    ``SeedSequence(config.seed, spawn_key=(u,)).spawn(...)`` would hand out,
+    but computed lazily, so streaming consumers that do not know the chunk
+    count upfront draw the very same streams as the materialised path.
+    Returns ``None`` when ``config.sample_disturbance`` is off.  A chunk's
+    random draws depend only on the evaluation seed and the chunk's logical
+    position -- never on which process evaluates it or in which order; the
+    parallel engine relies on this to stay bit-identical to the serial path
+    for any ``n_jobs``.
+    """
+    if not config.sample_disturbance:
+        return None
+    return np.random.SeedSequence(
+        entropy=config.seed, spawn_key=(unit_index, chunk_index)
+    )
+
+
 def chunk_streams(
     config: EvaluationConfig, n_chunks: int, unit_index: int = 0
 ) -> List[Optional[np.random.SeedSequence]]:
-    """Per-chunk RNG streams for Monte-Carlo disturbance sampling.
-
-    Returns one :class:`numpy.random.SeedSequence` per chunk (or ``None`` per
-    chunk when ``config.sample_disturbance`` is off).  Stream ``c`` of work
-    unit ``u`` is ``SeedSequence(config.seed).spawn``-derived with spawn key
-    ``(u, c)``, so a chunk's random draws depend only on the evaluation seed
-    and the chunk's logical position -- never on which process evaluates it or
-    in which order.  The parallel engine relies on this to stay bit-identical
-    to the serial path for any ``n_jobs``.
-    """
-    if not config.sample_disturbance:
-        return [None] * n_chunks
-    if n_chunks <= 0:
-        return []
-    # Equivalent to SeedSequence(config.seed).spawn(unit_index + 1)[unit_index]
-    # without spawning the unit_index unused siblings.
-    unit_seq = np.random.SeedSequence(entropy=config.seed, spawn_key=(unit_index,))
-    return list(unit_seq.spawn(n_chunks))
+    """Per-chunk RNG streams for a known chunk count (see :func:`chunk_stream`)."""
+    return [chunk_stream(config, unit_index, c) for c in range(max(0, n_chunks))]
 
 
 def evaluate_trace(
     encoder: WriteEncoder,
-    trace: WriteTrace,
+    trace,
     config: EvaluationConfig = DEFAULT_EVALUATION_CONFIG,
     disturbance_model: DisturbanceModel = DEFAULT_DISTURBANCE_MODEL,
     unit_index: int = 0,
 ) -> WriteMetrics:
     """Evaluate one scheme on one write trace and return the aggregate metrics.
 
-    ``unit_index`` selects the disturbance-sampling stream when the trace is
-    one of several work units evaluated together (see :mod:`.parallel`); the
-    default of 0 matches a standalone run.
+    ``trace`` is a :class:`~repro.workloads.trace.WriteTrace` or any
+    :class:`~repro.workloads.trace.ChunkSource` -- the loop only ever holds
+    one chunk, so evaluating a streaming source keeps memory bounded by the
+    chunk size regardless of the trace length.  ``unit_index`` selects the
+    disturbance-sampling stream when the trace is one of several work units
+    evaluated together (see :mod:`.parallel`); the default of 0 matches a
+    standalone run.
     """
     total = WriteMetrics()
-    streams = chunk_streams(config, n_chunks_of(trace, config), unit_index)
-    for chunk, stream in zip(trace.chunks(config.chunk_size), streams):
+    for chunk_index, chunk in enumerate(trace.chunks(config.chunk_size)):
+        stream = chunk_stream(config, unit_index, chunk_index)
         rng = np.random.default_rng(stream) if stream is not None else None
         encoded = encoder.encode_batch(chunk.new, chunk.old)
         total.merge(metrics_from_encoded(encoded, encoder, disturbance_model, rng))

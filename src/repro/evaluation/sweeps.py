@@ -29,7 +29,6 @@ from ..compression.fpc_bdi import DIN_COMPRESSION_BUDGET_BITS, FPCBDICompressor
 from ..compression.wlc import WLCCompressor
 from ..core.config import DEFAULT_EVALUATION_CONFIG, EvaluationConfig
 from ..core.energy import DEFAULT_ENERGY_MODEL, EnergyModel, figure14_energy_models
-from ..core.line import LineBatch
 from ..core.metrics import WriteMetrics
 from ..core.symbols import BITS_PER_LINE
 from ..workloads.trace import WriteTrace
@@ -107,8 +106,16 @@ def energy_level_sweep(
     return results
 
 
-def _coverage_cell(compressor: Compressor, lines: LineBatch, budget_bits: int) -> float:
-    """Coverage of one (compressor, benchmark) cell as a percentage."""
+def _coverage_cell(compressor: Compressor, lines, budget_bits: int) -> float:
+    """Coverage of one (compressor, benchmark) cell as a percentage.
+
+    ``lines`` is a :class:`LineBatch` or a whole :class:`WriteTrace` -- the
+    latter when the parallel engine's ``starmap`` ships the trace by
+    zero-copy transport descriptor instead of pickling arrays into every
+    task; coverage is measured on the new-data side either way.
+    """
+    if isinstance(lines, WriteTrace):
+        lines = lines.new
     return 100.0 * compressor.coverage(lines, budget_bits)
 
 
@@ -135,12 +142,28 @@ def compression_coverage(
     methods.append(("FPC+BDI", FPCBDICompressor(), din_budget_bits))
 
     names = list(traces)
+    runner = runner or ParallelRunner(n_jobs)
+    # Hand starmap the whole trace only when it can actually travel as a
+    # transport descriptor (shared memory present, or every trace already
+    # corpus-backed); everywhere the engine would fall back to pickling,
+    # ship just the new-data batch -- all the cell reads, and half the
+    # arrays of the full trace.
+    from ..traces.transport import shared_memory_available
+
+    by_descriptor = (
+        runner.n_jobs > 1
+        and runner.transport != "pickle"
+        and (
+            shared_memory_available()
+            or all(trace.mmap_path is not None for trace in traces.values())
+        )
+    )
     tasks = [
-        (compressor, traces[name].new, budget)
+        (compressor, traces[name] if by_descriptor else traces[name].new, budget)
         for name in names
         for _, compressor, budget in methods
     ]
-    values = (runner or ParallelRunner(n_jobs)).starmap(_coverage_cell, tasks)
+    values = runner.starmap(_coverage_cell, tasks)
 
     results: Dict[str, Dict[str, float]] = {}
     for row_index, name in enumerate(names):

@@ -16,17 +16,25 @@ This package is the trace *infrastructure* layer of the reproduction:
 """
 
 from .ingest import (
+    SYNTHESIS_CHUNK_LINES,
+    SYNTHESIS_VERSION,
     TRACE_FORMATS,
+    IngestChunkSource,
+    StreamingSynthesizer,
     detect_trace_format,
     ingest_trace_file,
+    iter_trace_address_chunks,
+    parse_ramulator_inst_trace,
     parse_ramulator_trace,
     parse_tracehm_trace,
+    stream_ingest_to_wtrc,
     synthesize_write_trace,
 )
 from .store import (
     CORPUS_INDEX_NAME,
     TRACE_SUFFIX,
     TraceCorpus,
+    TraceWriter,
     is_wtrc_file,
     load_trace,
     read_trace_header,
@@ -43,22 +51,30 @@ from .transport import (
 
 __all__ = [
     "CORPUS_INDEX_NAME",
+    "IngestChunkSource",
     "MmapTraceDescriptor",
     "ShmTraceDescriptor",
+    "StreamingSynthesizer",
+    "SYNTHESIS_CHUNK_LINES",
+    "SYNTHESIS_VERSION",
     "TRACE_FORMATS",
     "TRACE_SUFFIX",
     "TraceCorpus",
     "TraceExporter",
+    "TraceWriter",
     "attach_trace",
     "detect_trace_format",
     "ingest_trace_file",
     "is_wtrc_file",
+    "iter_trace_address_chunks",
     "load_trace",
+    "parse_ramulator_inst_trace",
     "parse_ramulator_trace",
     "parse_tracehm_trace",
     "read_trace_header",
     "save_trace",
     "shared_memory_available",
+    "stream_ingest_to_wtrc",
     "synthesize_write_trace",
     "trace_cache_key",
 ]

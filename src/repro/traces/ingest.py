@@ -1,6 +1,6 @@
-"""Ingest external address traces and synthesise write contents.
+"""Ingest external address traces and synthesise write contents -- streaming.
 
-Two ASCII trace dialects common in the memory-systems tooling around the
+Three ASCII trace dialects common in the memory-systems tooling around the
 paper are supported:
 
 ``ramulator2``
@@ -9,32 +9,59 @@ paper are supported:
     dropped, addresses are aligned to 64-byte memory lines, and accesses
     wider than one line are expanded into one write per touched line.
 
+``ramulator2-inst``
+    Ramulator2's *instruction* trace frontend: ``<bubbles> <ld> [<st>]``
+    lines, where ``bubbles`` counts non-memory instructions before the
+    access, ``ld`` is a load address and the optional third field is a
+    store (write-back) address.  Only lines carrying the store field
+    contribute a write.
+
 ``tracehm``
     Tab-separated ``<seq> 0xADDR <is_write>`` lines (tracehm's ``tracegen``
     output) where the third hex field flags writes.
 
-Both formats carry *addresses only* -- no data.  :func:`synthesize_write_trace`
+All three formats carry *addresses only* -- no data.  The synthesis layer
 turns such an address stream into a full (old, new) differential write trace:
 line contents are drawn from a :class:`~repro.workloads.generator
-.LineGenerator` seeded from the address stream itself (so the same input file
-always yields the same trace), and repeated writes to an address mutate the
-previously written value, preserving the reuse structure of the original
-workload.
+.LineGenerator`, and repeated writes to an address mutate the previously
+written value, preserving the reuse structure of the original workload.
+
+Everything in this module streams.  The parsers are generators that yield
+bounded ``uint64`` address chunks instead of materialising the whole stream
+in a Python list, and :class:`StreamingSynthesizer` consumes those chunks one
+at a time: chunk ``k``'s random draws come from a
+:class:`numpy.random.SeedSequence` seeded with the running SHA-256 digest of
+the address stream *up to and including* chunk ``k`` (plus the optional user
+seed and the chunk index), so the synthesised trace is still a pure function
+of the input file -- re-ingesting the same file bit-identically reproduces
+the same write trace -- while no more than one synthesis quantum
+(:data:`SYNTHESIS_CHUNK_LINES` requests) of content ever exists at once.
+The only state carried across chunks is the per-address last-written value
+(plus its content type), which is exactly the information any implementation
+of write-reuse chains needs: memory is bounded by the trace's *unique line
+working set*, not its length.
+
+The in-memory entry points (:func:`synthesize_write_trace`,
+:func:`ingest_trace_file`) run the very same chunked algorithm and merely
+concatenate its output, so the streamed and in-memory paths are bit-identical
+by construction -- the property test suite asserts it end to end, including
+through the parallel evaluation engine.
 """
 
 from __future__ import annotations
 
 import hashlib
 from pathlib import Path
-from typing import Optional, Union
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
 import numpy as np
 
 from ..core.errors import TraceError
 from ..core.line import LineBatch
+from ..core.symbols import WORDS_PER_LINE
 from ..workloads.generator import LineGenerator
 from ..workloads.profiles import get_profile
-from ..workloads.trace import WriteTrace
+from ..workloads.trace import WriteTrace, rechunk_traces
 
 #: Memory-line size every ingested access is coalesced to.
 LINE_BYTES = 64
@@ -43,9 +70,23 @@ LINE_BYTES = 64
 #: it into billions of per-line addresses.
 MAX_ACCESS_BYTES = 1 << 20
 #: Trace dialects :func:`ingest_trace_file` understands.
-TRACE_FORMATS = ("ramulator2", "tracehm")
+TRACE_FORMATS = ("ramulator2", "ramulator2-inst", "tracehm")
 #: Default content profile used to synthesise line data for address traces.
 DEFAULT_SYNTHESIS_PROFILE = "gcc"
+#: Version of the content-synthesis algorithm.  Version 2 is the chunked
+#: scheme described in the module docstring (one RNG stream per synthesis
+#: quantum, per-address state carried across chunks); it replaced the v1
+#: whole-stream algorithm, whose RNG draw order required the full trace in
+#: memory.  Recorded in the metadata of every ingested trace.
+SYNTHESIS_VERSION = 2
+#: Requests per synthesis quantum.  This is an algorithm parameter, not a
+#: tuning knob: the synthesised contents depend on it (each quantum draws
+#: from its own RNG stream), so the streamed and in-memory paths share this
+#: one constant to stay bit-identical.
+SYNTHESIS_CHUNK_LINES = 1 << 16
+#: Parsed lines buffered per parser-generator yield (amortises numpy
+#: conversion; does not affect any output, unlike the synthesis quantum).
+PARSE_BUFFER_LINES = 1 << 16
 
 
 def _clean_lines(path: Path):
@@ -61,17 +102,34 @@ def _clean_lines(path: Path):
             yield lineno, line
 
 
-def parse_ramulator_trace(path: Union[str, Path]) -> np.ndarray:
-    """Parse a ramulator2-style ASCII trace into 64B-aligned write addresses.
+def _flush(buffer: List[int]) -> np.ndarray:
+    chunk = np.asarray(buffer, dtype=np.uint64)
+    buffer.clear()
+    return chunk
 
-    Returns the ``uint64`` line addresses of every *write*, in trace order;
-    reads are filtered out and accesses spanning several lines contribute one
-    address per touched line.
-    """
+
+def _require_file(path: Union[str, Path]) -> Path:
     path = Path(path)
     if not path.exists():
         raise TraceError(f"trace file not found: {path}")
-    addresses = []
+    return path
+
+
+# ---------------------------------------------------------------------- #
+# Parser generators: ASCII trace -> bounded chunks of write-line addresses
+# ---------------------------------------------------------------------- #
+def iter_ramulator_addresses(
+    path: Union[str, Path], buffer_lines: int = PARSE_BUFFER_LINES
+) -> Iterator[np.ndarray]:
+    """Stream a ramulator2-style ASCII trace as 64B-aligned write addresses.
+
+    Yields ``uint64`` arrays of at most ``buffer_lines`` addresses (plus any
+    multi-line expansion of the last access), in trace order; reads are
+    filtered out and accesses spanning several lines contribute one address
+    per touched line.
+    """
+    path = _require_file(path)
+    buffer: List[int] = []
     for lineno, line in _clean_lines(path):
         parts = line.split()
         op = parts[0].upper()
@@ -102,20 +160,66 @@ def parse_ramulator_trace(path: Union[str, Path]) -> np.ndarray:
         first = addr - (addr % LINE_BYTES)
         last = (addr + size - 1) - ((addr + size - 1) % LINE_BYTES)
         for line_addr in range(first, last + LINE_BYTES, LINE_BYTES):
-            addresses.append(line_addr)
-    return np.asarray(addresses, dtype=np.uint64)
+            buffer.append(line_addr)
+        if len(buffer) >= buffer_lines:
+            yield _flush(buffer)
+    if buffer:
+        yield _flush(buffer)
 
 
-def parse_tracehm_trace(path: Union[str, Path]) -> np.ndarray:
-    """Parse a tracehm-style ``<seq> 0xADDR <is_write>`` trace.
+def _parse_int_field(path: Path, lineno: int, field: str) -> int:
+    """Decimal or ``0x``-prefixed integer field of an instruction trace."""
+    try:
+        return int(field, 16) if field.lower().startswith("0x") else int(field, 10)
+    except ValueError as exc:
+        raise TraceError(f"{path}:{lineno}: bad integer field: {exc}") from exc
 
-    Returns the 64B-aligned ``uint64`` addresses of the write accesses
+
+def iter_ramulator_inst_addresses(
+    path: Union[str, Path], buffer_lines: int = PARSE_BUFFER_LINES
+) -> Iterator[np.ndarray]:
+    """Stream a ramulator2 instruction trace (``<bubbles> <ld> [<st>]``).
+
+    Two-field lines are load-only and contribute no write; the optional
+    third field is a store (write-back) address, yielded 64B-aligned.
+    Fields are decimal, or hex with a ``0x`` prefix.
+    """
+    path = _require_file(path)
+    buffer: List[int] = []
+    for lineno, line in _clean_lines(path):
+        parts = line.split()
+        if len(parts) < 2 or len(parts) > 3:
+            raise TraceError(
+                f"{path}:{lineno}: expected '<bubbles> <ld> [<st>]', got {line!r}"
+            )
+        bubbles = _parse_int_field(path, lineno, parts[0])
+        if bubbles < 0:
+            raise TraceError(f"{path}:{lineno}: negative bubble count {bubbles}")
+        addresses = [_parse_int_field(path, lineno, field) for field in parts[1:]]
+        for value in addresses:
+            if value < 0 or value >= 2**64:
+                raise TraceError(
+                    f"{path}:{lineno}: address 0x{value:X} outside the 64-bit space"
+                )
+        if len(addresses) == 2:
+            store = addresses[1]
+            buffer.append(store - (store % LINE_BYTES))
+            if len(buffer) >= buffer_lines:
+                yield _flush(buffer)
+    if buffer:
+        yield _flush(buffer)
+
+
+def iter_tracehm_addresses(
+    path: Union[str, Path], buffer_lines: int = PARSE_BUFFER_LINES
+) -> Iterator[np.ndarray]:
+    """Stream a tracehm-style ``<seq> 0xADDR <is_write>`` trace.
+
+    Yields the 64B-aligned ``uint64`` addresses of the write accesses
     (``is_write`` truthy), in trace order.
     """
-    path = Path(path)
-    if not path.exists():
-        raise TraceError(f"trace file not found: {path}")
-    addresses = []
+    path = _require_file(path)
+    buffer: List[int] = []
     for lineno, line in _clean_lines(path):
         parts = line.split()
         if len(parts) < 3:
@@ -132,21 +236,95 @@ def parse_tracehm_trace(path: Union[str, Path]) -> np.ndarray:
                 f"{path}:{lineno}: address 0x{addr:X} outside the 64-bit space"
             )
         if is_write:
-            addresses.append(addr - (addr % LINE_BYTES))
-    return np.asarray(addresses, dtype=np.uint64)
+            buffer.append(addr - (addr % LINE_BYTES))
+            if len(buffer) >= buffer_lines:
+                yield _flush(buffer)
+    if buffer:
+        yield _flush(buffer)
+
+
+#: Dialect name -> streaming parser.
+_FORMAT_PARSERS: Dict[str, Callable[..., Iterator[np.ndarray]]] = {
+    "ramulator2": iter_ramulator_addresses,
+    "ramulator2-inst": iter_ramulator_inst_addresses,
+    "tracehm": iter_tracehm_addresses,
+}
+
+
+def _concat_address_chunks(chunks: Iterable[np.ndarray]) -> np.ndarray:
+    parts = list(chunks)
+    if not parts:
+        return np.asarray([], dtype=np.uint64)
+    return np.concatenate(parts) if len(parts) > 1 else parts[0]
+
+
+def parse_ramulator_trace(path: Union[str, Path]) -> np.ndarray:
+    """Parse a ramulator2-style ASCII trace into 64B-aligned write addresses.
+
+    Materialised convenience wrapper over :func:`iter_ramulator_addresses`.
+    """
+    return _concat_address_chunks(iter_ramulator_addresses(path))
+
+
+def parse_ramulator_inst_trace(path: Union[str, Path]) -> np.ndarray:
+    """Parse a ramulator2 instruction trace into 64B-aligned store addresses.
+
+    Materialised convenience wrapper over
+    :func:`iter_ramulator_inst_addresses`.
+    """
+    return _concat_address_chunks(iter_ramulator_inst_addresses(path))
+
+
+def parse_tracehm_trace(path: Union[str, Path]) -> np.ndarray:
+    """Parse a tracehm-style ``<seq> 0xADDR <is_write>`` trace.
+
+    Materialised convenience wrapper over :func:`iter_tracehm_addresses`.
+    """
+    return _concat_address_chunks(iter_tracehm_addresses(path))
+
+
+def _looks_int(field: str) -> bool:
+    """Whether a field parses as the dialects' decimal-or-0x-hex integers."""
+    text = field.lower()
+    if text.startswith("0x"):
+        text = text[2:]
+        return bool(text) and all(c in "0123456789abcdef" for c in text)
+    return field.isdigit()
 
 
 def detect_trace_format(path: Union[str, Path]) -> str:
-    """Sniff which supported dialect ``path`` uses from its first data line."""
-    path = Path(path)
-    if not path.exists():
-        raise TraceError(f"trace file not found: {path}")
+    """Sniff which supported dialect ``path`` uses from its first data line.
+
+    Three-field numeric lines are inherently ambiguous between tracehm
+    (``<seq> ADDR <is_write>``) and ramulator2-inst (``<bubbles> <ld> <st>``).
+    Tie-breakers, in order: a third field of ``0``/``1`` (or ``0x0``/``0x1``)
+    reads as a write flag (tracehm); a ``0x``-prefixed first or third field
+    reads as ramulator2-inst (tracehm's sequence number and write flag are
+    plain decimals in practice); a ``0x`` *address* with a bare non-flag
+    third field keeps the historical tracehm interpretation; all-decimal
+    lines read as ramulator2-inst.  Two integer fields are always
+    ramulator2-inst (a load-only line).  Pass an explicit ``--format`` /
+    ``fmt`` for files the heuristic cannot see through.
+    """
+    path = _require_file(path)
     for _, line in _clean_lines(path):
         parts = line.split()
         if parts[0].upper() in ("R", "W", "LD", "ST"):
             return "ramulator2"
-        if len(parts) >= 3 and parts[0].isdigit():
-            return "tracehm"
+        if _looks_int(parts[0]):
+            if len(parts) == 2 and _looks_int(parts[1]):
+                return "ramulator2-inst"
+            if len(parts) == 3 and all(_looks_int(p) for p in parts):
+                lowered = [p.lower() for p in parts]
+                if lowered[2] in ("0", "1", "0x0", "0x1"):
+                    return "tracehm"
+                if lowered[0].startswith("0x") or lowered[2].startswith("0x"):
+                    return "ramulator2-inst"
+                if lowered[1].startswith("0x"):
+                    return "tracehm"
+                return "ramulator2-inst"
+            if len(parts) >= 3 and parts[0].isdigit():
+                return "tracehm"
         break
     raise TraceError(
         f"cannot detect the trace format of {path}; "
@@ -154,18 +332,205 @@ def detect_trace_format(path: Union[str, Path]) -> str:
     )
 
 
-def _entropy_from_addresses(addresses: np.ndarray, seed: Optional[int]) -> list:
-    """SeedSequence entropy derived from the address stream itself.
+def iter_trace_address_chunks(
+    path: Union[str, Path],
+    fmt: str = "auto",
+    chunk_lines: int = SYNTHESIS_CHUNK_LINES,
+) -> Iterator[np.ndarray]:
+    """Stream a trace file as exactly ``chunk_lines``-sized address chunks.
 
-    Hashing the full stream means the synthesised contents are a pure
-    function of the input trace (plus the optional user seed) -- re-ingesting
-    the same file bit-identically reproduces the same write trace.
+    ``fmt`` is one of :data:`TRACE_FORMATS` or ``"auto"`` (sniff from the
+    first data line).  The exact chunk boundaries matter: the synthesis layer
+    seeds one RNG stream per chunk, so every consumer must see the same
+    quanta.  The last chunk may be shorter.
     """
-    digest = hashlib.sha256(np.ascontiguousarray(addresses, dtype="<u8").tobytes()).digest()
+    path = _require_file(path)
+    if fmt == "auto":
+        fmt = detect_trace_format(path)
+    parser = _FORMAT_PARSERS.get(fmt)
+    if parser is None:
+        raise TraceError(
+            f"unknown trace format {fmt!r}; supported: {', '.join(TRACE_FORMATS)}"
+        )
+    if chunk_lines <= 0:
+        raise TraceError("chunk_lines must be positive")
+    pending: List[np.ndarray] = []
+    buffered = 0
+    for chunk in parser(path):
+        pending.append(chunk)
+        buffered += len(chunk)
+        while buffered >= chunk_lines:
+            merged = pending[0] if len(pending) == 1 else np.concatenate(pending)
+            yield merged[:chunk_lines]
+            rest = merged[chunk_lines:]
+            pending = [rest] if len(rest) else []
+            buffered = len(rest)
+    if buffered:
+        yield pending[0] if len(pending) == 1 else np.concatenate(pending)
+
+
+# ---------------------------------------------------------------------- #
+# Streaming content synthesis
+# ---------------------------------------------------------------------- #
+def _chunk_entropy(digest: bytes, chunk_index: int, seed: Optional[int]) -> List[int]:
+    """SeedSequence entropy of one synthesis quantum.
+
+    ``digest`` is the running SHA-256 over the little-endian address stream
+    up to and including this chunk, so the chunk's draws are a pure function
+    of the input prefix (plus the optional user seed): re-ingesting the same
+    file bit-identically reproduces the same trace, chunk by chunk.
+    """
     entropy = [int.from_bytes(digest[i:i + 4], "little") for i in range(0, 16, 4)]
+    entropy.append(int(chunk_index))
     if seed is not None:
         entropy.insert(0, int(seed))
     return entropy
+
+
+class StreamingSynthesizer:
+    """Turn an address-only write stream into (old, new) contents, chunk-wise.
+
+    Feed the synthesis quanta of one trace in order; each :meth:`feed` call
+    returns the corresponding fully synthesised :class:`WriteTrace` chunk.
+    Every distinct line address gets initial content drawn from ``profile``'s
+    line-type mix the first time it appears; the j-th write to an address
+    mutates the value its (j-1)-th write stored (across chunk boundaries),
+    exactly like :class:`~repro.workloads.generator.TraceGenerator` models
+    value locality.  Mutation semantics are shared with the trace generator
+    via :meth:`LineGenerator.plan_mutations` / ``apply_mutations``.
+
+    Memory: one quantum of content plus the per-address state (last value
+    and content type of every line seen so far) -- bounded by the unique
+    working set, never by the trace length.
+    """
+
+    def __init__(
+        self,
+        profile: str = DEFAULT_SYNTHESIS_PROFILE,
+        seed: Optional[int] = None,
+        name: str = "ingested",
+    ):
+        self.profile = get_profile(profile)
+        self.seed = seed
+        self.name = name
+        self.total_requests = 0
+        self._hasher = hashlib.sha256()
+        self._chunk_index = 0
+        self._rows: Dict[int, int] = {}
+        self._words = np.empty((0, WORDS_PER_LINE), dtype=np.uint64)
+        self._types = np.empty(0, dtype=object)
+
+    @property
+    def unique_lines(self) -> int:
+        """Distinct line addresses seen so far."""
+        return len(self._rows)
+
+    def metadata(self) -> Dict[str, str]:
+        """Provenance metadata of the trace synthesised so far."""
+        return {
+            "profile": self.profile.name,
+            "source": "ingest",
+            "unique_lines": str(self.unique_lines),
+            "synthesis_version": str(SYNTHESIS_VERSION),
+        }
+
+    def _grow_state(self, extra: int) -> None:
+        needed = len(self._rows) + extra
+        capacity = len(self._words)
+        if needed <= capacity:
+            return
+        capacity = max(needed, 2 * capacity, 1024)
+        words = np.zeros((capacity, WORDS_PER_LINE), dtype=np.uint64)
+        words[: len(self._words)] = self._words
+        types = np.empty(capacity, dtype=object)
+        types[: len(self._types)] = self._types
+        self._words = words
+        self._types = types
+
+    def feed(self, addresses: np.ndarray) -> WriteTrace:
+        """Synthesise the next chunk of the stream and return it."""
+        addresses = np.ascontiguousarray(
+            np.asarray(addresses, dtype=np.uint64).reshape(-1)
+        )
+        n = len(addresses)
+        chunk_index = self._chunk_index
+        self._chunk_index += 1
+        self.total_requests += n
+        self._hasher.update(addresses.astype("<u8", copy=False).tobytes())
+        if n == 0:
+            return WriteTrace(
+                old=LineBatch.zeros(0),
+                new=LineBatch.zeros(0),
+                addresses=addresses,
+                name=self.name,
+            )
+        rng = np.random.default_rng(
+            np.random.SeedSequence(
+                _chunk_entropy(self._hasher.digest(), chunk_index, self.seed)
+            )
+        )
+        generator = LineGenerator(self.profile, rng)
+
+        unique, inverse = np.unique(addresses, return_inverse=True)
+        rows = np.fromiter(
+            (self._rows.get(int(a), -1) for a in unique),
+            dtype=np.int64,
+            count=len(unique),
+        )
+        fresh = np.flatnonzero(rows < 0)
+        if len(fresh):
+            state, types = generator.generate_lines(len(fresh))
+            base = len(self._rows)
+            self._grow_state(len(fresh))
+            self._words[base:base + len(fresh)] = state.words
+            self._types[base:base + len(fresh)] = types
+            rows[fresh] = base + np.arange(len(fresh))
+            for offset, index in enumerate(fresh):
+                self._rows[int(unique[index])] = base + offset
+
+        request_rows = rows[inverse]
+        plan = generator.plan_mutations(n, self._types[request_rows])
+
+        # Occurrence index of each request among the chunk's writes to the
+        # same address (0 for the first in-chunk write, ...), vectorised via
+        # a stable sort by address -- cross-chunk chains continue through the
+        # persistent per-address state.
+        order = np.argsort(inverse, kind="stable")
+        sorted_inverse = inverse[order]
+        boundaries = np.flatnonzero(np.diff(sorted_inverse)) + 1
+        starts = np.concatenate([[0], boundaries])
+        group_sizes = np.diff(np.concatenate([starts, [n]]))
+        occurrence = np.empty(n, dtype=np.int64)
+        occurrence[order] = np.arange(n) - np.repeat(starts, group_sizes)
+
+        old_words = np.empty((n, WORDS_PER_LINE), dtype=np.uint64)
+        new_words = np.empty_like(old_words)
+        occurrence_order = np.argsort(occurrence, kind="stable")
+        round_counts = np.bincount(occurrence)
+        offsets = np.concatenate([[0], np.cumsum(round_counts)])
+        # Round r rewrites every address receiving its (r+1)-th in-chunk
+        # write; within a round each address appears once, so the value
+        # updates vectorise cleanly and total work stays O(n).
+        for r in range(len(round_counts)):
+            idx = occurrence_order[offsets[r]:offsets[r + 1]]
+            touched = request_rows[idx]
+            prev = self._words[touched]
+            old_words[idx] = prev
+            value = generator.apply_mutations(plan, prev, idx)
+            self._words[touched] = value
+            new_words[idx] = value
+        return WriteTrace(
+            old=LineBatch(old_words),
+            new=LineBatch(new_words),
+            addresses=addresses,
+            name=self.name,
+            metadata={"profile": self.profile.name, "source": "ingest"},
+        )
+
+    def feed_all(self, chunks: Iterable[np.ndarray]) -> Iterator[WriteTrace]:
+        """Synthesise every chunk of an address-chunk iterator, in order."""
+        for addresses in chunks:
+            yield self.feed(addresses)
 
 
 def synthesize_write_trace(
@@ -173,83 +538,35 @@ def synthesize_write_trace(
     profile: str = DEFAULT_SYNTHESIS_PROFILE,
     name: str = "ingested",
     seed: Optional[int] = None,
+    chunk_lines: int = SYNTHESIS_CHUNK_LINES,
 ) -> WriteTrace:
     """Turn an address-only write stream into a full (old, new) write trace.
 
-    Every distinct line address gets initial content drawn from ``profile``'s
-    line-type mix; the j-th write to an address mutates the value its (j-1)-th
-    write stored, exactly like :class:`~repro.workloads.generator
-    .TraceGenerator` models value locality.  The generator is seeded from the
-    address stream (:func:`_entropy_from_addresses`), so ingestion is
-    deterministic per input file.
+    In-memory wrapper over :class:`StreamingSynthesizer`: the addresses are
+    cut into the standard synthesis quanta and the resulting chunks are
+    concatenated, so the output is bit-identical to what the streaming path
+    writes for the same stream.  Only override ``chunk_lines`` to mirror a
+    streaming consumer using the same non-default quantum.
     """
     addresses = np.asarray(addresses, dtype=np.uint64).reshape(-1)
-    n = len(addresses)
-    bench = get_profile(profile)
-    if n == 0:
+    synthesizer = StreamingSynthesizer(profile=profile, seed=seed, name=name)
+    if len(addresses) == 0:
         return WriteTrace(
             old=LineBatch.zeros(0),
             new=LineBatch.zeros(0),
             addresses=addresses,
             name=name,
-            metadata={"profile": bench.name, "source": "ingest"},
+            metadata=synthesizer.metadata(),
         )
-
-    rng = np.random.default_rng(
-        np.random.SeedSequence(_entropy_from_addresses(addresses, seed))
-    )
-    generator = LineGenerator(bench, rng)
-
-    unique, inverse = np.unique(addresses, return_inverse=True)
-    # Occurrence index of each request among the writes to the same address
-    # (0 for the first write, 1 for the second, ...), computed vectorised via
-    # a stable sort by address.
-    order = np.argsort(inverse, kind="stable")
-    sorted_inverse = inverse[order]
-    boundaries = np.flatnonzero(np.diff(sorted_inverse)) + 1
-    starts = np.concatenate([[0], boundaries])
-    group_sizes = np.diff(np.concatenate([starts, [n]]))
-    occurrence = np.empty(n, dtype=np.int64)
-    occurrence[order] = np.arange(n) - np.repeat(starts, group_sizes)
-
-    state, types = generator.generate_lines(len(unique))
-
-    # One mutation plan covers all n requests: every random draw happens up
-    # front, vectorised, and the chain-resolution loop below is pure array
-    # plumbing.  Sharing LineGenerator.plan_mutations/apply_mutations keeps
-    # ingested traces on exactly the mutation semantics of generated ones,
-    # and stays fast when one hot line receives most of the writes (rounds
-    # are contiguous slices of a sort by occurrence, so total work is O(n),
-    # not O(n x max writes per address)).
-    plan = generator.plan_mutations(n, types[inverse])
-
-    state_words = state.words.copy()
-    old_words = np.empty((n, state_words.shape[1]), dtype=np.uint64)
-    new_words = np.empty_like(old_words)
-    occurrence_order = np.argsort(occurrence, kind="stable")
-    round_counts = np.bincount(occurrence)
-    offsets = np.concatenate([[0], np.cumsum(round_counts)])
-    # Round r rewrites every address receiving its (r+1)-th write; within a
-    # round each address appears once, so the value updates vectorise cleanly.
-    for r in range(len(round_counts)):
-        idx = occurrence_order[offsets[r]:offsets[r + 1]]
-        touched = inverse[idx]
-        prev = state_words[touched]
-        old_words[idx] = prev
-        value = generator.apply_mutations(plan, prev, idx)
-        state_words[touched] = value
-        new_words[idx] = value
-    return WriteTrace(
-        old=LineBatch(old_words),
-        new=LineBatch(new_words),
-        addresses=addresses,
-        name=name,
-        metadata={
-            "profile": bench.name,
-            "source": "ingest",
-            "unique_lines": str(len(unique)),
-        },
-    )
+    chunks = [
+        synthesizer.feed(addresses[start:start + chunk_lines])
+        for start in range(0, len(addresses), chunk_lines)
+    ]
+    trace = WriteTrace.concat(chunks, name=name, metadata=synthesizer.metadata())
+    # concat drops per-part addresses only when absent; rebuild the exact
+    # input array either way so callers see their own object semantics.
+    trace.addresses = addresses
+    return trace
 
 
 def ingest_trace_file(
@@ -258,27 +575,119 @@ def ingest_trace_file(
     profile: str = DEFAULT_SYNTHESIS_PROFILE,
     name: Optional[str] = None,
     seed: Optional[int] = None,
+    chunk_lines: int = SYNTHESIS_CHUNK_LINES,
 ) -> WriteTrace:
     """Parse an external trace file and synthesise a full write trace.
 
-    ``fmt`` is ``"ramulator2"``, ``"tracehm"`` or ``"auto"`` (sniff from the
+    ``fmt`` is one of :data:`TRACE_FORMATS` or ``"auto"`` (sniff from the
     first data line).  The result records the source format and file in its
-    metadata.
+    metadata.  This materialises the whole trace; for traces larger than RAM
+    use :func:`stream_ingest_to_wtrc` or :class:`IngestChunkSource`, which
+    produce bit-identical data (given the same synthesis quantum
+    ``chunk_lines``) with bounded memory.
     """
     path = Path(path)
     if fmt == "auto":
         fmt = detect_trace_format(path)
-    if fmt == "ramulator2":
-        addresses = parse_ramulator_trace(path)
-    elif fmt == "tracehm":
-        addresses = parse_tracehm_trace(path)
-    else:
+    parser = _FORMAT_PARSERS.get(fmt)
+    if parser is None:
         raise TraceError(
             f"unknown trace format {fmt!r}; supported: {', '.join(TRACE_FORMATS)}"
         )
+    # The parser's buffers concatenate straight into the flat array --
+    # synthesize_write_trace re-cuts it into quanta itself, so routing
+    # through iter_trace_address_chunks' rechunking would just add a copy.
+    addresses = _concat_address_chunks(parser(path))
     trace = synthesize_write_trace(
-        addresses, profile=profile, name=name or path.stem, seed=seed
+        addresses,
+        profile=profile,
+        name=name or path.stem,
+        seed=seed,
+        chunk_lines=chunk_lines,
     )
     trace.metadata["source_format"] = fmt
     trace.metadata["source_file"] = path.name
     return trace
+
+
+def stream_ingest_to_wtrc(
+    path: Union[str, Path],
+    out: Union[str, Path],
+    fmt: str = "auto",
+    profile: str = DEFAULT_SYNTHESIS_PROFILE,
+    name: Optional[str] = None,
+    seed: Optional[int] = None,
+    chunk_lines: int = SYNTHESIS_CHUNK_LINES,
+) -> Path:
+    """Stream-convert an external ASCII trace straight to a ``.wtrc`` file.
+
+    Parsing, content synthesis and the on-disk write all proceed one
+    synthesis quantum at a time (see :class:`~repro.traces.store
+    .TraceWriter`), so a multi-gigabyte input trace converts with peak
+    memory bounded by the quantum plus the unique-line state -- the input
+    never materialises.  The output file is byte-identical to saving
+    :func:`ingest_trace_file`'s result with :func:`~repro.traces.store
+    .save_trace`.
+    """
+    from .store import TraceWriter
+
+    path = Path(path)
+    if fmt == "auto":
+        fmt = detect_trace_format(path)
+    synthesizer = StreamingSynthesizer(
+        profile=profile, seed=seed, name=name or path.stem
+    )
+    # has_addresses preset: a trace with zero writes yields no chunks, but
+    # the in-memory path still records an (empty) address array -- the empty
+    # streamed file must say the same to stay byte-identical.
+    with TraceWriter(out, name=synthesizer.name, has_addresses=True) as writer:
+        for chunk in synthesizer.feed_all(
+            iter_trace_address_chunks(path, fmt, chunk_lines)
+        ):
+            writer.append(chunk)
+        writer.metadata.update(synthesizer.metadata())
+        writer.metadata["source_format"] = fmt
+        writer.metadata["source_file"] = path.name
+    return writer.path
+
+
+class IngestChunkSource:
+    """A :class:`~repro.workloads.trace.ChunkSource` over an ASCII trace file.
+
+    Evaluating this source streams the file end to end -- parse, synthesise,
+    evaluate -- without ever materialising the trace: each ``chunks()`` call
+    re-opens the file and replays the deterministic synthesis, so the source
+    is re-iterable (several work units can evaluate it) at the cost of
+    re-parsing per iteration.  Chunk boundaries and contents are bit-identical
+    to ``ingest_trace_file(...)``'s materialised trace cut at ``chunk_size``.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        fmt: str = "auto",
+        profile: str = DEFAULT_SYNTHESIS_PROFILE,
+        name: Optional[str] = None,
+        seed: Optional[int] = None,
+        chunk_lines: int = SYNTHESIS_CHUNK_LINES,
+    ):
+        self.path = _require_file(path)
+        self.fmt = detect_trace_format(self.path) if fmt == "auto" else fmt
+        if self.fmt not in _FORMAT_PARSERS:
+            raise TraceError(
+                f"unknown trace format {self.fmt!r}; "
+                f"supported: {', '.join(TRACE_FORMATS)}"
+            )
+        self.profile = profile
+        self.seed = seed
+        self.name = name or self.path.stem
+        self.chunk_lines = chunk_lines
+
+    def chunks(self, chunk_size: int) -> Iterator[WriteTrace]:
+        synthesizer = StreamingSynthesizer(
+            profile=self.profile, seed=self.seed, name=self.name
+        )
+        pieces = synthesizer.feed_all(
+            iter_trace_address_chunks(self.path, self.fmt, self.chunk_lines)
+        )
+        return rechunk_traces(pieces, chunk_size)

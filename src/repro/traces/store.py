@@ -33,9 +33,10 @@ import json
 import os
 import struct
 import tempfile
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterator, List, Optional, Union
+from typing import Dict, Iterator, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -111,41 +112,204 @@ def _atomic_write(path: Path, mode: str, write) -> None:
         raise
 
 
-def save_trace(trace: WriteTrace, path: Union[str, Path]) -> Path:
-    """Write ``trace`` to ``path`` in the raw ``.wtrc`` format."""
-    path = Path(path)
+def _header_blob(
+    n_lines: int, name: str, metadata: Dict[str, str], has_addresses: bool
+) -> Tuple[bytes, int]:
+    """Serialised JSON header plus the aligned data offset it implies.
+
+    Shared by :func:`save_trace` and :class:`TraceWriter` so the streamed and
+    one-shot writers produce byte-identical files for the same trace.
+    """
     header = {
         "format": "wtrc",
         "version": TRACE_FORMAT_VERSION,
-        "n_lines": len(trace),
-        "name": trace.name,
-        "metadata": {str(k): str(v) for k, v in trace.metadata.items()},
-        "has_addresses": trace.addresses is not None,
+        "n_lines": int(n_lines),
+        "name": name,
+        "metadata": {str(k): str(v) for k, v in metadata.items()},
+        "has_addresses": bool(has_addresses),
     }
     header_bytes = json.dumps(header, sort_keys=True).encode("utf-8")
     data_offset = _PREAMBLE.size + len(header_bytes)
     data_offset = -(-data_offset // DATA_ALIGNMENT) * DATA_ALIGNMENT
+    return header_bytes, data_offset
+
+
+def _write_preamble(fh, header_bytes: bytes, data_offset: int) -> None:
+    fh.write(_PREAMBLE.pack(TRACE_MAGIC, TRACE_FORMAT_VERSION, 0, len(header_bytes)))
+    fh.write(header_bytes)
+    fh.write(b"\0" * (data_offset - _PREAMBLE.size - len(header_bytes)))
+
+
+def _write_array(fh, array: np.ndarray) -> None:
+    if array.size == 0:  # cast("B") rejects zero-size views
+        return
+    # memoryview streams the buffer without the full in-RAM bytes copy
+    # .tobytes() would make -- ascontiguousarray is a view when the array
+    # is already contiguous little-endian uint64 (the usual case).
+    fh.write(memoryview(np.ascontiguousarray(array, dtype="<u8")).cast("B"))
+
+
+def save_trace(trace: WriteTrace, path: Union[str, Path]) -> Path:
+    """Write ``trace`` to ``path`` in the raw ``.wtrc`` format."""
+    path = Path(path)
+    header_bytes, data_offset = _header_blob(
+        len(trace), trace.name, trace.metadata, trace.addresses is not None
+    )
     path.parent.mkdir(parents=True, exist_ok=True)
 
-    def write_array(fh, array: np.ndarray) -> None:
-        if array.size == 0:  # cast("B") rejects zero-size views
-            return
-        # memoryview streams the buffer without the full in-RAM bytes copy
-        # .tobytes() would make -- ascontiguousarray is a view when the array
-        # is already contiguous little-endian uint64 (the usual case).
-        fh.write(memoryview(np.ascontiguousarray(array, dtype="<u8")).cast("B"))
-
     def write(fh) -> None:
-        fh.write(_PREAMBLE.pack(TRACE_MAGIC, TRACE_FORMAT_VERSION, 0, len(header_bytes)))
-        fh.write(header_bytes)
-        fh.write(b"\0" * (data_offset - _PREAMBLE.size - len(header_bytes)))
-        write_array(fh, trace.old.words)
-        write_array(fh, trace.new.words)
+        _write_preamble(fh, header_bytes, data_offset)
+        _write_array(fh, trace.old.words)
+        _write_array(fh, trace.new.words)
         if trace.addresses is not None:
-            write_array(fh, trace.addresses)
+            _write_array(fh, trace.addresses)
 
     _atomic_write(path, "wb", write)
     return path
+
+
+class TraceWriter:
+    """Incremental ``.wtrc`` writer: append chunks, finalise once.
+
+    The ``.wtrc`` layout is columnar (all old words, then all new words, then
+    the addresses), which a single growing file cannot serve while the line
+    count is still unknown.  The writer therefore spools each column to its
+    own temporary file next to the destination as chunks arrive -- bounded
+    memory, sequential I/O -- and on :meth:`close` stitches the columns
+    behind the final header and atomically replaces ``path``, exactly like
+    :func:`save_trace` (for the same trace the two produce byte-identical
+    files).
+
+    Use as a context manager: a clean exit finalises the file, an exception
+    discards the spools and leaves ``path`` untouched.  ``metadata`` may be
+    updated any time before close (e.g. with totals only known at the end).
+
+    ``has_addresses`` is normally inferred from the first appended chunk;
+    pass it explicitly when the stream may yield *no* chunks at all (e.g. an
+    ingest of a read-only trace), so the empty file still records the right
+    header and stays byte-identical to the materialised writer's output.
+    """
+
+    #: Bytes copied per read when stitching spools into the final file.
+    COPY_BUFFER_BYTES = 1 << 20
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        name: str = "trace",
+        metadata: Optional[Dict[str, str]] = None,
+        has_addresses: Optional[bool] = None,
+    ):
+        self.path = Path(path)
+        self.name = name
+        self.metadata: Dict[str, str] = dict(metadata or {})
+        self.n_lines = 0
+        self._has_addresses: Optional[bool] = has_addresses
+        self._spools: Optional[List] = None  # [(file handle, Path), ...]
+        self._finished = False
+
+    def __enter__(self) -> "TraceWriter":
+        return self
+
+    def __exit__(self, exc_type, *exc) -> None:
+        if exc_type is not None:
+            self.abort()
+        else:
+            self.close()
+
+    def _open_spools(self, has_addresses: bool) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._spools = []
+        columns = ("old", "new", "addr") if has_addresses else ("old", "new")
+        try:
+            for column in columns:
+                fd, tmp = tempfile.mkstemp(
+                    dir=self.path.parent,
+                    prefix=f"{self.path.name}.{column}.",
+                    suffix=".tmp",
+                )
+                self._spools.append((os.fdopen(fd, "wb"), Path(tmp)))
+        except BaseException:
+            self.abort()
+            raise
+
+    def append(self, chunk: WriteTrace) -> None:
+        """Append one trace chunk; chunks must agree on carrying addresses."""
+        if self._finished:
+            raise TraceError(f"TraceWriter for {self.path} is already closed")
+        if len(chunk) == 0:
+            return
+        has_addresses = chunk.addresses is not None
+        if self._has_addresses is None:
+            self._has_addresses = has_addresses
+        elif has_addresses != self._has_addresses:
+            raise TraceError(
+                "all chunks of a streamed trace must consistently carry "
+                "addresses (or consistently omit them)"
+            )
+        if self._spools is None:
+            self._open_spools(has_addresses)
+        arrays = [chunk.old.words, chunk.new.words]
+        if has_addresses:
+            arrays.append(chunk.addresses)
+        try:
+            for (fh, _), array in zip(self._spools, arrays):
+                _write_array(fh, array)
+        except BaseException:
+            self.abort()
+            raise
+        self.n_lines += len(chunk)
+
+    def abort(self) -> None:
+        """Discard the spools; the destination path is left untouched."""
+        self._finished = True
+        for fh, tmp in self._spools or []:
+            try:
+                fh.close()
+            except OSError:  # pragma: no cover - best-effort cleanup
+                pass
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+        self._spools = None
+
+    def close(self) -> Path:
+        """Stitch the spooled columns into the final ``.wtrc`` file."""
+        if self._finished:
+            return self.path
+        self._finished = True
+        spools = self._spools or []
+        self._spools = None
+        try:
+            header_bytes, data_offset = _header_blob(
+                self.n_lines, self.name, self.metadata, bool(self._has_addresses)
+            )
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+
+            def write(out) -> None:
+                _write_preamble(out, header_bytes, data_offset)
+                for fh, tmp in spools:
+                    fh.flush()
+                    with open(tmp, "rb") as src:
+                        while True:
+                            block = src.read(self.COPY_BUFFER_BYTES)
+                            if not block:
+                                break
+                            out.write(block)
+
+            _atomic_write(self.path, "wb", write)
+        finally:
+            for fh, tmp in spools:
+                try:
+                    fh.close()
+                except OSError:  # pragma: no cover - best-effort cleanup
+                    pass
+                try:
+                    tmp.unlink()
+                except OSError:
+                    pass
+        return self.path
 
 
 def is_wtrc_file(path: Union[str, Path]) -> bool:
@@ -306,10 +470,21 @@ class TraceCorpus:
     (``ExperimentConfig.trace_dir``): benchmark traces are generated once,
     cached on disk keyed by ``(profile, n_lines, seed, generator version)``,
     and every later run memory-maps the cached copy.
+
+    ``cache_budget_bytes`` optionally bounds the ``cache/`` directory: after
+    every cache miss the least-recently-used cached traces are evicted until
+    the cache fits the budget again (see :meth:`gc`).  Traces added
+    explicitly with :meth:`add` live outside ``cache/`` and are never
+    evicted.
     """
 
-    def __init__(self, root: Union[str, Path]):
+    def __init__(
+        self, root: Union[str, Path], cache_budget_bytes: Optional[int] = None
+    ):
         self.root = Path(root)
+        if cache_budget_bytes is not None and cache_budget_bytes < 0:
+            raise TraceError("cache_budget_bytes must be non-negative")
+        self.cache_budget_bytes = cache_budget_bytes
 
     # ------------------------------------------------------------------ #
     # Index handling
@@ -396,6 +571,18 @@ class TraceCorpus:
             )
         return self.root / entries[name].file
 
+    @staticmethod
+    def validate_name(name: str) -> str:
+        """Check a corpus trace name; returns it for chaining."""
+        if not name:
+            raise TraceError("corpus traces need a non-empty name")
+        if "/" in name or "\\" in name or name in (".", "..") or name.startswith("."):
+            raise TraceError(
+                f"invalid corpus trace name {name!r}: names must not contain "
+                "path separators or start with a dot"
+            )
+        return name
+
     def add(
         self,
         trace: WriteTrace,
@@ -405,14 +592,7 @@ class TraceCorpus:
         digest: Optional[str] = None,
     ) -> Path:
         """Save ``trace`` into the corpus under ``name`` and index it."""
-        name = name or trace.name
-        if not name:
-            raise TraceError("corpus traces need a non-empty name")
-        if "/" in name or "\\" in name or name in (".", "..") or name.startswith("."):
-            raise TraceError(
-                f"invalid corpus trace name {name!r}: names must not contain "
-                "path separators or start with a dot"
-            )
+        name = self.validate_name(name or trace.name)
         rel = f"{name}{TRACE_SUFFIX}"
         # File and index entry update under one lock, so concurrent adds of
         # the same name cannot leave the index describing the losing file.
@@ -427,6 +607,45 @@ class TraceCorpus:
                 seed=seed,
                 digest=digest,
                 metadata={str(k): str(v) for k, v in trace.metadata.items()},
+            )
+            self._write_index(entries)
+        return path
+
+    def add_path(
+        self,
+        path: Union[str, Path],
+        name: Optional[str] = None,
+        profile: Optional[str] = None,
+        seed: Optional[int] = None,
+        digest: Optional[str] = None,
+    ) -> Path:
+        """Index an existing ``.wtrc`` file already inside the corpus tree.
+
+        This is how streamed conversions register: the file is written first
+        (e.g. by :class:`TraceWriter`, atomically), then indexed here without
+        ever materialising the trace.  ``name`` defaults to the file's header
+        name.
+        """
+        path = Path(path)
+        header = read_trace_header(path)
+        name = self.validate_name(name or header.name)
+        try:
+            rel = path.resolve().relative_to(self.root.resolve())
+        except ValueError as exc:
+            raise TraceError(
+                f"{path} is outside corpus {self.root}; corpus entries must "
+                "live under the corpus root"
+            ) from exc
+        with self._index_lock():
+            entries = self._read_index()
+            entries[name] = CorpusEntry(
+                name=name,
+                file=str(rel),
+                n_lines=header.n_lines,
+                profile=profile,
+                seed=seed,
+                digest=digest,
+                metadata=dict(header.metadata),
             )
             self._write_index(entries)
         return path
@@ -453,7 +672,8 @@ class TraceCorpus:
 
         digest = trace_cache_key(profile, n_lines, seed, GENERATOR_VERSION)
         cached = self.root / "cache" / f"{digest}{TRACE_SUFFIX}"
-        if not cached.exists():
+        generated = not cached.exists()
+        if generated:
             trace = generate_benchmark_trace(profile, n_lines, seed)
             save_trace(trace, cached)
             with self._index_lock():
@@ -469,4 +689,104 @@ class TraceCorpus:
                     metadata=dict(trace.metadata),
                 )
                 self._write_index(entries)
-        return load_trace(cached, mmap=mmap)
+        else:
+            # Bump the LRU clock.  Only the *atime* is advanced -- the mmap
+            # transport's staleness guards key on mtime, so touching that on
+            # a read would make concurrently shared corpora look rewritten
+            # and fail workers' attach checks.  Explicit utime works even on
+            # noatime mounts.  Best effort; racing a concurrent eviction is
+            # harmless.
+            try:
+                stat = cached.stat()
+                os.utime(cached, ns=(time.time_ns(), stat.st_mtime_ns))
+            except OSError:
+                pass
+        loaded = load_trace(cached, mmap=mmap)
+        # Collect only after loading: if the budget is smaller than this very
+        # trace, the eviction unlinks the file but the mapping (or the
+        # in-RAM copy) stays readable, so the caller still gets its trace.
+        if generated and self.cache_budget_bytes is not None:
+            self.gc()
+        return loaded
+
+    # ------------------------------------------------------------------ #
+    # Cache garbage collection
+    # ------------------------------------------------------------------ #
+    def cache_dir(self) -> Path:
+        """Directory holding the content-addressed generated traces."""
+        return self.root / "cache"
+
+    def gc(
+        self, budget_bytes: Optional[int] = None, dry_run: bool = False
+    ) -> Dict[str, object]:
+        """Evict least-recently-used cached traces until the cache fits.
+
+        Only ``cache/*.wtrc`` files (the content-addressed generation cache)
+        are candidates; traces registered with :meth:`add` are never touched.
+        Recency is ``max(atime, mtime)``: generation sets the mtime and
+        :meth:`get_or_generate` advances the atime on every cache hit
+        (leaving the mtime alone, which the mmap transport's staleness
+        guards key on).  Index entries pointing at evicted (or otherwise
+        missing) cache files are dropped.  With ``dry_run`` nothing is
+        deleted; the report describes what would happen.
+
+        Returns a report: ``budget_bytes``, ``removed`` (file names, oldest
+        first), ``freed_bytes``, ``kept_bytes`` and ``dry_run``.
+
+        Evicting a trace another process is currently memory-mapping is safe
+        on POSIX -- the unlinked inode stays readable until unmapped; the
+        next ``get_or_generate`` simply regenerates it.
+        """
+        budget = self.cache_budget_bytes if budget_bytes is None else budget_bytes
+        if budget is None:
+            raise TraceError(
+                "corpus gc needs a byte budget (constructor cache_budget_bytes "
+                "or the budget_bytes argument)"
+            )
+        if budget < 0:
+            raise TraceError("gc budget_bytes must be non-negative")
+        with self._index_lock():
+            files = []
+            if self.cache_dir().is_dir():
+                for path in self.cache_dir().glob(f"*{TRACE_SUFFIX}"):
+                    try:
+                        stat = path.stat()
+                    except OSError:  # raced with a concurrent eviction
+                        continue
+                    recency = max(stat.st_atime_ns, stat.st_mtime_ns)
+                    files.append((recency, path.name, path, stat.st_size))
+            files.sort()
+            total = sum(size for _, _, _, size in files)
+            removed: List[str] = []
+            freed = 0
+            for _, _, path, size in files:
+                if total <= budget:
+                    break
+                if not dry_run:
+                    try:
+                        path.unlink()
+                    except OSError:  # pragma: no cover - concurrent eviction
+                        continue
+                removed.append(path.name)
+                total -= size
+                freed += size
+            if not dry_run and removed:
+                entries = self._read_index()
+                cache_rel = self.cache_dir().name
+                kept_entries = {
+                    name: entry
+                    for name, entry in entries.items()
+                    if not (
+                        Path(entry.file).parts[:1] == (cache_rel,)
+                        and not (self.root / entry.file).exists()
+                    )
+                }
+                if kept_entries != entries:
+                    self._write_index(kept_entries)
+        return {
+            "budget_bytes": int(budget),
+            "removed": removed,
+            "freed_bytes": int(freed),
+            "kept_bytes": int(total),
+            "dry_run": bool(dry_run),
+        }

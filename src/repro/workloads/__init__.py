@@ -18,11 +18,12 @@ from .profiles import (
     PROFILES,
     get_profile,
 )
-from .trace import WriteTrace
+from .trace import ChunkSource, WriteTrace, rechunk_traces
 
 __all__ = [
     "ALL_BENCHMARKS",
     "BenchmarkProfile",
+    "ChunkSource",
     "GENERATOR_VERSION",
     "HMI_BENCHMARKS",
     "LINE_TYPES",
@@ -36,4 +37,5 @@ __all__ = [
     "generate_benchmark_trace",
     "generate_random_trace",
     "get_profile",
+    "rechunk_traces",
 ]

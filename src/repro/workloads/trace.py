@@ -1,4 +1,4 @@
-"""Write-trace container and file format.
+"""Write-trace container, file format, and the chunk-source abstraction.
 
 A *write trace* is the input the paper's trace-driven simulator consumes: a
 sequence of memory write transactions, each carrying both the value to be
@@ -12,18 +12,56 @@ Traces can be saved to and loaded from two formats, dispatched on the file
 suffix: compressed ``.npz`` archives (the historical format) and the raw
 ``.wtrc`` corpus format of :mod:`repro.traces.store`, which loads through
 :class:`numpy.memmap` so a corpus-backed trace never materialises in RAM.
+
+The evaluation stack does not actually require a materialised trace -- only
+an iterator of fixed-size chunks.  :class:`ChunkSource` names that contract:
+anything with a ``name`` and a re-iterable ``chunks(chunk_size)`` method can
+be evaluated (serially or on the parallel engine) with memory bounded by the
+chunk size.  :class:`WriteTrace` itself satisfies it (slicing views), and
+:class:`repro.traces.ingest.IngestChunkSource` streams chunks straight out of
+an on-disk ASCII trace that never fits in RAM.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterator, Optional, Union
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Union
 
 import numpy as np
 
 from ..core.errors import TraceError
 from ..core.line import LineBatch
+
+try:  # Protocol is typing-only; keep a graceful path for very old 3.7 envs
+    from typing import Protocol, runtime_checkable
+except ImportError:  # pragma: no cover
+    Protocol = object  # type: ignore[assignment]
+
+    def runtime_checkable(cls):  # type: ignore[no-redef]
+        return cls
+
+
+@runtime_checkable
+class ChunkSource(Protocol):
+    """Anything the evaluation stack can consume chunk by chunk.
+
+    The contract:
+
+    * ``name`` labels the trace in results and reports;
+    * ``chunks(chunk_size)`` yields consecutive :class:`WriteTrace` chunks of
+      exactly ``chunk_size`` requests (the last may be shorter), and must be
+      **re-iterable**: every call restarts from the first request, so several
+      work units (e.g. different encoders) can evaluate one source.
+
+    The chunk boundaries must not depend on who is iterating -- the parallel
+    engine relies on chunk ``c`` of any iteration being identical to chunk
+    ``c`` of the serial run to keep results bit-identical for any ``n_jobs``.
+    """
+
+    name: str
+
+    def chunks(self, chunk_size: int) -> Iterator["WriteTrace"]: ...
 
 
 @dataclass
@@ -76,6 +114,41 @@ class WriteTrace:
             raise TraceError("chunk_size must be positive")
         for start in range(0, len(self), chunk_size):
             yield self[start:start + chunk_size]
+
+    @classmethod
+    def concat(
+        cls,
+        traces: Sequence["WriteTrace"],
+        name: Optional[str] = None,
+        metadata: Optional[Dict[str, str]] = None,
+    ) -> "WriteTrace":
+        """Concatenate consecutive traces/chunks into one trace.
+
+        Addresses are kept only when every part carries them.  ``name`` and
+        ``metadata`` default to the first part's.
+        """
+        traces = list(traces)
+        if not traces:
+            return cls(old=LineBatch.zeros(0), new=LineBatch.zeros(0), name=name or "trace")
+        if len(traces) == 1:
+            first = traces[0]
+            return cls(
+                old=first.old,
+                new=first.new,
+                addresses=first.addresses,
+                name=name or first.name,
+                metadata=dict(metadata if metadata is not None else first.metadata),
+            )
+        addresses = None
+        if all(t.addresses is not None for t in traces):
+            addresses = np.concatenate([t.addresses for t in traces])
+        return cls(
+            old=LineBatch(np.concatenate([t.old.words for t in traces])),
+            new=LineBatch(np.concatenate([t.new.words for t in traces])),
+            addresses=addresses,
+            name=name or traces[0].name,
+            metadata=dict(metadata if metadata is not None else traces[0].metadata),
+        )
 
     # ------------------------------------------------------------------ #
     # Persistence
@@ -170,3 +243,33 @@ class WriteTrace:
         """Histogram (length 4) of the 2-bit symbols of the new data values."""
         symbols = self.new.symbols()
         return np.bincount(symbols.reshape(-1), minlength=4).astype(np.int64)
+
+
+def rechunk_traces(
+    pieces: Iterable[WriteTrace], chunk_size: int
+) -> Iterator[WriteTrace]:
+    """Re-slice a stream of trace pieces into exactly ``chunk_size``-line chunks.
+
+    The pieces a producer emits (e.g. the synthesis quantum of the streaming
+    ingest) rarely match the evaluation chunk size; this adapter restores the
+    exact chunk boundaries the serial runner would use on the materialised
+    trace, holding at most one producer piece plus one output chunk in memory.
+    The final chunk may be shorter.
+    """
+    if chunk_size <= 0:
+        raise TraceError("chunk_size must be positive")
+    pending: List[WriteTrace] = []
+    buffered = 0
+    for piece in pieces:
+        if len(piece) == 0:
+            continue
+        pending.append(piece)
+        buffered += len(piece)
+        while buffered >= chunk_size:
+            merged = pending[0] if len(pending) == 1 else WriteTrace.concat(pending)
+            yield merged[:chunk_size]
+            rest = merged[chunk_size:]
+            pending = [rest] if len(rest) else []
+            buffered = len(rest)
+    if pending:
+        yield pending[0] if len(pending) == 1 else WriteTrace.concat(pending)

@@ -109,6 +109,28 @@ class TestRunnerSemantics:
         assert ParallelRunner(n_jobs=1).starmap(abs, tasks) == list(range(20))
         assert ParallelRunner(n_jobs=3).starmap(abs, tasks) == list(range(20))
 
+    def test_starmap_ships_traces_by_transport(self, gcc_trace):
+        """WriteTrace args ride the zero-copy transport, results unchanged."""
+        from repro.evaluation.sweeps import compression_coverage
+
+        traces = {"gcc": gcc_trace[:96]}
+        serial = compression_coverage(traces, runner=ParallelRunner(1))
+        shm = compression_coverage(traces, runner=ParallelRunner(2, transport="shm"))
+        pickled = compression_coverage(
+            traces, runner=ParallelRunner(2, transport="pickle")
+        )
+        assert serial == shm == pickled
+
+    def test_starmap_transport_with_persistent_runner(self, gcc_trace):
+        from repro.evaluation.sweeps import compression_coverage
+
+        traces = {"gcc": gcc_trace[:96]}
+        serial = compression_coverage(traces, runner=ParallelRunner(1))
+        with ParallelRunner(2, transport="shm") as runner:
+            first = compression_coverage(traces, runner=runner)
+            second = compression_coverage(traces, runner=runner)
+        assert serial == first == second
+
 
 class TestRewiredHelpers:
     def test_evaluate_schemes_jobs_equivalence(self, gcc_trace):

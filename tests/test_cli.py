@@ -219,6 +219,91 @@ class TestTraceCommands:
         assert main(["trace", "convert", str(bad), "--out", str(tmp_path / "o.wtrc")]) == 2
         assert "cannot detect" in capsys.readouterr().err
 
+    def test_convert_streams_byte_identically(self, capsys, tmp_path):
+        """The streamed .wtrc convert path equals the in-memory ingest+save."""
+        from repro.traces import ingest_trace_file, save_trace
+
+        out = tmp_path / "streamed.wtrc"
+        assert main(["trace", "convert", str(SAMPLE_TRACE), "--out", str(out)]) == 0
+        reference = save_trace(ingest_trace_file(SAMPLE_TRACE), tmp_path / "ref.wtrc")
+        assert out.read_bytes() == reference.read_bytes()
+
+    def test_convert_ramulator_inst_dialect(self, capsys, tmp_path):
+        src = tmp_path / "cpu.trace"
+        src.write_text("2 4096\n0 4096 8192\n1 64 0x2040\n")
+        out = tmp_path / "cpu.wtrc"
+        assert main(["trace", "convert", str(src), "--out", str(out)]) == 0
+        assert "wrote 2 write requests" in capsys.readouterr().out
+
+    def test_evaluate_ascii_trace_streams(self, capsys, tmp_path):
+        """evaluate --trace on a raw ASCII file == convert-then-evaluate."""
+        out = tmp_path / "sample.wtrc"
+        assert main(["trace", "convert", str(SAMPLE_TRACE), "--out", str(out)]) == 0
+        capsys.readouterr()
+        assert main(["evaluate", "--scheme", "baseline", "--trace", str(out), "--json"]) == 0
+        converted = json.loads(capsys.readouterr().out)
+        assert main(["evaluate", "--scheme", "baseline", "--trace", str(SAMPLE_TRACE),
+                     "--json"]) == 0
+        direct = json.loads(capsys.readouterr().out)
+        assert converted == direct
+        assert main(["evaluate", "--scheme", "baseline", "--trace", str(SAMPLE_TRACE),
+                     "--jobs", "4", "--json"]) == 0
+        assert json.loads(capsys.readouterr().out) == direct
+
+    def test_evaluate_ascii_trace_unknown_profile(self, capsys):
+        assert main(["evaluate", "--trace", str(SAMPLE_TRACE), "--profile", "nope"]) == 2
+        assert "unknown profile" in capsys.readouterr().err
+
+
+class TestTraceGC:
+    def _populate(self, tmp_path, benchmarks=("gcc", "lbm")):
+        corpus = tmp_path / "corpus"
+        for bench in benchmarks:
+            assert main(["evaluate", "--scheme", "baseline", "--benchmark", bench,
+                         "--trace-length", "60", "--trace-dir", str(corpus)]) == 0
+        return corpus
+
+    def test_gc_evicts_to_budget(self, capsys, tmp_path):
+        corpus = self._populate(tmp_path)
+        capsys.readouterr()
+        assert main(["trace", "gc", str(corpus), "--max-bytes", "0", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert len(report["removed"]) == 2
+        assert not list((corpus / "cache").glob("*.wtrc"))
+
+    def test_gc_dry_run(self, capsys, tmp_path):
+        corpus = self._populate(tmp_path)
+        capsys.readouterr()
+        assert main(["trace", "gc", str(corpus), "--max-bytes", "0", "--dry-run"]) == 0
+        out = capsys.readouterr().out
+        assert "would evict" in out
+        assert len(list((corpus / "cache").glob("*.wtrc"))) == 2
+
+    def test_gc_size_suffixes(self, capsys, tmp_path):
+        corpus = self._populate(tmp_path, benchmarks=("gcc",))
+        capsys.readouterr()
+        assert main(["trace", "gc", str(corpus), "--max-bytes", "1G"]) == 0
+        assert "within budget" in capsys.readouterr().out
+
+    def test_gc_missing_corpus(self, capsys, tmp_path):
+        assert main(["trace", "gc", str(tmp_path / "nope"), "--max-bytes", "1M"]) == 2
+        assert "not a trace corpus" in capsys.readouterr().err
+
+    def test_non_finite_sizes_rejected_cleanly(self, tmp_path):
+        for size in ("inf", "nan", "1e400", "-1"):
+            with pytest.raises(SystemExit) as excinfo:
+                main(["trace", "gc", str(tmp_path), "--max-bytes", size])
+            assert excinfo.value.code == 2
+
+    def test_trace_cache_budget_flag_bounds_cache(self, tmp_path):
+        corpus = tmp_path / "corpus"
+        for bench in ("gcc", "lbm", "mcf"):
+            assert main(["evaluate", "--scheme", "baseline", "--benchmark", bench,
+                         "--trace-length", "60", "--trace-dir", str(corpus),
+                         "--trace-cache-budget", "40K"]) == 0
+        total = sum(p.stat().st_size for p in (corpus / "cache").glob("*.wtrc"))
+        assert total <= 40 * 1024
+
 
 class TestCorpusBackedExperiments:
     def test_trace_dir_caches_and_reproduces(self, capsys, tmp_path):

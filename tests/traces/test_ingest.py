@@ -9,6 +9,8 @@ from repro.core.errors import TraceError
 from repro.traces.ingest import (
     detect_trace_format,
     ingest_trace_file,
+    iter_trace_address_chunks,
+    parse_ramulator_inst_trace,
     parse_ramulator_trace,
     parse_tracehm_trace,
     synthesize_write_trace,
@@ -97,9 +99,107 @@ class TestTracehmParser:
             parse_tracehm_trace(path)
 
 
+class TestRamulatorInstParser:
+    """The ramulator2 instruction dialect: ``<bubbles> <ld> [<st>]``."""
+
+    def test_store_field_is_the_write(self, tmp_path):
+        path = tmp_path / "t.trace"
+        path.write_text("3 1000\n0 2048 4096\n7 128 0x1040\n")
+        assert parse_ramulator_inst_trace(path).tolist() == [4096, 0x1040]
+
+    def test_store_addresses_coalesce_to_lines(self, tmp_path):
+        path = tmp_path / "t.trace"
+        path.write_text("1 64 100\n")
+        assert parse_ramulator_inst_trace(path).tolist() == [64]
+
+    def test_load_only_lines_contribute_nothing(self, tmp_path):
+        path = tmp_path / "t.trace"
+        path.write_text("2 4096\n9 8192\n")
+        assert parse_ramulator_inst_trace(path).tolist() == []
+
+    def test_malformed_line_rejected(self, tmp_path):
+        path = tmp_path / "t.trace"
+        path.write_text("5\n")
+        with pytest.raises(TraceError, match=":1"):
+            parse_ramulator_inst_trace(path)
+
+    def test_too_many_fields_rejected(self, tmp_path):
+        path = tmp_path / "t.trace"
+        path.write_text("1 2 3 4\n")
+        with pytest.raises(TraceError, match="expected"):
+            parse_ramulator_inst_trace(path)
+
+    def test_out_of_range_store_rejected(self, tmp_path):
+        path = tmp_path / "t.trace"
+        path.write_text("0 64 0x1FFFFFFFFFFFFFFFFFF\n")
+        with pytest.raises(TraceError, match="64-bit"):
+            parse_ramulator_inst_trace(path)
+
+    def test_ingest_end_to_end(self, tmp_path):
+        path = tmp_path / "t.trace"
+        path.write_text("0 64 128\n1 64\n2 64 128\n")
+        trace = ingest_trace_file(path, fmt="ramulator2-inst")
+        assert len(trace) == 2
+        assert trace.metadata["source_format"] == "ramulator2-inst"
+        # the second store rewrites what the first stored
+        assert (trace.old.words[1] == trace.new.words[0]).all()
+
+
+class TestAddressChunkIterator:
+    def test_exact_chunking_matches_parse(self, tmp_path):
+        path = tmp_path / "t.trace"
+        path.write_text("".join(f"W 0x{i * 64:X} 0x40\n" for i in range(100)))
+        chunks = list(iter_trace_address_chunks(path, chunk_lines=32))
+        assert [len(c) for c in chunks] == [32, 32, 32, 4]
+        assert np.concatenate(chunks).tolist() == parse_ramulator_trace(path).tolist()
+
+    def test_unknown_format_rejected(self, tmp_path):
+        path = tmp_path / "t.trace"
+        path.write_text("W 0x40 0x40\n")
+        with pytest.raises(TraceError, match="unknown trace format"):
+            list(iter_trace_address_chunks(path, fmt="elf"))
+
+
 class TestFormatDetection:
     def test_detects_ramulator(self):
         assert detect_trace_format(SAMPLE) == "ramulator2"
+
+    def test_detects_ramulator_inst(self, tmp_path):
+        path = tmp_path / "t.trace"
+        path.write_text("3 20734016 20734528\n")
+        assert detect_trace_format(path) == "ramulator2-inst"
+
+    def test_detects_ramulator_inst_load_only(self, tmp_path):
+        path = tmp_path / "t.trace"
+        path.write_text("3 20734016\n")
+        assert detect_trace_format(path) == "ramulator2-inst"
+
+    def test_bare_hex_tracehm_still_detected(self, tmp_path):
+        """tracehm without 0x prefixes: the 0/1 write flag disambiguates."""
+        path = tmp_path / "t.trace"
+        path.write_text("0\t1000\t1\n1\t2000\t0\n")
+        assert detect_trace_format(path) == "tracehm"
+        assert parse_tracehm_trace(path).tolist() == [0x1000]
+
+    def test_hex_addressed_inst_trace_detected(self, tmp_path):
+        """0x-prefixed load AND store addresses read as ramulator2-inst."""
+        path = tmp_path / "t.trace"
+        path.write_text("3 0x7F00 0x7F40\n")
+        assert detect_trace_format(path) == "ramulator2-inst"
+        assert parse_ramulator_inst_trace(path).tolist() == [0x7F40]
+
+    def test_hex_tracehm_with_hex_flag_stays_tracehm(self, tmp_path):
+        path = tmp_path / "t.trace"
+        path.write_text("0\t0x1000\t0x1\n")
+        assert detect_trace_format(path) == "tracehm"
+
+    def test_hex_load_only_inst_line_detected(self, tmp_path):
+        """Every line shape the inst parser accepts must also be sniffable."""
+        for first_line in ("3 0x7F00", "0x3 0x7F00 0x7F40"):
+            path = tmp_path / "t.trace"
+            path.write_text(first_line + "\n")
+            assert detect_trace_format(path) == "ramulator2-inst", first_line
+            parse_ramulator_inst_trace(path)  # and the parser agrees
 
     def test_detects_tracehm(self, tmp_path):
         path = tmp_path / "t.trace"

@@ -213,3 +213,149 @@ class TestCorpus:
         assert entry.profile == "lbm"
         assert entry.seed == 9
         assert entry.n_lines == 32
+
+
+class TestCorpusGC:
+    """LRU byte-budget eviction of the generation cache."""
+
+    @staticmethod
+    def _fill(corpus, specs):
+        import os
+
+        for i, (profile, n) in enumerate(specs):
+            corpus.get_or_generate(profile, n, seed=1)
+            # Widen the mtime spacing so LRU order is unambiguous even on
+            # filesystems with coarse timestamps.
+            for j, path in enumerate(sorted(corpus.cache_dir().glob("*.wtrc"))):
+                os.utime(path, ns=(j * 10**9, (j + 1) * 10**9))
+
+    def test_evicts_oldest_first_until_budget(self, tmp_path):
+        corpus = TraceCorpus(tmp_path / "c")
+        self._fill(corpus, [("gcc", 32), ("lbm", 32), ("mcf", 32)])
+        files = sorted(
+            corpus.cache_dir().glob("*.wtrc"), key=lambda p: p.stat().st_mtime_ns
+        )
+        sizes = [p.stat().st_size for p in files]
+        budget = sizes[1] + sizes[2]  # room for exactly the two newest
+        report = corpus.gc(budget_bytes=budget)
+        assert report["removed"] == [files[0].name]
+        assert report["kept_bytes"] <= budget
+        assert not files[0].exists() and files[1].exists() and files[2].exists()
+
+    def test_index_entries_of_evicted_traces_are_dropped(self, tmp_path):
+        corpus = TraceCorpus(tmp_path / "c")
+        self._fill(corpus, [("gcc", 32), ("lbm", 32)])
+        assert len(corpus.entries()) == 2
+        corpus.gc(budget_bytes=0)
+        assert corpus.entries() == {}
+        assert list(corpus.cache_dir().glob("*.wtrc")) == []
+
+    def test_named_traces_are_never_evicted(self, tmp_path):
+        corpus = TraceCorpus(tmp_path / "c")
+        corpus.add(_trace(), name="precious")
+        corpus.get_or_generate("gcc", 32, seed=1)
+        corpus.gc(budget_bytes=0)
+        assert "precious" in corpus.entries()
+        assert (tmp_path / "c" / "precious.wtrc").exists()
+
+    def test_dry_run_deletes_nothing(self, tmp_path):
+        corpus = TraceCorpus(tmp_path / "c")
+        self._fill(corpus, [("gcc", 32)])
+        report = corpus.gc(budget_bytes=0, dry_run=True)
+        assert report["removed"] and report["dry_run"]
+        assert len(list(corpus.cache_dir().glob("*.wtrc"))) == 1
+        assert len(corpus.entries()) == 1
+
+    def test_cache_hit_refreshes_lru_position(self, tmp_path):
+        import os
+
+        corpus = TraceCorpus(tmp_path / "c")
+        corpus.get_or_generate("gcc", 32, seed=1)
+        corpus.get_or_generate("lbm", 32, seed=1)
+        files = sorted(corpus.cache_dir().glob("*.wtrc"))
+        for j, path in enumerate(files):
+            os.utime(path, ns=(j * 10**9, (j + 1) * 10**9))
+        oldest = min(files, key=lambda p: p.stat().st_mtime_ns)
+        before_atime = oldest.stat().st_atime_ns
+        before_mtime = oldest.stat().st_mtime_ns
+        # Hitting both entries advances their atime (the LRU clock) while
+        # leaving mtime alone -- the mmap transport's staleness guards key
+        # on mtime, so a cache hit must not look like a rewrite.
+        corpus.get_or_generate("gcc", 32, seed=1)
+        corpus.get_or_generate("lbm", 32, seed=1)
+        assert oldest.stat().st_atime_ns > before_atime
+        assert oldest.stat().st_mtime_ns == before_mtime
+
+    def test_budget_on_constructor_collects_after_generation(self, tmp_path):
+        probe = TraceCorpus(tmp_path / "probe")
+        probe.get_or_generate("gcc", 32, seed=1)
+        per_trace = max(p.stat().st_size for p in probe.cache_dir().glob("*.wtrc"))
+        budget = 2 * per_trace + per_trace // 2  # room for about two traces
+        corpus = TraceCorpus(tmp_path / "c", cache_budget_bytes=budget)
+        for profile in ("gcc", "lbm", "mcf", "milc"):
+            corpus.get_or_generate(profile, 32, seed=1)
+        total = sum(p.stat().st_size for p in corpus.cache_dir().glob("*.wtrc"))
+        assert total <= budget
+        assert len(list(corpus.cache_dir().glob("*.wtrc"))) < 4
+
+    def test_cache_hit_does_not_invalidate_mmap_descriptors(self, tmp_path):
+        """A concurrent run's cache hit must not make exported descriptors
+        look stale: only atime moves, and the transport guards key on mtime."""
+        from repro.traces.transport import (
+            MmapTraceDescriptor,
+            TraceExporter,
+            attach_trace,
+        )
+
+        corpus = TraceCorpus(tmp_path / "c")
+        trace = corpus.get_or_generate("gcc", 32, seed=1)
+        with TraceExporter("mmap") as exporter:
+            descriptor = exporter.export(trace)
+            assert isinstance(descriptor, MmapTraceDescriptor)
+            corpus.get_or_generate("gcc", 32, seed=1)  # concurrent cache hit
+            attached = attach_trace(descriptor)  # must not raise "changed"
+            assert attached.new == trace.new
+
+    def test_budget_smaller_than_one_trace_still_returns_it(self, tmp_path):
+        """Generation under an impossibly small budget must not crash: the
+        trace is loaded before the eviction, so the caller keeps a usable
+        (unlinked-inode) mapping and only the cache file disappears."""
+        corpus = TraceCorpus(tmp_path / "c", cache_budget_bytes=16)
+        trace = corpus.get_or_generate("gcc", 32, seed=1)
+        assert trace.new == generate_benchmark_trace("gcc", 32, 1).new
+        assert list(corpus.cache_dir().glob("*.wtrc")) == []
+
+    def test_gc_without_budget_rejected(self, tmp_path):
+        with pytest.raises(TraceError, match="byte budget"):
+            TraceCorpus(tmp_path / "c").gc()
+
+    def test_negative_budgets_rejected(self, tmp_path):
+        with pytest.raises(TraceError):
+            TraceCorpus(tmp_path / "c", cache_budget_bytes=-1)
+        with pytest.raises(TraceError):
+            TraceCorpus(tmp_path / "c").gc(budget_bytes=-5)
+
+
+class TestAddPath:
+    def test_indexes_existing_file(self, tmp_path):
+        corpus = TraceCorpus(tmp_path / "c")
+        corpus.root.mkdir(parents=True)
+        path = save_trace(_trace(name="spooled"), corpus.root / "spooled.wtrc")
+        corpus.add_path(path, profile="gcc", seed=4)
+        entry = corpus.entries()["spooled"]
+        assert entry.n_lines == 16
+        assert entry.profile == "gcc"
+        assert corpus.load("spooled").new == _trace().new
+
+    def test_rejects_files_outside_the_corpus(self, tmp_path):
+        corpus = TraceCorpus(tmp_path / "c")
+        outside = save_trace(_trace(), tmp_path / "elsewhere.wtrc")
+        with pytest.raises(TraceError, match="outside corpus"):
+            corpus.add_path(outside)
+
+    def test_rejects_invalid_names(self, tmp_path):
+        corpus = TraceCorpus(tmp_path / "c")
+        corpus.root.mkdir(parents=True)
+        path = save_trace(_trace(), corpus.root / "x.wtrc")
+        with pytest.raises(TraceError, match="invalid corpus trace name"):
+            corpus.add_path(path, name="a/b")

@@ -1,0 +1,349 @@
+"""End-to-end tests of the streaming chunk pipeline.
+
+The pipeline's contract, asserted here layer by layer:
+
+* :class:`TraceWriter` produces byte-identical files to :func:`save_trace`;
+* streamed ingest (parse -> synthesise -> spool) is bit-identical to the
+  in-memory path for every dialect;
+* evaluating an :class:`IngestChunkSource` through the engine's windowed
+  streaming dispatch is bit-identical to the serial in-memory evaluation at
+  ``n_jobs`` 1 and 4 (the hypothesis property test below is the ISSUE's
+  acceptance criterion);
+* peak memory of the streamed path is bounded by the in-flight window, not
+  the trace length (the smoke test streams a trace >= 10x the chunk window
+  and asserts the tracemalloc peak barely moves versus a window-sized one).
+
+The smoke test scales with ``REPRO_SMOKE_LINES`` so CI's tier-2 job can run
+it against a much larger trace than the default tier-1 run.
+"""
+
+import os
+import tracemalloc
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coding import make_scheme
+from repro.core.config import EvaluationConfig
+from repro.core.errors import TraceError
+from repro.evaluation.parallel import ParallelRunner, WorkUnit
+from repro.evaluation.runner import evaluate_trace
+from repro.traces.ingest import (
+    IngestChunkSource,
+    StreamingSynthesizer,
+    ingest_trace_file,
+    stream_ingest_to_wtrc,
+    synthesize_write_trace,
+)
+from repro.traces.store import TraceWriter, load_trace, read_trace_header, save_trace
+from repro.workloads.trace import WriteTrace, rechunk_traces
+
+MC_CONFIG = EvaluationConfig(chunk_size=64, sample_disturbance=True, seed=5)
+
+
+def _write_ramulator(path: Path, addresses, writes_mask=None) -> Path:
+    lines = []
+    for i, addr in enumerate(addresses):
+        is_write = True if writes_mask is None else bool(writes_mask[i])
+        lines.append(f"{'W' if is_write else 'R'} 0x{int(addr):X} 0x40")
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+def _write_tracehm(path: Path, addresses, writes_mask=None) -> Path:
+    lines = []
+    for i, addr in enumerate(addresses):
+        is_write = 1 if writes_mask is None or writes_mask[i] else 0
+        lines.append(f"{i}\t0x{int(addr):X}\t{is_write}")
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+def _write_ramulator_inst(path: Path, addresses, writes_mask=None) -> Path:
+    lines = []
+    for i, addr in enumerate(addresses):
+        if writes_mask is None or writes_mask[i]:
+            lines.append(f"{i % 7} {int(addr) ^ 0x40} {int(addr)}")
+        else:
+            lines.append(f"{i % 7} {int(addr)}")
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+DIALECT_WRITERS = {
+    "ramulator2": _write_ramulator,
+    "tracehm": _write_tracehm,
+    "ramulator2-inst": _write_ramulator_inst,
+}
+
+
+def _addresses(rng, n, span=2000):
+    return (rng.integers(0, span, n) * 64).astype(np.uint64)
+
+
+class TestTraceWriter:
+    def test_chunked_write_is_byte_identical_to_save_trace(self, tmp_path, gcc_trace):
+        trace = gcc_trace[:150]
+        trace.metadata["origin"] = "unit-test"
+        reference = save_trace(trace, tmp_path / "ref.wtrc")
+        with TraceWriter(tmp_path / "streamed.wtrc", name=trace.name) as writer:
+            for chunk in trace.chunks(37):
+                writer.append(chunk)
+            writer.metadata.update(trace.metadata)
+        assert (tmp_path / "streamed.wtrc").read_bytes() == reference.read_bytes()
+
+    def test_with_addresses(self, tmp_path):
+        rng = np.random.default_rng(0)
+        trace = synthesize_write_trace(_addresses(rng, 100), chunk_lines=32)
+        reference = save_trace(trace, tmp_path / "ref.wtrc")
+        with TraceWriter(tmp_path / "s.wtrc", name=trace.name) as writer:
+            for chunk in trace.chunks(41):
+                writer.append(chunk)
+            writer.metadata.update(trace.metadata)
+        assert (tmp_path / "s.wtrc").read_bytes() == reference.read_bytes()
+        loaded = load_trace(tmp_path / "s.wtrc")
+        assert np.array_equal(loaded.addresses, trace.addresses)
+
+    def test_empty_writer_produces_valid_empty_trace(self, tmp_path):
+        with TraceWriter(tmp_path / "empty.wtrc") as writer:
+            pass
+        assert read_trace_header(tmp_path / "empty.wtrc").n_lines == 0
+        assert len(load_trace(tmp_path / "empty.wtrc")) == 0
+
+    def test_exception_leaves_no_file(self, tmp_path, gcc_trace):
+        target = tmp_path / "aborted.wtrc"
+        with pytest.raises(RuntimeError):
+            with TraceWriter(target) as writer:
+                writer.append(gcc_trace[:10])
+                raise RuntimeError("boom")
+        assert not target.exists()
+        assert not list(tmp_path.glob("*.tmp"))  # spools cleaned up
+
+    def test_mixed_addresses_rejected(self, tmp_path, gcc_trace):
+        rng = np.random.default_rng(0)
+        with_addr = synthesize_write_trace(_addresses(rng, 10))
+        with TraceWriter(tmp_path / "t.wtrc") as writer:
+            writer.append(with_addr)
+            with pytest.raises(TraceError, match="consistently"):
+                writer.append(gcc_trace[:10])  # no addresses
+            writer.abort()
+        assert not (tmp_path / "t.wtrc").exists()
+
+    def test_append_after_close_rejected(self, tmp_path, gcc_trace):
+        writer = TraceWriter(tmp_path / "t.wtrc")
+        writer.append(gcc_trace[:10])
+        writer.close()
+        with pytest.raises(TraceError, match="closed"):
+            writer.append(gcc_trace[:10])
+
+
+class TestStreamedIngestIdentity:
+    @pytest.mark.parametrize("dialect", sorted(DIALECT_WRITERS))
+    def test_streamed_wtrc_is_byte_identical_to_in_memory(self, tmp_path, dialect):
+        rng = np.random.default_rng(3)
+        src = DIALECT_WRITERS[dialect](
+            tmp_path / "in.trace", _addresses(rng, 900), rng.random(900) < 0.7
+        )
+        mem = ingest_trace_file(src, fmt=dialect, chunk_lines=256)
+        reference = save_trace(mem, tmp_path / "mem.wtrc")
+        streamed = stream_ingest_to_wtrc(
+            src, tmp_path / "stream.wtrc", fmt=dialect, chunk_lines=256
+        )
+        assert streamed.read_bytes() == reference.read_bytes()
+
+    def test_chunk_source_matches_materialised_chunking(self, tmp_path):
+        rng = np.random.default_rng(4)
+        src = _write_ramulator(tmp_path / "in.trace", _addresses(rng, 700))
+        mem = ingest_trace_file(src, chunk_lines=128)
+        source = IngestChunkSource(src, chunk_lines=128)
+        streamed_chunks = list(source.chunks(96))
+        reference_chunks = list(mem.chunks(96))
+        assert len(streamed_chunks) == len(reference_chunks)
+        for streamed, reference in zip(streamed_chunks, reference_chunks):
+            assert streamed.old == reference.old
+            assert streamed.new == reference.new
+            assert np.array_equal(streamed.addresses, reference.addresses)
+
+    def test_chunk_source_is_reiterable(self, tmp_path):
+        rng = np.random.default_rng(5)
+        src = _write_ramulator(tmp_path / "in.trace", _addresses(rng, 300))
+        source = IngestChunkSource(src, chunk_lines=64)
+        first = WriteTrace.concat(list(source.chunks(50)))
+        second = WriteTrace.concat(list(source.chunks(50)))
+        assert first.old == second.old
+        assert first.new == second.new
+
+    def test_zero_write_trace_streams_byte_identically(self, tmp_path):
+        """A reads-only input yields no chunks but the same empty .wtrc."""
+        src = tmp_path / "reads.trace"
+        src.write_text("R 0x1000 0x40\nR 0x2000 0x40\n")
+        mem = ingest_trace_file(src)
+        reference = save_trace(mem, tmp_path / "mem.wtrc")
+        streamed = stream_ingest_to_wtrc(src, tmp_path / "stream.wtrc")
+        assert streamed.read_bytes() == reference.read_bytes()
+        assert read_trace_header(streamed).n_lines == 0
+
+    def test_synthesis_quantum_boundaries_do_not_leak(self):
+        """Same stream, same quantum, different feed granularity: identical."""
+        rng = np.random.default_rng(6)
+        addresses = _addresses(rng, 500, span=40)  # heavy reuse across chunks
+        whole = synthesize_write_trace(addresses, chunk_lines=128)
+        synthesizer = StreamingSynthesizer()
+        fed = WriteTrace.concat(
+            [synthesizer.feed(addresses[i:i + 128]) for i in range(0, 500, 128)]
+        )
+        assert fed.old == whole.old
+        assert fed.new == whole.new
+
+
+class TestRechunkTraces:
+    def test_rechunks_exactly(self, gcc_trace):
+        pieces = list(gcc_trace[:190].chunks(48))
+        rechunked = list(rechunk_traces(iter(pieces), 64))
+        assert [len(c) for c in rechunked] == [64, 64, 62]
+        assert WriteTrace.concat(rechunked).new == gcc_trace[:190].new
+
+    def test_empty_and_invalid(self):
+        assert list(rechunk_traces(iter([]), 8)) == []
+        with pytest.raises(TraceError):
+            list(rechunk_traces(iter([]), 0))
+
+
+class TestStreamingEvaluation:
+    """The ISSUE's acceptance criterion: streamed == in-memory, n_jobs 1 and 4."""
+
+    @settings(max_examples=8, deadline=None)
+    @given(
+        dialect=st.sampled_from(sorted(DIALECT_WRITERS)),
+        seed=st.integers(0, 2**16),
+        n=st.integers(1, 400),
+    )
+    def test_streamed_evaluation_matches_in_memory(self, tmp_path_factory, dialect, seed, n):
+        rng = np.random.default_rng(seed)
+        tmp = tmp_path_factory.mktemp("stream-prop")
+        src = DIALECT_WRITERS[dialect](
+            tmp / "in.trace", _addresses(rng, n, span=60), rng.random(n) < 0.8
+        )
+        mem = ingest_trace_file(src, fmt=dialect, chunk_lines=128)
+        encoder = make_scheme("baseline")
+        reference = evaluate_trace(encoder, mem, MC_CONFIG)
+        source = IngestChunkSource(src, fmt=dialect, chunk_lines=128)
+        streamed = ParallelRunner(1).map([WorkUnit("k", encoder, source, MC_CONFIG)])[0]
+        assert streamed == reference
+
+    @pytest.mark.parametrize("dialect", sorted(DIALECT_WRITERS))
+    def test_streamed_evaluation_matches_at_four_jobs(self, tmp_path, dialect):
+        rng = np.random.default_rng(8)
+        src = DIALECT_WRITERS[dialect](
+            tmp_path / "in.trace", _addresses(rng, 900), rng.random(900) < 0.8
+        )
+        mem = ingest_trace_file(src, fmt=dialect, chunk_lines=128)
+        encoder = make_scheme("wlcrc-16")
+        reference = evaluate_trace(encoder, mem, MC_CONFIG)
+        source = IngestChunkSource(src, fmt=dialect, chunk_lines=128)
+        streamed = ParallelRunner(4, window=3).map(
+            [WorkUnit("k", encoder, source, MC_CONFIG)]
+        )[0]
+        assert streamed == reference
+
+    def test_multiple_units_share_one_source(self, tmp_path):
+        """Re-iterable sources let several schemes stream the same file."""
+        rng = np.random.default_rng(9)
+        src = _write_ramulator(tmp_path / "in.trace", _addresses(rng, 400))
+        mem = ingest_trace_file(src, chunk_lines=128)
+        source = IngestChunkSource(src, chunk_lines=128)
+        encoders = [make_scheme("baseline"), make_scheme("fnw")]
+        units = [WorkUnit(e.name, e, source, MC_CONFIG) for e in encoders]
+        streamed = ParallelRunner(4, window=2).map(units)
+        for unit_index, encoder in enumerate(encoders):
+            assert streamed[unit_index] == evaluate_trace(
+                encoder, mem, MC_CONFIG, unit_index=unit_index
+            )
+
+    def test_mixed_materialised_and_streaming_units(self, tmp_path, gcc_trace):
+        rng = np.random.default_rng(10)
+        src = _write_ramulator(tmp_path / "in.trace", _addresses(rng, 300))
+        source = IngestChunkSource(src, chunk_lines=64)
+        mem = ingest_trace_file(src, chunk_lines=64)
+        encoder = make_scheme("baseline")
+        units = [
+            WorkUnit("a", encoder, gcc_trace[:150], MC_CONFIG),
+            WorkUnit("b", encoder, source, MC_CONFIG),
+        ]
+        results = ParallelRunner(2, window=2).map(units)
+        assert results[0] == evaluate_trace(encoder, gcc_trace[:150], MC_CONFIG)
+        assert results[1] == evaluate_trace(encoder, mem, MC_CONFIG, unit_index=1)
+
+
+class TestBoundedMemory:
+    """Peak memory tracks the window/quantum, not the trace length."""
+
+    #: Requests in the large trace; CI's tier-2 job raises this by 20x+.
+    SMOKE_LINES = int(os.environ.get("REPRO_SMOKE_LINES", "30000"))
+    #: Synthesis quantum of the smoke run -- the "chunk window" the large
+    #: trace must exceed by >= 10x.
+    QUANTUM = int(os.environ.get("REPRO_SMOKE_CHUNK_LINES", "2048"))
+
+    @staticmethod
+    def _traced_peak(func):
+        tracemalloc.start()
+        try:
+            result = func()
+            _, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        return result, peak
+
+    @pytest.mark.tier2
+    def test_streaming_convert_and_evaluate_peak_is_window_bounded(self, tmp_path):
+        """Stream a trace >= 10x the chunk window end to end; the tracemalloc
+        peak must stay near the one-window baseline instead of scaling with
+        the trace, and the metrics must match the in-memory path exactly."""
+        large_n = max(self.SMOKE_LINES, 10 * self.QUANTUM)
+        rng = np.random.default_rng(11)
+        small = _write_ramulator(
+            tmp_path / "small.trace", _addresses(rng, self.QUANTUM, span=5000)
+        )
+        large = _write_ramulator(
+            tmp_path / "large.trace", _addresses(rng, large_n, span=5000)
+        )
+
+        def convert(src, out):
+            return lambda: stream_ingest_to_wtrc(
+                src, out, chunk_lines=self.QUANTUM
+            )
+
+        _, small_peak = self._traced_peak(convert(small, tmp_path / "small.wtrc"))
+        spooled, large_peak = self._traced_peak(convert(large, tmp_path / "large.wtrc"))
+        trace_bytes = large_n * 128  # materialised old+new content alone
+        assert large_peak < max(3 * small_peak, trace_bytes // 4), (
+            f"streamed convert peak {large_peak} scales with the trace "
+            f"(window baseline {small_peak}, trace {trace_bytes} bytes)"
+        )
+
+        # Evaluate the spooled trace (mmap) and the raw file (chunk stream):
+        # both bounded, both bit-identical to the in-memory reference.
+        config = EvaluationConfig(chunk_size=512)
+        encoder = make_scheme("baseline")
+        mmap_trace = load_trace(spooled)
+
+        def evaluate_stream():
+            source = IngestChunkSource(large, chunk_lines=self.QUANTUM)
+            return ParallelRunner(1, window=4).map(
+                [WorkUnit("k", encoder, source, config)]
+            )[0]
+
+        streamed_metrics, eval_peak = self._traced_peak(evaluate_stream)
+        assert eval_peak < max(4 * small_peak, trace_bytes // 4)
+        mmap_metrics = evaluate_trace(encoder, mmap_trace, config)
+        assert streamed_metrics == mmap_metrics
+        if large_n <= 200_000:  # full materialisation affordable: close the loop
+            in_memory = ingest_trace_file(large, chunk_lines=self.QUANTUM)
+            assert evaluate_trace(encoder, in_memory, config) == streamed_metrics
+        parallel_metrics = ParallelRunner(4, window=4).map(
+            [WorkUnit("k", encoder, mmap_trace, config)]
+        )[0]
+        assert parallel_metrics == mmap_metrics
