@@ -6,9 +6,16 @@ has a sweet spot well below the line size -- the observation that motivates
 fine-grain encoding with cheaper auxiliary storage.
 """
 
+from repro.bench import BenchSpec, run_once, write_result
 from repro.evaluation import experiments, format_series_table
 
-from conftest import run_once, write_result
+BENCHMARK = BenchSpec(
+    figure="figure1",
+    title="6cosets write energy vs data-block granularity (random and biased)",
+    cost=6.3,
+    artifacts=("figure01a_random.txt", "figure01b_biased.txt"),
+    env=("REPRO_BENCH_TRACE_LEN", "REPRO_BENCH_RANDOM_LINES", "REPRO_BENCH_SEED"),
+)
 
 
 def bench_figure1_random(benchmark, experiment_config):

@@ -5,9 +5,16 @@ the four hand-picked candidates on data-symbol energy, because any pair of
 symbols may dominate a random block.
 """
 
+from repro.bench import BenchSpec, run_once, write_result
 from repro.evaluation import experiments, format_series_table
 
-from conftest import run_once, write_result
+BENCHMARK = BenchSpec(
+    figure="figure2",
+    title="6cosets vs 4cosets on random data",
+    cost=1.5,
+    artifacts=("figure02_random_4cosets_vs_6cosets.txt",),
+    env=("REPRO_BENCH_TRACE_LEN", "REPRO_BENCH_RANDOM_LINES", "REPRO_BENCH_SEED"),
+)
 
 
 def bench_figure2(benchmark, experiment_config):

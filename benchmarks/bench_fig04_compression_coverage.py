@@ -6,9 +6,16 @@ while requiring more than 6 identical MSBs (k = 7..9) costs a large fraction
 of the coverage -- the reason WLCRC is designed around <= 5 reclaimed bits.
 """
 
+from repro.bench import BenchSpec, run_once, write_result
 from repro.evaluation import experiments, format_series_table
 
-from conftest import run_once, write_result
+BENCHMARK = BenchSpec(
+    figure="figure4",
+    title="Percentage of compressed memory lines (WLC, COC, FPC+BDI)",
+    cost=1.5,
+    artifacts=("figure04_compression_coverage.txt",),
+    env=("REPRO_BENCH_TRACE_LEN", "REPRO_BENCH_SEED"),
+)
 
 
 def bench_figure4(benchmark, experiment_config):

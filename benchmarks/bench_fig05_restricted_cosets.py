@@ -7,9 +7,16 @@ auxiliary information -- the key enabler for embedding the auxiliary bits in
 WLC's reclaimed space.
 """
 
+from repro.bench import BenchSpec, run_once, write_result
 from repro.evaluation import experiments, format_series_table
 
-from conftest import run_once, write_result
+BENCHMARK = BenchSpec(
+    figure="figure5",
+    title="4cosets vs 3cosets vs restricted 3-r-cosets",
+    cost=6.5,
+    artifacts=("figure05_restricted_cosets.txt",),
+    env=("REPRO_BENCH_TRACE_LEN", "REPRO_BENCH_SEED"),
+)
 
 
 def bench_figure5(benchmark, experiment_config):

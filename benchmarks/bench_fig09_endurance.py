@@ -8,10 +8,19 @@ Reproduced claims:
   shift bit positions between consecutive writes.
 """
 
+from repro.bench import BenchSpec, run_once, write_result
 from repro.coding import FIGURE8_SCHEMES
 from repro.evaluation import experiments, format_series_table
 
-from conftest import run_once, write_result
+# Cost assumes co-location with bench_fig08 (shared evaluation cache).
+BENCHMARK = BenchSpec(
+    figure="figure9",
+    title="Updated cells per write request (endurance)",
+    cost=0.5,
+    group="figure8-family",
+    artifacts=("figure09_endurance.txt",),
+    env=("REPRO_BENCH_TRACE_LEN", "REPRO_BENCH_SEED"),
+)
 
 
 def bench_figure9(benchmark, experiment_config):

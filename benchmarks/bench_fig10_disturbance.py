@@ -9,10 +9,19 @@ Reproduced claims:
   with WLC-based schemes near the minimum).
 """
 
+from repro.bench import BenchSpec, run_once, write_result
 from repro.coding import FIGURE8_SCHEMES
 from repro.evaluation import experiments, format_series_table
 
-from conftest import run_once, write_result
+# Cost assumes co-location with bench_fig08 (shared evaluation cache).
+BENCHMARK = BenchSpec(
+    figure="figure10",
+    title="Write-disturbance errors per request",
+    cost=0.5,
+    group="figure8-family",
+    artifacts=("figure10_disturbance.txt",),
+    env=("REPRO_BENCH_TRACE_LEN", "REPRO_BENCH_SEED"),
+)
 
 
 def bench_figure10(benchmark, experiment_config):

@@ -5,9 +5,18 @@ fewer (or at worst the same number of) cells than the unrestricted WLC
 schemes, and the auxiliary part contributes only a small share of the updates.
 """
 
+from repro.bench import BenchSpec, run_once, write_result
 from repro.evaluation import experiments, format_series_table
 
-from conftest import run_once, write_result
+# Cost assumes co-location with bench_fig11 (shared granularity sweep).
+BENCHMARK = BenchSpec(
+    figure="figure12",
+    title="WLC-based schemes: updated cells vs granularity",
+    cost=0.2,
+    group="figure11-family",
+    artifacts=("figure12_granularity_endurance.txt",),
+    env=("REPRO_BENCH_TRACE_LEN", "REPRO_BENCH_SEED"),
+)
 
 
 def bench_figure12(benchmark, experiment_config):

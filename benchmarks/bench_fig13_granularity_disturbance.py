@@ -5,9 +5,18 @@ configuration and decreases as the granularity becomes coarser (fewer symbol
 flips per request).
 """
 
+from repro.bench import BenchSpec, run_once, write_result
 from repro.evaluation import experiments, format_series_table
 
-from conftest import run_once, write_result
+# Cost assumes co-location with bench_fig11 (shared granularity sweep).
+BENCHMARK = BenchSpec(
+    figure="figure13",
+    title="WLC-based schemes: disturbance vs granularity",
+    cost=0.2,
+    group="figure11-family",
+    artifacts=("figure13_granularity_disturbance.txt",),
+    env=("REPRO_BENCH_TRACE_LEN", "REPRO_BENCH_SEED"),
+)
 
 
 def bench_figure13(benchmark, experiment_config):

@@ -6,9 +6,16 @@ WLCRC-16 still delivers a substantial write-energy improvement over the
 differential-write baseline (the paper reports >= 32 %, down from ~52 %).
 """
 
+from repro.bench import BenchSpec, run_once, write_result
 from repro.evaluation import experiments, format_series_table
 
-from conftest import run_once, write_result
+BENCHMARK = BenchSpec(
+    figure="figure14",
+    title="WLCRC-16 sensitivity to intermediate-state write energies",
+    cost=3.2,
+    artifacts=("figure14_energy_sensitivity.txt",),
+    env=("REPRO_BENCH_TRACE_LEN", "REPRO_BENCH_SEED"),
+)
 
 
 def bench_figure14(benchmark, experiment_config):

@@ -25,6 +25,7 @@ import tempfile
 import time
 from pathlib import Path
 
+from repro.bench import BenchSpec, Gate, run_once, write_json, write_result
 from repro.coding import make_scheme
 from repro.coding.ncosets import make_six_cosets
 from repro.core.config import EvaluationConfig
@@ -36,7 +37,48 @@ from repro.traces.store import load_trace, save_trace
 from repro.traces.transport import TraceExporter
 from repro.workloads.generator import generate_random_trace
 
-from conftest import run_once, write_json, write_result
+# The per-chunk IPC payload sizes are deterministic for a given trace length
+# and chunk size, so their gates are tight; wall clocks are machine noise and
+# deliberately ungated.
+BENCHMARK = BenchSpec(
+    figure="parallel",
+    title="Parallel-engine scaling and zero-copy trace transport",
+    cost=5.4,
+    perf_artifacts=(
+        "parallel_scaling.txt",
+        "BENCH_parallel_scaling.json",
+        "trace_transport.txt",
+        "BENCH_trace_transport.json",
+    ),
+    env=(
+        "REPRO_BENCH_TRACE_LEN",
+        "REPRO_BENCH_SEED",
+        "REPRO_BENCH_TRANSPORT_LINES",
+    ),
+    gates=(
+        Gate(
+            artifact="BENCH_trace_transport.json",
+            metric="per_chunk_ipc_bytes.mmap",
+            direction="lower",
+            tolerance_pct=10.0,
+            context=("lines", "chunk_size"),
+        ),
+        Gate(
+            artifact="BENCH_trace_transport.json",
+            metric="per_chunk_ipc_bytes.shm",
+            direction="lower",
+            tolerance_pct=10.0,
+            context=("lines", "chunk_size"),
+        ),
+        Gate(
+            artifact="BENCH_trace_transport.json",
+            metric="ipc_reduction_vs_pickle.mmap",
+            direction="higher",
+            tolerance_pct=10.0,
+            context=("lines", "chunk_size"),
+        ),
+    ),
+)
 
 GRANULARITIES = (8, 16, 32, 64)
 

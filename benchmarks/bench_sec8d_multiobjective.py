@@ -8,9 +8,16 @@ asserts the direction (no meaningful endurance or energy regression) and
 records the measured trade-off in the results table.
 """
 
+from repro.bench import BenchSpec, run_once, write_result
 from repro.evaluation import experiments, format_series_table
 
-from conftest import run_once, write_result
+BENCHMARK = BenchSpec(
+    figure="section8d",
+    title="Multi-objective optimisation: energy vs endurance",
+    cost=1.6,
+    artifacts=("section8d_multiobjective.txt",),
+    env=("REPRO_BENCH_TRACE_LEN", "REPRO_BENCH_SEED"),
+)
 
 
 def bench_section8d_multiobjective(benchmark, experiment_config):

@@ -4,9 +4,15 @@ This benchmark verifies that the implemented candidates match the published
 table cell-for-cell and regenerates it as text.
 """
 
+from repro.bench import BenchSpec, run_once, write_result
 from repro.evaluation import experiments, format_series_table
 
-from conftest import run_once, write_result
+BENCHMARK = BenchSpec(
+    figure="table1",
+    title="The four proposed coset candidates",
+    cost=0.1,
+    artifacts=("table1_coset_candidates.txt",),
+)
 
 #: Table I of the paper: state -> {candidate -> bit pattern}.
 PAPER_TABLE1 = {

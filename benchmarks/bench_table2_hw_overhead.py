@@ -6,10 +6,16 @@ WLCRC modules) from the analytical synthesis model calibrated to the paper's
 verifies the paper's "negligible overhead" claims at the WLCRC-16 design point.
 """
 
-from repro.hardware import WLCRCSynthesisModel
+from repro.bench import BenchSpec, run_once, write_result
 from repro.evaluation import format_series_table
+from repro.hardware import WLCRCSynthesisModel
 
-from conftest import run_once, write_result
+BENCHMARK = BenchSpec(
+    figure="table2",
+    title="WLCRC hardware overhead (45 nm synthesis model)",
+    cost=0.2,
+    artifacts=("table2_hw_overhead.txt",),
+)
 
 
 def bench_hardware_overhead(benchmark):

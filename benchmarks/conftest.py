@@ -1,11 +1,18 @@
-"""Shared configuration of the figure/table reproduction benchmarks.
+"""Pytest glue of the figure/table reproduction benchmarks.
 
 Each ``bench_*`` module regenerates one figure or table of the paper's
-evaluation section: it runs the corresponding experiment driver under
-``pytest-benchmark`` (a single round -- the value of these benchmarks is the
-regenerated table, not micro-timing), writes the table to
-``benchmarks/results/`` and asserts the qualitative claims of the paper
-(who wins, and roughly by how much).
+evaluation section and declares a module-level ``BENCHMARK = BenchSpec(...)``
+registering it with the benchmark-orchestration subsystem
+(:mod:`repro.bench`): figure id, shard-balancing cost, environment knobs,
+produced artifacts, and perf-regression gates.
+
+The modules run two ways off one registry:
+
+* ``pytest benchmarks -o python_files='bench_*.py' -o python_functions='bench_*'``
+  collects them as tests (``benchmark`` is the pytest-benchmark fixture);
+* ``repro bench run [--shard K/N]`` executes them in-process on a single
+  shared worker pool, with ``repro bench merge`` / ``repro bench compare``
+  downstream (see README, "Benchmark harness & perf gate").
 
 Environment knobs:
 
@@ -14,58 +21,21 @@ Environment knobs:
     smoother numbers at proportionally higher runtime.
 ``REPRO_BENCH_SEED``
     Seed of the synthetic trace generator (default 2018).
+``REPRO_BENCH_JOBS``
+    Worker processes of the shared evaluation pool (default 1).
+``REPRO_BENCH_RESULTS_DIR``
+    Artifact directory (default ``benchmarks/results``).
 """
 
 from __future__ import annotations
 
-import json
-import os
-from pathlib import Path
-
 import pytest
 
+from repro.bench.harness import bench_config
 from repro.evaluation.experiments import ExperimentConfig
-
-#: Directory where every benchmark writes its regenerated table.
-RESULTS_DIR = Path(__file__).parent / "results"
-
-
-def bench_config() -> ExperimentConfig:
-    """Experiment configuration shared by all figure benchmarks."""
-    return ExperimentConfig(
-        trace_length=int(os.environ.get("REPRO_BENCH_TRACE_LEN", "1200")),
-        random_lines=int(os.environ.get("REPRO_BENCH_RANDOM_LINES", "4000")),
-        seed=int(os.environ.get("REPRO_BENCH_SEED", "2018")),
-    )
 
 
 @pytest.fixture(scope="session")
 def experiment_config() -> ExperimentConfig:
     """Session-wide experiment configuration (see module docstring)."""
     return bench_config()
-
-
-def write_result(name: str, text: str) -> Path:
-    """Persist a regenerated figure/table under ``benchmarks/results``."""
-    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
-    path = RESULTS_DIR / f"{name}.txt"
-    path.write_text(text + "\n")
-    return path
-
-
-def write_json(name: str, payload: dict) -> Path:
-    """Persist a machine-readable benchmark result as ``BENCH_<name>.json``.
-
-    CI uploads every ``BENCH_*.json`` under ``benchmarks/results`` as a build
-    artifact, so these files are the accumulating perf trajectory of the
-    project; keep their schemas append-only.
-    """
-    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
-    path = RESULTS_DIR / f"BENCH_{name}.json"
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
-    return path
-
-
-def run_once(benchmark, func, *args, **kwargs):
-    """Run an experiment exactly once under pytest-benchmark and return its result."""
-    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,73 @@
+"""Benchmark-orchestration subsystem: registry, sharding, merge and perf gate.
+
+The paper's evaluation is reproduced by the ``bench_*`` modules under
+``benchmarks/``; this package turns them from a serial pytest suite into a
+distributable harness:
+
+* :mod:`~repro.bench.registry` -- per-module :class:`BenchSpec` metadata and
+  :func:`discover`;
+* :mod:`~repro.bench.partition` -- deterministic cost-balanced ``K/N``
+  sharding (greedy bin-packing over cache-sharing groups);
+* :mod:`~repro.bench.harness` -- the artifact writers and config shared by
+  the pytest path and the in-process runner;
+* :mod:`~repro.bench.runner` -- run one shard in-process on a single shared
+  worker pool;
+* :mod:`~repro.bench.manifest` -- merge per-shard outputs into a
+  deterministic ``BENCH_manifest.json`` (sharded == unsharded, byte for
+  byte);
+* :mod:`~repro.bench.compare` -- the perf-regression gate against
+  ``benchmarks/baselines/``.
+
+CLI: ``repro bench ls | run | merge | compare``.
+"""
+
+from .compare import CompareReport, GateCheck, compare, update_baselines
+from .harness import (
+    BenchmarkRecorder,
+    bench_config,
+    config_snapshot,
+    results_dir,
+    run_once,
+    write_json,
+    write_result,
+)
+from .manifest import (
+    MANIFEST_NAME,
+    build_manifest,
+    copy_trajectory,
+    merge_shards,
+    write_manifest,
+)
+from .partition import parse_shard, partition, shard_names
+from .registry import BenchSpec, DiscoveredBench, Gate, default_bench_dir, discover
+from .runner import BenchOutcome, ShardReport, run_shard
+
+__all__ = [
+    "BenchOutcome",
+    "BenchSpec",
+    "BenchmarkRecorder",
+    "CompareReport",
+    "DiscoveredBench",
+    "Gate",
+    "GateCheck",
+    "MANIFEST_NAME",
+    "ShardReport",
+    "bench_config",
+    "build_manifest",
+    "compare",
+    "config_snapshot",
+    "copy_trajectory",
+    "default_bench_dir",
+    "discover",
+    "merge_shards",
+    "parse_shard",
+    "partition",
+    "results_dir",
+    "run_once",
+    "run_shard",
+    "shard_names",
+    "update_baselines",
+    "write_json",
+    "write_manifest",
+    "write_result",
+]

@@ -1,0 +1,72 @@
+"""Deterministic cost-balanced shard partitioning of the benchmark registry.
+
+``--shard K/N`` splits the registered benchmarks into ``N`` disjoint shards
+whose summed costs are as equal as greedy bin-packing gets them (sort the
+work units by decreasing cost, always assign to the lightest shard), so
+parallel CI jobs finish together instead of waiting on one long pole.
+
+The unit of assignment is the *group*, not the module: benches sharing an
+in-process evaluation cache (Figures 8/9/10 read three metrics of one
+evaluation; Figures 11/12/13 share one granularity sweep) declare a common
+``BenchSpec.group`` and always land in the same shard, where name-ordered
+execution lets the first member prime the cache for the rest.  Ties break on
+the group name and then the lowest shard index, so the partition is a pure
+function of the registry: every bench lands in exactly one shard, and every
+invocation -- any machine, any process -- computes the same split.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from ..core.errors import BenchError
+from .registry import BenchSpec, DiscoveredBench
+
+_SHARD_RE = re.compile(r"^(\d+)/(\d+)$")
+
+
+def parse_shard(text: str) -> Tuple[int, int]:
+    """Parse a ``K/N`` shard selector into ``(index, count)`` (1-based)."""
+    match = _SHARD_RE.match(text.strip())
+    if not match:
+        raise BenchError(f"invalid shard selector {text!r}; expected K/N, e.g. 2/4")
+    index, count = int(match.group(1)), int(match.group(2))
+    if count < 1 or not 1 <= index <= count:
+        raise BenchError(
+            f"invalid shard selector {text!r}: need 1 <= K <= N, got K={index} N={count}"
+        )
+    return index, count
+
+
+def partition(registry: Mapping[str, DiscoveredBench], n_shards: int) -> List[List[str]]:
+    """Split the registry into ``n_shards`` cost-balanced shards.
+
+    Returns a list of ``n_shards`` name lists (some possibly empty when there
+    are more shards than groups); each shard is sorted by bench name so that
+    grouped benches run cache-primer first.
+    """
+    if n_shards < 1:
+        raise BenchError(f"shard count must be >= 1, got {n_shards}")
+    groups: Dict[str, List[BenchSpec]] = {}
+    for bench in registry.values():
+        groups.setdefault(bench.spec.group, []).append(bench.spec)
+    # Heaviest group first; name tie-break keeps the order total.
+    ordered = sorted(
+        groups.items(),
+        key=lambda item: (-sum(spec.cost for spec in item[1]), item[0]),
+    )
+    loads = [0.0] * n_shards
+    shards: List[List[str]] = [[] for _ in range(n_shards)]
+    for _name, specs in ordered:
+        lightest = min(range(n_shards), key=lambda i: (loads[i], i))
+        shards[lightest].extend(spec.name for spec in specs)
+        loads[lightest] += sum(spec.cost for spec in specs)
+    return [sorted(shard) for shard in shards]
+
+
+def shard_names(registry: Mapping[str, DiscoveredBench], index: int, count: int) -> Sequence[str]:
+    """The bench names of shard ``index`` (1-based) out of ``count``."""
+    if not 1 <= index <= count:
+        raise BenchError(f"shard index {index} out of range 1..{count}")
+    return partition(registry, count)[index - 1]

@@ -1,0 +1,255 @@
+"""In-process shard runner: execute a cost-balanced slice of the benchmarks.
+
+``repro bench run --shard K/N`` discovers the registry, takes shard ``K`` of
+the deterministic partition, and calls every bench function of the shard
+directly in this process -- no pytest collection, and crucially no
+per-module worker-pool start-up: the experiment drivers all fan out through
+:func:`repro.evaluation.shared_runner`, so one persistent pool (and one
+experiment result cache) serves every figure of the shard.
+
+Each run writes a shard record ``BENCH_shard_<K>of<N>.json`` with per-bench
+wall clocks and the trace-generation config; ``bench merge`` later stitches
+the records and artifacts of all shards into ``BENCH_manifest.json``.  An
+unsharded run (``--shard 1/1``, the default) writes the manifest itself,
+byte-identical to what merging any sharded split produces.
+"""
+
+from __future__ import annotations
+
+import inspect
+import json
+import os
+import shutil
+import tempfile
+import traceback
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..core.errors import BenchError
+from ..evaluation.experiments import ExperimentConfig
+from . import harness
+from .registry import DiscoveredBench, discover
+from .partition import shard_names
+
+#: Name pattern of the per-shard run records.
+SHARD_RECORD_TEMPLATE = "BENCH_shard_{index}of{count}.json"
+
+
+class _TmpPathFactory:
+    """Minimal stand-in for pytest's ``tmp_path_factory`` fixture."""
+
+    def __init__(self, root: Path) -> None:
+        self._root = root
+        self._counter = 0
+
+    def mktemp(self, basename: str, numbered: bool = True) -> Path:
+        name = f"{basename}{self._counter}" if numbered else basename
+        self._counter += 1
+        path = self._root / name
+        path.mkdir(parents=True, exist_ok=False)
+        return path
+
+
+@dataclass
+class BenchOutcome:
+    """What happened to one bench module during a shard run."""
+
+    name: str
+    module: str
+    status: str = "passed"
+    error: str = ""
+    functions: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def wall_clock_s(self) -> float:
+        return sum(self.functions.values())
+
+
+@dataclass
+class ShardReport:
+    """The result of :func:`run_shard`."""
+
+    index: int
+    count: int
+    names: List[str]
+    outcomes: List[BenchOutcome]
+    config: Dict[str, int]
+    record_path: Optional[Path] = None
+    manifest_path: Optional[Path] = None
+
+    @property
+    def failures(self) -> List[BenchOutcome]:
+        return [outcome for outcome in self.outcomes if outcome.status != "passed"]
+
+    @property
+    def wall_clock_s(self) -> float:
+        return sum(outcome.wall_clock_s for outcome in self.outcomes)
+
+    def as_dict(self) -> dict:
+        return {
+            "schema": 1,
+            "shard": {"index": self.index, "count": self.count},
+            "config": dict(self.config),
+            "benches": {
+                outcome.name: {
+                    "module": outcome.module,
+                    "status": outcome.status,
+                    "functions": {
+                        name: round(seconds, 6)
+                        for name, seconds in outcome.functions.items()
+                    },
+                    "wall_clock_s": round(outcome.wall_clock_s, 6),
+                }
+                for outcome in self.outcomes
+            },
+            "wall_clock_s": round(self.wall_clock_s, 6),
+        }
+
+
+def _resolve_fixtures(
+    function, config: ExperimentConfig, tmp_factory: _TmpPathFactory
+) -> Tuple[harness.BenchmarkRecorder, dict]:
+    """Build the fixture arguments a bench function asks for by name."""
+    recorder = harness.BenchmarkRecorder()
+    available = {
+        "benchmark": recorder,
+        "experiment_config": config,
+        "tmp_path_factory": tmp_factory,
+    }
+    kwargs = {}
+    for parameter in inspect.signature(function).parameters.values():
+        if parameter.kind in (
+            inspect.Parameter.VAR_POSITIONAL,
+            inspect.Parameter.VAR_KEYWORD,
+        ):
+            continue
+        if parameter.name not in available:
+            raise BenchError(
+                f"bench function {function.__name__!r} requests unsupported "
+                f"fixture {parameter.name!r} (have: {', '.join(sorted(available))})"
+            )
+        kwargs[parameter.name] = available[parameter.name]
+    return recorder, kwargs
+
+
+def _run_bench(
+    bench: DiscoveredBench,
+    config: ExperimentConfig,
+    results: Path,
+    tmp_factory: _TmpPathFactory,
+) -> BenchOutcome:
+    outcome = BenchOutcome(name=bench.name, module=bench.spec.module)
+    # Drop stale copies first: in a reused results directory a bench that
+    # silently stopped writing a declared artifact must fail the check below
+    # rather than pass against (and checksum) last run's file.
+    for artifact in bench.spec.all_artifacts:
+        try:
+            (results / artifact).unlink()
+        except FileNotFoundError:
+            pass
+    for function_name, function in bench.functions:
+        try:
+            recorder, kwargs = _resolve_fixtures(function, config, tmp_factory)
+            function(**kwargs)
+            outcome.functions[function_name] = recorder.elapsed_s
+        except Exception:
+            outcome.status = "failed"
+            outcome.error = traceback.format_exc()
+            return outcome
+    missing = [
+        artifact
+        for artifact in bench.spec.all_artifacts
+        if not (results / artifact).is_file()
+    ]
+    if missing:
+        outcome.status = "failed"
+        outcome.error = (
+            f"bench {bench.name!r} did not produce declared artifact(s): "
+            + ", ".join(missing)
+        )
+    return outcome
+
+
+def run_shard(
+    bench_dir: Optional[Path] = None,
+    shard: Tuple[int, int] = (1, 1),
+    results_dir: Optional[Path] = None,
+    jobs: Optional[int] = None,
+    registry: Optional[Mapping[str, DiscoveredBench]] = None,
+) -> ShardReport:
+    """Run shard ``(index, count)`` of the benchmark registry in this process.
+
+    Benches execute in name order (cache-priming members of a group first).
+    A failing bench does not stop the shard -- the remaining benches still
+    run so one CI job reports every failure -- but the report's ``failures``
+    list is non-empty and no manifest is written.  ``jobs`` sets the worker
+    count of the shared evaluation pool for every figure of the shard.
+    """
+    index, count = shard
+    registry = dict(registry) if registry is not None else discover(bench_dir)
+    names = list(shard_names(registry, index, count))
+
+    overrides = {}
+    if results_dir is not None:
+        overrides[harness.RESULTS_DIR_ENV] = str(results_dir)
+    if jobs is not None:
+        overrides[harness.JOBS_ENV] = str(jobs)
+    saved = {key: os.environ.get(key) for key in overrides}
+    tmp_root: Optional[Path] = None
+    try:
+        os.environ.update(overrides)
+        tmp_root = Path(tempfile.mkdtemp(prefix="repro-bench-"))
+        config = harness.bench_config()
+        results = harness.results_dir()
+        results.mkdir(parents=True, exist_ok=True)
+        # A reused results directory must not leak the previous run's
+        # conclusions: drop any manifest and this shard's own record now so
+        # a failed run leaves neither behind. Records of *other* shards are
+        # kept -- running shards sequentially into one directory and merging
+        # it is a supported local workflow.
+        from .manifest import MANIFEST_NAME
+
+        for stale in (
+            results / MANIFEST_NAME,
+            results / SHARD_RECORD_TEMPLATE.format(index=index, count=count),
+        ):
+            try:
+                stale.unlink()
+            except FileNotFoundError:
+                pass
+        tmp_factory = _TmpPathFactory(tmp_root)
+        outcomes = [_run_bench(registry[name], config, results, tmp_factory) for name in names]
+        report = ShardReport(
+            index=index,
+            count=count,
+            names=names,
+            outcomes=outcomes,
+            config=harness.config_snapshot(config),
+        )
+        record = results / SHARD_RECORD_TEMPLATE.format(index=index, count=count)
+        record.write_text(json.dumps(report.as_dict(), indent=2, sort_keys=True) + "\n")
+        report.record_path = record
+        if count == 1 and not report.failures:
+            from .manifest import build_manifest, write_manifest
+
+            report.manifest_path = write_manifest(
+                build_manifest(
+                    {name: bench.spec for name, bench in registry.items()},
+                    results,
+                    report.config,
+                ),
+                results,
+            )
+        return report
+    finally:
+        if tmp_root is not None:
+            shutil.rmtree(tmp_root, ignore_errors=True)
+        for key, value in saved.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+        from ..evaluation.parallel import shutdown_shared_runners
+
+        shutdown_shared_runners()

@@ -12,7 +12,7 @@ trace, which can then be fed to the trace-driven evaluation or replayed into a
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, List, Optional, Tuple
 
 import numpy as np
 

@@ -29,6 +29,14 @@ Work with trace files and corpora (see README, "Trace formats" and
 ASCII trace both *stream*: the input is parsed, synthesised and written (or
 evaluated) in fixed-size chunks, so traces far larger than RAM work with
 bounded memory.
+
+Orchestrate the figure benchmarks (see README, "Benchmark harness & perf
+gate")::
+
+    wlcrc-repro bench ls --shards 4
+    wlcrc-repro bench run --shard 2/4 --results /tmp/s2 --jobs 2
+    wlcrc-repro bench merge /tmp/s1 /tmp/s2 /tmp/s3 /tmp/s4
+    wlcrc-repro bench compare
 """
 
 from __future__ import annotations
@@ -173,6 +181,135 @@ def _build_parser() -> argparse.ArgumentParser:
         help="report what would be evicted without deleting anything",
     )
     gc.add_argument("--json", action="store_true", help="emit JSON")
+
+    bench = subparsers.add_parser(
+        "bench",
+        help="orchestrate the figure benchmarks: list, run shards, merge, "
+        "gate against perf baselines (see README, 'Benchmark harness & perf gate')",
+    )
+    bench_commands = bench.add_subparsers(dest="bench_command", required=True)
+
+    def _add_bench_dir(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--bench-dir",
+            default=None,
+            metavar="DIR",
+            help="directory holding the bench_* modules (default: the "
+            "repository's benchmarks/)",
+        )
+
+    bench_ls = bench_commands.add_parser(
+        "ls", help="list the registered benchmarks and their shard assignment"
+    )
+    _add_bench_dir(bench_ls)
+    bench_ls.add_argument(
+        "--shards",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="also show the deterministic N-way shard assignment",
+    )
+    bench_ls.add_argument("--json", action="store_true", help="emit JSON")
+
+    bench_run = bench_commands.add_parser(
+        "run", help="run one shard of the benchmarks in-process"
+    )
+    _add_bench_dir(bench_run)
+    bench_run.add_argument(
+        "--shard",
+        default="1/1",
+        metavar="K/N",
+        help="run shard K of the deterministic N-way partition (default 1/1 "
+        "= everything, which also writes BENCH_manifest.json)",
+    )
+    bench_run.add_argument(
+        "--results",
+        default=None,
+        metavar="DIR",
+        help="artifact directory (default benchmarks/results)",
+    )
+    bench_run.add_argument(
+        "--jobs",
+        type=_jobs_argument,
+        default=None,
+        help="worker processes of the shared evaluation pool, reused across "
+        "every figure of the shard (1 = serial, 0 or -1 = all cores)",
+    )
+    bench_run.add_argument(
+        "--trajectory-dir",
+        default=None,
+        metavar="DIR",
+        help="where an unsharded run copies the BENCH_*.json perf trajectory "
+        "(default: current directory; sharded runs never copy)",
+    )
+    bench_run.add_argument(
+        "--no-trajectory",
+        action="store_true",
+        help="do not copy BENCH_*.json out of the results directory",
+    )
+    bench_run.add_argument("--json", action="store_true", help="emit JSON")
+
+    bench_merge = bench_commands.add_parser(
+        "merge",
+        help="stitch per-shard results into one directory and write "
+        "BENCH_manifest.json (byte-identical to an unsharded run)",
+    )
+    _add_bench_dir(bench_merge)
+    bench_merge.add_argument(
+        "shard_dirs",
+        nargs="+",
+        metavar="SHARD_DIR",
+        help="results directories of the shard runs (shard records included)",
+    )
+    bench_merge.add_argument(
+        "--out",
+        default=None,
+        metavar="DIR",
+        help="merged output directory (default benchmarks/results)",
+    )
+    bench_merge.add_argument(
+        "--trajectory-dir",
+        default=None,
+        metavar="DIR",
+        help="where to copy the merged BENCH_*.json perf trajectory "
+        "(default: current directory)",
+    )
+    bench_merge.add_argument(
+        "--no-trajectory",
+        action="store_true",
+        help="do not copy BENCH_*.json out of the merged directory",
+    )
+    bench_merge.add_argument("--json", action="store_true", help="emit JSON")
+
+    bench_compare = bench_commands.add_parser(
+        "compare",
+        help="diff current BENCH_*.json metrics against the checked-in "
+        "baselines; exit 1 on any perf regression past its tolerance",
+    )
+    _add_bench_dir(bench_compare)
+    bench_compare.add_argument(
+        "--results",
+        default=None,
+        metavar="DIR",
+        help="results directory to compare (default benchmarks/results)",
+    )
+    bench_compare.add_argument(
+        "--baselines",
+        default=None,
+        metavar="DIR",
+        help="baseline directory (default benchmarks/baselines)",
+    )
+    bench_compare.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite the baselines from the current results instead of comparing",
+    )
+    bench_compare.add_argument(
+        "--strict",
+        action="store_true",
+        help="also fail on missing baselines and context mismatches",
+    )
+    bench_compare.add_argument("--json", action="store_true", help="emit JSON")
     return parser
 
 
@@ -506,6 +643,191 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 
 # ---------------------------------------------------------------------- #
+# Bench subcommands
+# ---------------------------------------------------------------------- #
+def _bench_registry(args: argparse.Namespace):
+    """Resolve ``--bench-dir`` and discover the benchmark registry."""
+    from .bench import default_bench_dir, discover
+
+    bench_dir = Path(args.bench_dir) if args.bench_dir else default_bench_dir()
+    return bench_dir, discover(bench_dir)
+
+
+def _cmd_bench_ls(args: argparse.Namespace) -> int:
+    from .bench import partition
+
+    try:
+        _bench_dir, registry = _bench_registry(args)
+        shards = partition(registry, args.shards) if args.shards else None
+    except (ReproError, OSError) as exc:
+        return _fail(str(exc))
+    shard_of = {}
+    if shards is not None:
+        for index, names in enumerate(shards, 1):
+            for name in names:
+                shard_of[name] = index
+    if args.json:
+        payload = {
+            name: {
+                "figure": bench.spec.figure,
+                "title": bench.spec.title,
+                "module": bench.spec.module,
+                "group": bench.spec.group,
+                "cost": bench.spec.cost,
+                "env": list(bench.spec.env),
+                "artifacts": list(bench.spec.artifacts),
+                "perf_artifacts": list(bench.spec.perf_artifacts),
+                "gates": len(bench.spec.gates),
+                **({"shard": shard_of[name]} if name in shard_of else {}),
+            }
+            for name, bench in registry.items()
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
+    rows = {}
+    for name, bench in registry.items():
+        row = {
+            "figure": bench.spec.figure,
+            "cost_s": bench.spec.cost,
+            "group": bench.spec.group if bench.spec.group != name else "-",
+            "artifacts": len(bench.spec.all_artifacts),
+            "gates": len(bench.spec.gates),
+        }
+        if name in shard_of:
+            row["shard"] = f"{shard_of[name]}/{args.shards}"
+        rows[name] = row
+    print(format_series_table(rows, row_header="bench"))
+    return 0
+
+
+def _cmd_bench_run(args: argparse.Namespace) -> int:
+    from .bench import copy_trajectory, parse_shard, run_shard
+
+    try:
+        bench_dir, registry = _bench_registry(args)
+        index, count = parse_shard(args.shard)
+        report = run_shard(
+            bench_dir=bench_dir,
+            shard=(index, count),
+            results_dir=Path(args.results) if args.results else None,
+            jobs=args.jobs,
+            registry=registry,
+        )
+    except (ReproError, OSError) as exc:
+        return _fail(str(exc))
+    if args.json:
+        payload = report.as_dict()
+        payload["record"] = str(report.record_path)
+        if report.manifest_path is not None:
+            payload["manifest"] = str(report.manifest_path)
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        rows = {
+            outcome.name: {
+                "status": outcome.status,
+                "wall_clock_s": outcome.wall_clock_s,
+                "functions": len(outcome.functions),
+            }
+            for outcome in report.outcomes
+        }
+        if rows:
+            title = f"Benchmark shard {index}/{count} ({report.wall_clock_s:.1f}s)"
+            print(format_series_table(rows, title=title, row_header="bench"))
+        else:
+            print(f"shard {index}/{count} is empty (more shards than groups)")
+    for outcome in report.failures:
+        print(f"\nFAILED {outcome.name}:\n{outcome.error}", file=sys.stderr)
+    if report.failures:
+        return 1
+    if report.record_path is not None and not args.no_trajectory and count == 1:
+        try:
+            copy_trajectory(
+                report.record_path.parent, Path(args.trajectory_dir or ".")
+            )
+        except OSError as exc:
+            return _fail(f"cannot copy the BENCH trajectory: {exc}")
+    return 0
+
+
+def _cmd_bench_merge(args: argparse.Namespace) -> int:
+    from .bench import copy_trajectory, merge_shards
+
+    try:
+        bench_dir, registry = _bench_registry(args)
+        out_dir = Path(args.out) if args.out else bench_dir / "results"
+        payload = merge_shards(
+            [Path(directory) for directory in args.shard_dirs],
+            out_dir,
+            registry={name: bench.spec for name, bench in registry.items()},
+        )
+        if not args.no_trajectory:
+            copy_trajectory(out_dir, Path(args.trajectory_dir or "."))
+    except (ReproError, OSError) as exc:
+        return _fail(str(exc))
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(
+            f"merged {len(payload['benchmarks'])} benchmarks from "
+            f"{len(args.shard_dirs)} shard director"
+            f"{'y' if len(args.shard_dirs) == 1 else 'ies'} into {out_dir}"
+        )
+    return 0
+
+
+def _cmd_bench_compare(args: argparse.Namespace) -> int:
+    from .bench import compare, update_baselines
+
+    try:
+        bench_dir, registry = _bench_registry(args)
+        results = Path(args.results) if args.results else bench_dir / "results"
+        baselines = Path(args.baselines) if args.baselines else bench_dir / "baselines"
+        specs = {name: bench.spec for name, bench in registry.items()}
+        if args.update:
+            written = update_baselines(specs, results, baselines)
+            for path in written:
+                print(f"wrote {path}")
+            return 0
+        report = compare(specs, results, baselines, strict=args.strict)
+    except (ReproError, OSError) as exc:
+        return _fail(str(exc))
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    else:
+        rows = {}
+        for check in report.checks:
+            change = check.change_pct
+            rows[f"{check.bench}: {check.metric}"] = {
+                "baseline": check.baseline if check.baseline is not None else "-",
+                "current": check.current if check.current is not None else "-",
+                "change": f"{change:+.1f}%" if change is not None else "-",
+                "allowed": f"{check.direction} +-{check.tolerance_pct:g}%",
+                "status": check.status,
+            }
+        if rows:
+            print(format_series_table(rows, precision=4, row_header="gate"))
+        else:
+            print("no perf gates registered")
+        for check in report.checks:
+            if check.detail:
+                print(f"note: {check.bench}: {check.metric}: {check.detail}")
+    if not report.ok:
+        print("perf regression gate FAILED", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    handlers = {
+        "ls": _cmd_bench_ls,
+        "run": _cmd_bench_run,
+        "merge": _cmd_bench_merge,
+        "compare": _cmd_bench_compare,
+    }
+    return handlers[args.bench_command](args)
+
+
+# ---------------------------------------------------------------------- #
 # Evaluate
 # ---------------------------------------------------------------------- #
 def _load_evaluation_trace(args: argparse.Namespace):
@@ -623,6 +945,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.command == "trace":
         return _cmd_trace(args)
+
+    if args.command == "bench":
+        return _cmd_bench(args)
 
     if args.command == "evaluate":
         return _cmd_evaluate(args)

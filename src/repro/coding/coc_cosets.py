@@ -28,7 +28,6 @@ from ..compression.base import CompressedLine
 from ..compression.coc import COC_BUDGET_16BIT, COC_BUDGET_32BIT, COCCompressor
 from ..core.cosets import DEFAULT_MAPPING, FOUR_COSETS, apply_mapping, invert_mapping
 from ..core.energy import DEFAULT_ENERGY_MODEL, EnergyModel
-from ..core.errors import EncodingError
 from ..core.line import LineBatch
 from ..core.symbols import (
     BITS_PER_LINE,
@@ -199,7 +198,6 @@ class COCFourCosetsEncoder(WriteEncoder):
 
     def decode_states(self, states: np.ndarray) -> LineBatch:
         states = np.asarray(states, dtype=np.uint8)
-        n = states.shape[0]
         inverse_default = invert_mapping(DEFAULT_MAPPING)
         flag = states[:, self.flag_cell_index]
         words = symbols_to_words(inverse_default[states[:, :SYMBOLS_PER_LINE]].astype(np.uint8))

@@ -21,7 +21,7 @@ itself must fit in 360 bits.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import Tuple
 
 import numpy as np
 
@@ -33,7 +33,6 @@ from ..core.line import LineBatch
 from ..core.symbols import (
     BITS_PER_LINE,
     SYMBOLS_PER_LINE,
-    WORDS_PER_LINE,
     bits_to_symbols,
     symbols_to_bits,
     symbols_to_words,

@@ -21,13 +21,13 @@ building blocks of the WLC-based schemes.
 from __future__ import annotations
 
 from itertools import product
-from typing import List, Optional, Sequence, Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
-from ..core.cosets import FOUR_COSETS, SIX_COSETS, THREE_COSETS, apply_mapping, invert_mapping
+from ..core.cosets import FOUR_COSETS, SIX_COSETS, THREE_COSETS, invert_mapping
 from ..core.energy import DEFAULT_ENERGY_MODEL, EnergyModel
-from ..core.errors import ConfigurationError, EncodingError
+from ..core.errors import ConfigurationError
 from ..core.line import LineBatch
 from ..core.symbols import BITS_PER_LINE, SYMBOLS_PER_LINE
 from .base import (

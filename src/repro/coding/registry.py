@@ -17,7 +17,7 @@ Examples
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import List, Optional
 
 from ..core.cosets import FOUR_COSETS, SIX_COSETS, THREE_COSETS
 from ..core.energy import DEFAULT_ENERGY_MODEL, EnergyModel

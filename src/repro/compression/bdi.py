@@ -16,7 +16,7 @@ wins" front-end used in the FPC+BDI comparison.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence, Tuple
+from typing import List, Tuple
 
 import numpy as np
 

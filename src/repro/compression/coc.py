@@ -20,7 +20,7 @@ word-level delta compressor and the raw fallback.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence, Tuple
+from typing import List, Tuple
 
 import numpy as np
 
@@ -28,7 +28,7 @@ from ..core.errors import CompressionError
 from ..core.line import LineBatch
 from ..core.symbols import BITS_PER_LINE, WORDS_PER_LINE
 from .base import CompressedLine, Compressor
-from .bdi import BDIVariant, RepeatedValueCompressor, STANDARD_BDI_VARIANTS, ZeroLineCompressor
+from .bdi import RepeatedValueCompressor, STANDARD_BDI_VARIANTS, ZeroLineCompressor
 from .fpc import FPCCompressor
 
 #: Compression budget for 16-bit-granularity COC+4cosets encoding.

@@ -12,13 +12,13 @@ Figure 4.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List
 
 import numpy as np
 
 from ..core.errors import CompressionError
 from ..core.line import LineBatch
-from ..core.symbols import BITS_PER_LINE, WORDS_PER_LINE
+from ..core.symbols import WORDS_PER_LINE
 from .base import CompressedLine, Compressor
 
 #: Number of 32-bit words per 512-bit line.

@@ -10,7 +10,6 @@ passed around, hashed, and printed in reports.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
 
 from .disturbance import DisturbanceModel, DEFAULT_DISTURBANCE_MODEL
 from .energy import EnergyModel, DEFAULT_ENERGY_MODEL

@@ -22,11 +22,11 @@ convert between symbols and states in either direction.
 from __future__ import annotations
 
 from itertools import combinations
-from typing import Iterable, List, Sequence
+from typing import List
 
 import numpy as np
 
-from .symbols import BITS_PER_LINE, WORDS_PER_LINE
+from .symbols import BITS_PER_LINE
 
 #: Default mapping (Table I, candidate C1): 00->S1, 01->S4, 10->S2, 11->S3.
 C1 = np.array([0, 3, 1, 2], dtype=np.uint8)

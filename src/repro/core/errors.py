@@ -25,3 +25,7 @@ class TraceError(ReproError):
 
 class SimulationError(ReproError):
     """Raised by the PCM device / memory-controller simulation layer."""
+
+
+class BenchError(ReproError):
+    """Raised by the benchmark-orchestration subsystem (:mod:`repro.bench`)."""

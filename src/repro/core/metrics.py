@@ -17,8 +17,8 @@ Figures 8-10.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, Mapping, Optional
+from dataclasses import dataclass
+from typing import Dict, Iterable
 
 
 @dataclass

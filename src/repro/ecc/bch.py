@@ -18,7 +18,7 @@ occupy the high-degree positions ``r .. r+k-1`` and parity the low positions
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 import numpy as np
 

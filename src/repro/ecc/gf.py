@@ -6,9 +6,7 @@ table look-ups.  Elements are plain Python integers in ``[0, 2^m)``.
 """
 
 from __future__ import annotations
-
-from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
 #: Default primitive polynomials per field degree (x^m term included).
 DEFAULT_PRIMITIVE_POLYS: Dict[int, int] = {

@@ -13,7 +13,7 @@ line runs are unnecessary for the statistics to converge (see EXPERIMENTS.md).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
@@ -24,8 +24,8 @@ from ..coding.restricted import RestrictedCosetEncoder
 from ..coding.wlc_cosets import make_wlc_four_cosets, make_wlc_three_cosets
 from ..coding.wlcrc import WLCRCEncoder
 from ..core.config import EvaluationConfig, GRANULARITIES_WLC
-from ..core.cosets import FOUR_COSETS, SIX_COSETS, candidate_names
-from ..core.energy import DEFAULT_ENERGY_MODEL, EnergyModel, FIGURE14_ENERGY_LEVELS
+from ..core.cosets import FOUR_COSETS, candidate_names
+from ..core.energy import DEFAULT_ENERGY_MODEL, EnergyModel
 from ..core.metrics import WriteMetrics
 from ..workloads.generator import generate_benchmark_trace, generate_random_trace
 from ..workloads.profiles import ALL_BENCHMARKS, HMI_BENCHMARKS, LMI_BENCHMARKS

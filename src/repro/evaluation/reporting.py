@@ -7,7 +7,7 @@ the same rows and series the paper reports, so a run of ``pytest benchmarks/
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
+from typing import Iterable, List, Mapping, Optional, Sequence, Union
 
 Number = Union[int, float]
 

@@ -20,8 +20,8 @@ reduction translates into queue pressure.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional
+from dataclasses import dataclass
+from typing import Deque, List, Optional
 
 from ..core.config import PCMOrganization
 from ..core.errors import SimulationError

@@ -8,11 +8,7 @@ aggregate energy / endurance / disturbance statistics.
 """
 
 from __future__ import annotations
-
-from dataclasses import dataclass
-from typing import Dict, Optional, Union
-
-import numpy as np
+from typing import Dict, Union
 
 from ..coding import make_scheme
 from ..coding.base import WriteEncoder

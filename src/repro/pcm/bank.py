@@ -12,12 +12,12 @@ against real neighbours.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from dataclasses import dataclass
+from typing import Tuple
 
 import numpy as np
 
-from ..coding.base import EncodedBatch, WriteEncoder
+from ..coding.base import WriteEncoder
 from ..core.disturbance import DEFAULT_DISTURBANCE_MODEL, DisturbanceModel
 from ..core.errors import SimulationError
 from ..core.line import LineBatch

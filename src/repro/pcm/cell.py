@@ -12,7 +12,6 @@ programming entirely when the stored state already matches.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 from ..core.energy import DEFAULT_ENERGY_MODEL, EnergyModel, NUM_STATES
 from ..core.errors import SimulationError

@@ -10,10 +10,8 @@ repeated writes to hot lines.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
-
-import numpy as np
+from dataclasses import dataclass
+from typing import Dict, Tuple
 
 from ..coding.base import WriteEncoder
 from ..core.config import PCMOrganization

@@ -9,9 +9,6 @@ the device-level simulation can report lifetime estimates as well.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
-
-import numpy as np
 
 #: Typical per-cell write endurance of PCM (writes before failure).
 DEFAULT_CELL_ENDURANCE_WRITES = 10**8

@@ -27,7 +27,7 @@ records both sides.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Tuple
+from typing import Dict, Mapping, Tuple
 
 #: Content types a generated memory line may have.
 LINE_TYPES = (

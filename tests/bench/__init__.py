@@ -1,0 +1,1 @@
+"""Test package (unique basenames require package-qualified module names)."""

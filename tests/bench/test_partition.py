@@ -1,0 +1,121 @@
+"""Tests of the deterministic cost-balanced shard partitioning."""
+
+import pytest
+
+from repro.bench.partition import parse_shard, partition, shard_names
+from repro.bench.registry import BenchSpec, DiscoveredBench
+from repro.core.errors import BenchError
+
+
+def _registry(specs):
+    return {
+        spec.name: DiscoveredBench(spec=spec, path=None, functions=(("bench_x", lambda: None),))
+        for spec in specs
+    }
+
+
+def _spec(name, cost, group=""):
+    return BenchSpec(
+        figure=name,
+        title=name,
+        cost=cost,
+        name=name,
+        module=f"bench_{name}.py",
+        group=group or name,
+    )
+
+
+REGISTRY = _registry(
+    [
+        _spec("a", 20.0),
+        _spec("b", 9.0),
+        _spec("c", 6.0),
+        _spec("d", 5.0),
+        _spec("e", 4.0),
+        _spec("f", 2.0),
+        _spec("g", 1.0),
+        _spec("h", 0.5),
+    ]
+)
+
+
+class TestParseShard:
+    def test_parses_valid_selectors(self):
+        assert parse_shard("1/1") == (1, 1)
+        assert parse_shard("2/4") == (2, 4)
+        assert parse_shard(" 3/3 ") == (3, 3)
+
+    @pytest.mark.parametrize("text", ["", "0/4", "5/4", "1/0", "-1/4", "a/b", "1", "1/2/3"])
+    def test_rejects_invalid_selectors(self, text):
+        with pytest.raises(BenchError):
+            parse_shard(text)
+
+
+class TestPartition:
+    @pytest.mark.parametrize("n_shards", [1, 2, 3, 4, 5, 8, 11])
+    def test_every_bench_in_exactly_one_shard(self, n_shards):
+        shards = partition(REGISTRY, n_shards)
+        assert len(shards) == n_shards
+        flattened = [name for shard in shards for name in shard]
+        assert sorted(flattened) == sorted(REGISTRY)
+        assert len(flattened) == len(set(flattened))
+
+    @pytest.mark.parametrize("n_shards", [1, 2, 3, 4, 7])
+    def test_partition_is_deterministic(self, n_shards):
+        first = partition(REGISTRY, n_shards)
+        for _ in range(3):
+            assert partition(REGISTRY, n_shards) == first
+        # Insertion order of the registry must not matter.
+        reversed_registry = dict(reversed(list(REGISTRY.items())))
+        assert partition(reversed_registry, n_shards) == first
+
+    def test_costs_are_balanced(self):
+        shards = partition(REGISTRY, 2)
+        loads = [
+            sum(REGISTRY[name].spec.cost for name in shard) for shard in shards
+        ]
+        total = sum(loads)
+        # Greedy bin-packing on this spread keeps both halves within 30 %.
+        assert max(loads) <= 0.65 * total
+
+    def test_groups_stay_together(self):
+        registry = _registry(
+            [
+                _spec("big", 20.0),
+                _spec("primer", 10.0, group="family"),
+                _spec("reader1", 0.5, group="family"),
+                _spec("reader2", 0.5, group="family"),
+                _spec("other", 9.0),
+            ]
+        )
+        for n_shards in (2, 3, 4):
+            shards = partition(registry, n_shards)
+            family_shards = [
+                index
+                for index, shard in enumerate(shards)
+                if any(name in ("primer", "reader1", "reader2") for name in shard)
+            ]
+            assert len(family_shards) == 1
+            # Name order puts the cache-priming member first.
+            members = [
+                name
+                for name in shards[family_shards[0]]
+                if name in ("primer", "reader1", "reader2")
+            ]
+            assert members == ["primer", "reader1", "reader2"]
+
+    def test_more_shards_than_groups_leaves_empty_shards(self):
+        shards = partition(REGISTRY, 11)
+        assert sum(1 for shard in shards if shard) == len(REGISTRY)
+        assert sum(1 for shard in shards if not shard) == 3
+
+    def test_shard_names_matches_partition(self):
+        shards = partition(REGISTRY, 3)
+        for index in (1, 2, 3):
+            assert list(shard_names(REGISTRY, index, 3)) == shards[index - 1]
+
+    def test_invalid_shard_counts_rejected(self):
+        with pytest.raises(BenchError):
+            partition(REGISTRY, 0)
+        with pytest.raises(BenchError):
+            shard_names(REGISTRY, 4, 3)

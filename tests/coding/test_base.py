@@ -12,10 +12,8 @@ from repro.coding.base import (
     unpack_states_to_bits,
 )
 from repro.coding.baseline import BaselineEncoder
-from repro.core.cosets import C1, C2
 from repro.core.energy import DEFAULT_ENERGY_MODEL
 from repro.core.errors import EncodingError
-from repro.core.line import LineBatch
 
 
 class TestBitStatePacking:

@@ -1,7 +1,6 @@
 """Tests of the DIN and COC+4cosets baselines."""
 
 import numpy as np
-import pytest
 
 from repro.coding.coc_cosets import COCFourCosetsEncoder, LAYOUT_16, LAYOUT_32
 from repro.coding.din import (
@@ -14,8 +13,6 @@ from repro.coding.din import (
 )
 from repro.coding.wlc_base import FLAG_COMPRESSED_STATE, FLAG_RAW_STATE
 from repro.core.cosets import DEFAULT_MAPPING
-from repro.core.energy import DEFAULT_ENERGY_MODEL
-from repro.core.line import LineBatch
 from repro.core.symbols import SYMBOLS_PER_LINE
 
 

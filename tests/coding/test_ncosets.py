@@ -12,7 +12,7 @@ from repro.coding.ncosets import (
     make_six_cosets,
     make_three_cosets,
 )
-from repro.core.cosets import FOUR_COSETS, SIX_COSETS
+from repro.core.cosets import FOUR_COSETS
 from repro.core.errors import ConfigurationError
 from repro.core.line import LineBatch
 from repro.evaluation.runner import metrics_from_encoded

@@ -4,7 +4,6 @@ import pytest
 
 from repro.coding import FIGURE8_SCHEMES, available_schemes, make_scheme
 from repro.coding.baseline import BaselineEncoder
-from repro.coding.ncosets import NCosetsEncoder
 from repro.coding.wlcrc import WLCRCEncoder
 from repro.core.energy import EnergyModel
 from repro.core.errors import ConfigurationError

@@ -1,6 +1,4 @@
 """Tests of the WLC + unrestricted coset encoders (WLC+4cosets / WLC+3cosets)."""
-
-import numpy as np
 import pytest
 
 from repro.coding.wlc_cosets import WLCNCosetsEncoder, make_wlc_four_cosets, make_wlc_three_cosets

@@ -8,7 +8,6 @@ from hypothesis import strategies as st
 from repro.core.line import LineBatch
 from repro.compression.fpc import (
     FPCCompressor,
-    PATTERN_PAYLOAD_BITS,
     classify_words32,
     line_to_words32,
     words32_to_line,

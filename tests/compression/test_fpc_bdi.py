@@ -1,9 +1,6 @@
 """Tests of the combined FPC+BDI compressor (DIN's compression front-end)."""
 
 import numpy as np
-import pytest
-
-from repro.core.line import LineBatch
 from repro.compression.fpc_bdi import DIN_COMPRESSION_BUDGET_BITS, FPCBDICompressor
 
 

@@ -1,7 +1,5 @@
 """Tests of the system / evaluation configuration objects."""
 
-import pytest
-
 from repro.core.config import (
     CPUConfig,
     DEFAULT_SYSTEM_CONFIG,

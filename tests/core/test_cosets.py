@@ -6,7 +6,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import cosets
-from repro.core.energy import DEFAULT_ENERGY_MODEL
 
 
 class TestTableI:

@@ -149,7 +149,8 @@ class TestRewiredHelpers:
     def test_granularity_sweep_jobs_equivalence(self, gcc_trace, libq_trace):
         """Acceptance: >= 4 granularities, parallel identical to serial."""
         traces = {"gcc": gcc_trace[:96], "libq": libq_trace[:96]}
-        factory = lambda g, em: make_six_cosets(g, em)
+        def factory(g, em):
+            return make_six_cosets(g, em)
         granularities = (8, 16, 32, 64)
         serial = granularity_sweep(factory, granularities, traces, CONFIG)
         parallel = granularity_sweep(factory, granularities, traces, CONFIG, n_jobs=4)
@@ -159,7 +160,8 @@ class TestRewiredHelpers:
 
     def test_granularity_sweep_monte_carlo_equivalence(self, gcc_trace):
         traces = {"gcc": gcc_trace[:96]}
-        factory = lambda g, em: make_six_cosets(g, em)
+        def factory(g, em):
+            return make_six_cosets(g, em)
         serial = granularity_sweep(factory, (16, 32), traces, MC_CONFIG)
         parallel = granularity_sweep(factory, (16, 32), traces, MC_CONFIG, n_jobs=2)
         assert serial == parallel

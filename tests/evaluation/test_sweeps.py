@@ -1,7 +1,5 @@
 """Tests of the sweep helpers (granularity, energy levels, compression coverage)."""
 
-import pytest
-
 from repro.coding.ncosets import make_six_cosets
 from repro.coding.wlcrc import WLCRCEncoder
 from repro.coding.baseline import BaselineEncoder

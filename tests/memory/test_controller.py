@@ -1,7 +1,5 @@
 """Tests of the memory controller's queueing and scheduling policy."""
 
-import pytest
-
 from repro.coding import make_scheme
 from repro.core.config import PCMOrganization
 from repro.memory.controller import MemoryController

@@ -1,7 +1,6 @@
 """Tests of the end-to-end PCM main-memory facade."""
 
 import numpy as np
-import pytest
 
 from repro.coding import make_scheme
 from repro.memory.main_memory import PCMMainMemory

@@ -1,6 +1,4 @@
 """Tests of the stateful PCM bank."""
-
-import numpy as np
 import pytest
 
 from repro.coding import make_scheme

@@ -1,6 +1,4 @@
 """Tests of the multi-bank PCM device."""
-
-import numpy as np
 import pytest
 
 from repro.coding import make_scheme

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.pcm.endurance import LifetimeEstimate, estimate_lifetime, relative_lifetime
+from repro.pcm.endurance import estimate_lifetime, relative_lifetime
 
 
 class TestLifetimeEstimate:

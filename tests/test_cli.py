@@ -316,3 +316,93 @@ class TestCorpusBackedExperiments:
                      "--trace-length", "60", "--json"]) == 0
         memory_run = json.loads(capsys.readouterr().out)
         assert corpus_run == memory_run
+
+
+class TestBenchCommands:
+    """CLI surface of the benchmark-orchestration subsystem.
+
+    The heavy lifting (partitioning, byte-identity, gating) is covered in
+    tests/bench/; these tests drive the argparse layer end-to-end on a tiny
+    fixture suite.
+    """
+
+    FIXTURE = (
+        "from repro.bench import BenchSpec, run_once, write_result\n"
+        "BENCHMARK = BenchSpec(figure='mini', title='Mini', cost=1.0,\n"
+        "                      artifacts=('mini.txt',))\n"
+        "def bench_mini(benchmark):\n"
+        "    write_result('mini', run_once(benchmark, lambda: 'mini-table'))\n"
+    )
+
+    def _suite(self, tmp_path):
+        directory = tmp_path / "suite"
+        directory.mkdir()
+        (directory / "bench_mini.py").write_text(self.FIXTURE)
+        return directory
+
+    def test_bench_ls_lists_real_registry(self, capsys):
+        assert main(["bench", "ls"]) == 0
+        out = capsys.readouterr().out
+        assert "fig08_write_energy" in out
+        assert "streaming_ingest" in out
+
+    def test_bench_ls_json_shard_assignment(self, capsys, tmp_path):
+        suite = self._suite(tmp_path)
+        assert main(["bench", "ls", "--bench-dir", str(suite), "--shards", "2",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["mini"]["figure"] == "mini"
+        assert payload["mini"]["shard"] in (1, 2)
+
+    def test_bench_run_merge_compare_roundtrip(self, capsys, tmp_path):
+        suite = self._suite(tmp_path)
+        results = tmp_path / "results"
+        assert main(["bench", "run", "--bench-dir", str(suite),
+                     "--results", str(results),
+                     "--trajectory-dir", str(tmp_path / "traj")]) == 0
+        assert (results / "mini.txt").read_text() == "mini-table\n"
+        assert (results / "BENCH_manifest.json").is_file()
+        assert (tmp_path / "traj" / "BENCH_manifest.json").is_file()
+        capsys.readouterr()
+        merged = tmp_path / "merged"
+        assert main(["bench", "merge", str(results), "--bench-dir", str(suite),
+                     "--out", str(merged), "--no-trajectory"]) == 0
+        assert (merged / "BENCH_manifest.json").read_bytes() == (
+            results / "BENCH_manifest.json"
+        ).read_bytes()
+        capsys.readouterr()
+        # No gates registered: compare passes and says so.
+        assert main(["bench", "compare", "--bench-dir", str(suite),
+                     "--results", str(merged),
+                     "--baselines", str(tmp_path / "baselines")]) == 0
+        assert "no perf gates" in capsys.readouterr().out
+
+    def test_bench_run_bad_shard_selector(self, capsys, tmp_path):
+        suite = self._suite(tmp_path)
+        assert main(["bench", "run", "--bench-dir", str(suite),
+                     "--shard", "5/2"]) == 2
+        assert "invalid shard selector" in capsys.readouterr().err
+
+    def test_bench_run_failure_exits_one(self, capsys, tmp_path):
+        suite = tmp_path / "boom"
+        suite.mkdir()
+        (suite / "bench_boom.py").write_text(
+            "from repro.bench import BenchSpec\n"
+            "BENCHMARK = BenchSpec(figure='boom', title='boom', cost=1.0)\n"
+            "def bench_boom(benchmark):\n"
+            "    raise RuntimeError('kaboom')\n"
+        )
+        assert main(["bench", "run", "--bench-dir", str(suite),
+                     "--results", str(tmp_path / "results")]) == 1
+        assert "kaboom" in capsys.readouterr().err
+
+    def test_bench_merge_missing_dir(self, capsys, tmp_path):
+        suite = self._suite(tmp_path)
+        assert main(["bench", "merge", str(tmp_path / "nope"),
+                     "--bench-dir", str(suite),
+                     "--out", str(tmp_path / "merged")]) == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_bench_unknown_dir(self, capsys):
+        assert main(["bench", "ls", "--bench-dir", "/no/such/dir"]) == 2
+        assert "benchmark directory" in capsys.readouterr().err

@@ -4,10 +4,8 @@ import numpy as np
 import pytest
 
 from repro.compression.wlc import WLCCompressor
-from repro.core.line import LineBatch
 from repro.workloads.generator import (
     LineGenerator,
-    TraceGenerator,
     generate_benchmark_trace,
     generate_random_trace,
 )
