@@ -1,96 +1,54 @@
-"""Wall-clock benchmarks of the parallel engine: scaling and trace transport.
+"""Wall-clock benchmark of the parallel engine's scaling and backends.
 
-``bench_parallel_scaling`` runs the Figure 11-style granularity sweep once on
-the serial path (``n_jobs=1``) and once on the process-pool path (``n_jobs``
-= all cores), records both wall-clock times and the speedup to
-``benchmarks/results/``, and asserts the engine's core contract: the two runs
-produce *identical* metrics.
+``bench_parallel_scaling`` runs the Figure 11-style granularity sweep once
+on the serial path (``n_jobs=1``), once on the process-pool path and once on
+the thread-pool path (``n_jobs`` = all cores), records the wall-clock times
+and speedups to ``benchmarks/results/``, and asserts the engine's core
+contract: all three runs produce *identical* metrics.
 
-``bench_trace_transport`` compares how chunk data reaches the workers --
-pickled arrays (the legacy path), a shared-memory segment, and an mmap'd
-corpus file -- on one long random trace: per-chunk IPC payload bytes, end-to-
-end wall clock, and (again) exact metric equality.  Results land in
-``BENCH_trace_transport.json``, which CI uploads as an artifact.
-
-No minimum speedup is asserted -- on a single-core machine the pool can only
-add overhead; the recorded tables are the artefact of interest.
-
-Environment knobs (on top of conftest's): ``REPRO_BENCH_TRANSPORT_LINES``
-sets the transport benchmark's trace length (default one million lines).
+No minimum speedup is asserted -- on a single-core machine a pool can only
+add overhead; the recorded tables are the artefact of interest.  The
+transport comparison that used to live here moved to
+``bench_trace_transport.py`` when it gained its own perf baseline.
 """
 
 import os
-import pickle
-import tempfile
 import time
-from pathlib import Path
 
-from repro.bench import BenchSpec, Gate, run_once, write_json, write_result
-from repro.coding import make_scheme
+from repro.bench import BenchSpec, run_once, write_json, write_result
 from repro.coding.ncosets import make_six_cosets
-from repro.core.config import EvaluationConfig
 from repro.evaluation import format_series_table
 from repro.evaluation.experiments import benchmark_traces
-from repro.evaluation.parallel import ParallelRunner, WorkUnit
 from repro.evaluation.sweeps import granularity_sweep
-from repro.traces.store import load_trace, save_trace
-from repro.traces.transport import TraceExporter
-from repro.workloads.generator import generate_random_trace
 
-# The per-chunk IPC payload sizes are deterministic for a given trace length
-# and chunk size, so their gates are tight; wall clocks are machine noise and
-# deliberately ungated.
 BENCHMARK = BenchSpec(
     figure="parallel",
-    title="Parallel-engine scaling and zero-copy trace transport",
-    cost=5.4,
+    title="Parallel-engine scaling: serial vs process pool vs thread pool",
+    cost=3.6,
     perf_artifacts=(
         "parallel_scaling.txt",
         "BENCH_parallel_scaling.json",
-        "trace_transport.txt",
-        "BENCH_trace_transport.json",
     ),
     env=(
         "REPRO_BENCH_TRACE_LEN",
         "REPRO_BENCH_SEED",
-        "REPRO_BENCH_TRANSPORT_LINES",
-    ),
-    gates=(
-        Gate(
-            artifact="BENCH_trace_transport.json",
-            metric="per_chunk_ipc_bytes.mmap",
-            direction="lower",
-            tolerance_pct=10.0,
-            context=("lines", "chunk_size"),
-        ),
-        Gate(
-            artifact="BENCH_trace_transport.json",
-            metric="per_chunk_ipc_bytes.shm",
-            direction="lower",
-            tolerance_pct=10.0,
-            context=("lines", "chunk_size"),
-        ),
-        Gate(
-            artifact="BENCH_trace_transport.json",
-            metric="ipc_reduction_vs_pickle.mmap",
-            direction="higher",
-            tolerance_pct=10.0,
-            context=("lines", "chunk_size"),
-        ),
     ),
 )
 
 GRANULARITIES = (8, 16, 32, 64)
 
 
-def _timed_sweep(traces, config, n_jobs):
+def _timed_sweep(traces, config, n_jobs, backend="process"):
+    from repro.evaluation.parallel import ParallelRunner
+
+    runner = ParallelRunner(n_jobs, backend=backend)
     start = time.perf_counter()
     sweep = granularity_sweep(
         lambda g, em: make_six_cosets(g, em),
         GRANULARITIES,
         traces,
         config.evaluation,
-        n_jobs=n_jobs,
+        runner=runner,
     )
     return sweep, time.perf_counter() - start
 
@@ -101,15 +59,26 @@ def bench_parallel_scaling(benchmark, experiment_config):
 
     def measure():
         serial, serial_s = _timed_sweep(traces, experiment_config, n_jobs=1)
-        parallel, parallel_s = _timed_sweep(traces, experiment_config, n_jobs=all_cores)
-        return serial, serial_s, parallel, parallel_s
+        process, process_s = _timed_sweep(traces, experiment_config, n_jobs=all_cores)
+        thread, thread_s = _timed_sweep(
+            traces, experiment_config, n_jobs=all_cores, backend="thread"
+        )
+        return serial, serial_s, process, process_s, thread, thread_s
 
-    serial, serial_s, parallel, parallel_s = run_once(benchmark, measure)
+    serial, serial_s, process, process_s, thread, thread_s = run_once(benchmark, measure)
 
     rows = {
         "serial (n_jobs=1)": {"wall_clock_s": serial_s, "workers": 1},
-        f"parallel (n_jobs={all_cores})": {"wall_clock_s": parallel_s, "workers": all_cores},
-        "speedup": {"wall_clock_s": serial_s / parallel_s if parallel_s else 0.0, "workers": all_cores},
+        f"process pool (n_jobs={all_cores})": {"wall_clock_s": process_s, "workers": all_cores},
+        f"thread pool (n_jobs={all_cores})": {"wall_clock_s": thread_s, "workers": all_cores},
+        "process speedup": {
+            "wall_clock_s": serial_s / process_s if process_s else 0.0,
+            "workers": all_cores,
+        },
+        "thread speedup": {
+            "wall_clock_s": serial_s / thread_s if thread_s else 0.0,
+            "workers": all_cores,
+        },
     }
     table = format_series_table(
         rows,
@@ -119,10 +88,12 @@ def bench_parallel_scaling(benchmark, experiment_config):
     )
     write_result("parallel_scaling", table)
 
-    # The engine's contract: identical metrics for any worker count.
+    # The engine's contract: identical metrics for any worker count and for
+    # either executor backend.
     assert list(serial) == list(GRANULARITIES)
     for granularity in GRANULARITIES:
-        assert serial[granularity] == parallel[granularity]
+        assert serial[granularity] == process[granularity]
+        assert serial[granularity] == thread[granularity]
 
     write_json(
         "parallel_scaling",
@@ -131,100 +102,9 @@ def bench_parallel_scaling(benchmark, experiment_config):
             "traces": len(traces),
             "workers": all_cores,
             "serial_s": serial_s,
-            "parallel_s": parallel_s,
-            "speedup": serial_s / parallel_s if parallel_s else 0.0,
+            "parallel_s": process_s,
+            "thread_s": thread_s,
+            "speedup": serial_s / process_s if process_s else 0.0,
+            "thread_speedup": serial_s / thread_s if thread_s else 0.0,
         },
     )
-
-
-def bench_trace_transport(benchmark):
-    """Per-chunk IPC and wall clock: pickled vs shared-memory vs mmap transport."""
-    lines = int(os.environ.get("REPRO_BENCH_TRANSPORT_LINES", "1000000"))
-    n_jobs = os.cpu_count() or 1
-    config = EvaluationConfig(chunk_size=2048)
-    encoder = make_scheme("baseline")
-
-    def measure():
-        trace = generate_random_trace(lines, seed=2018)
-        results = {}
-        with tempfile.TemporaryDirectory() as tmp:
-            corpus_trace = load_trace(save_trace(trace, Path(tmp) / "random.wtrc"))
-
-            # Per-chunk IPC payload: the pickled size of one dispatched shard.
-            runner = ParallelRunner(n_jobs)
-            unit_mem = [WorkUnit("t", encoder, trace, config)]
-            unit_mmap = [WorkUnit("t", encoder, corpus_trace, config)]
-            per_chunk = {
-                "pickle": len(pickle.dumps(next(runner._shards(unit_mem))))
-            }
-            with TraceExporter("shm") as exporter:
-                descriptor = exporter.export(trace)
-                if descriptor is not None:
-                    per_chunk["shm"] = len(
-                        pickle.dumps(next(runner._shards(unit_mem, [descriptor])))
-                    )
-            with TraceExporter("mmap") as exporter:
-                descriptor = exporter.export(corpus_trace)
-                per_chunk["mmap"] = len(
-                    pickle.dumps(next(runner._shards(unit_mmap, [descriptor])))
-                )
-
-            # End-to-end wall clock per transport (metrics must be identical).
-            wall = {}
-            metrics = {}
-            for transport, units in (
-                ("pickle", unit_mem),
-                ("shm", unit_mem),
-                ("mmap", unit_mmap),
-            ):
-                start = time.perf_counter()
-                metrics[transport] = ParallelRunner(n_jobs, transport=transport).map(units)[0]
-                wall[transport] = time.perf_counter() - start
-            results["per_chunk_ipc_bytes"] = per_chunk
-            results["wall_clock_s"] = wall
-            results["metrics"] = metrics
-        return results
-
-    results = run_once(benchmark, measure)
-    per_chunk = results["per_chunk_ipc_bytes"]
-    wall = results["wall_clock_s"]
-    metrics = results["metrics"]
-
-    payload = {
-        "lines": lines,
-        "chunk_size": config.chunk_size,
-        "n_jobs": n_jobs,
-        "per_chunk_ipc_bytes": per_chunk,
-        "ipc_reduction_vs_pickle": {
-            name: per_chunk["pickle"] / size
-            for name, size in per_chunk.items()
-            if name != "pickle" and size
-        },
-        "wall_clock_s": wall,
-    }
-    write_json("trace_transport", payload)
-    rows = {
-        name: {
-            "per_chunk_bytes": per_chunk.get(name, 0),
-            "wall_clock_s": wall[name],
-            "ipc_reduction": payload["ipc_reduction_vs_pickle"].get(name, 1.0),
-        }
-        for name in wall
-    }
-    write_result(
-        "trace_transport",
-        format_series_table(
-            rows,
-            title=f"Trace transport: {lines} lines, chunk {config.chunk_size}, "
-            f"{n_jobs} workers",
-            row_header="transport",
-        ),
-    )
-
-    # Contract: identical metrics on every transport, and descriptor dispatch
-    # must shrink the per-chunk IPC payload vs pickled arrays.
-    assert metrics["mmap"] == metrics["pickle"]
-    assert metrics["shm"] == metrics["pickle"]
-    assert per_chunk["mmap"] < per_chunk["pickle"]
-    if "shm" in per_chunk:
-        assert per_chunk["shm"] < per_chunk["pickle"]

@@ -1,0 +1,164 @@
+"""Zero-copy trace transport benchmark: pickled vs shared-memory vs mmap.
+
+``bench_trace_transport`` compares how chunk data reaches the workers --
+pickled arrays (the legacy path), a shared-memory segment, and an mmap'd
+corpus file -- on one long random trace: per-chunk IPC payload bytes,
+end-to-end wall clock, and exact metric equality across transports.
+Results land in ``BENCH_trace_transport.json``, which CI uploads as an
+artifact and ``repro bench compare`` gates against
+``benchmarks/baselines/trace_transport.json``.
+
+The per-chunk IPC payload sizes are deterministic for a given trace length
+and chunk size, so their gates are tight; wall clocks are machine noise and
+deliberately ungated.  ``REPRO_BENCH_TRANSPORT_LINES`` sets the trace
+length (default one million lines).
+
+This lived in ``bench_parallel_scaling.py`` until the transport gates got
+their own checked-in baseline; as its own bench it partitions, merges and
+gates independently of the scaling study.
+"""
+
+import os
+import pickle
+import tempfile
+import time
+from pathlib import Path
+
+from repro.bench import BenchSpec, Gate, run_once, write_json, write_result
+from repro.coding import make_scheme
+from repro.core.config import EvaluationConfig
+from repro.evaluation import format_series_table
+from repro.evaluation.parallel import ParallelRunner, WorkUnit
+from repro.traces.store import load_trace, save_trace
+from repro.traces.transport import TraceExporter
+from repro.workloads.generator import generate_random_trace
+
+BENCHMARK = BenchSpec(
+    figure="transport",
+    title="Zero-copy trace transport: per-chunk IPC and wall clock",
+    cost=2.6,
+    perf_artifacts=(
+        "trace_transport.txt",
+        "BENCH_trace_transport.json",
+    ),
+    env=(
+        "REPRO_BENCH_TRANSPORT_LINES",
+        "REPRO_BENCH_SEED",
+    ),
+    gates=(
+        Gate(
+            artifact="BENCH_trace_transport.json",
+            metric="per_chunk_ipc_bytes.mmap",
+            direction="lower",
+            tolerance_pct=10.0,
+            context=("lines", "chunk_size"),
+        ),
+        Gate(
+            artifact="BENCH_trace_transport.json",
+            metric="per_chunk_ipc_bytes.shm",
+            direction="lower",
+            tolerance_pct=10.0,
+            context=("lines", "chunk_size"),
+        ),
+        Gate(
+            artifact="BENCH_trace_transport.json",
+            metric="ipc_reduction_vs_pickle.mmap",
+            direction="higher",
+            tolerance_pct=10.0,
+            context=("lines", "chunk_size"),
+        ),
+    ),
+)
+
+
+def bench_trace_transport(benchmark):
+    """Per-chunk IPC and wall clock: pickled vs shared-memory vs mmap transport."""
+    lines = int(os.environ.get("REPRO_BENCH_TRANSPORT_LINES", "1000000"))
+    n_jobs = os.cpu_count() or 1
+    config = EvaluationConfig(chunk_size=2048)
+    encoder = make_scheme("baseline")
+
+    def measure():
+        trace = generate_random_trace(lines, seed=2018)
+        results = {}
+        with tempfile.TemporaryDirectory() as tmp:
+            corpus_trace = load_trace(save_trace(trace, Path(tmp) / "random.wtrc"))
+
+            # Per-chunk IPC payload: the pickled size of one dispatched shard.
+            runner = ParallelRunner(n_jobs)
+            unit_mem = [WorkUnit("t", encoder, trace, config)]
+            unit_mmap = [WorkUnit("t", encoder, corpus_trace, config)]
+            per_chunk = {
+                "pickle": len(pickle.dumps(next(runner._shards(unit_mem))))
+            }
+            with TraceExporter("shm") as exporter:
+                descriptor = exporter.export(trace)
+                if descriptor is not None:
+                    per_chunk["shm"] = len(
+                        pickle.dumps(next(runner._shards(unit_mem, [descriptor])))
+                    )
+            with TraceExporter("mmap") as exporter:
+                descriptor = exporter.export(corpus_trace)
+                per_chunk["mmap"] = len(
+                    pickle.dumps(next(runner._shards(unit_mmap, [descriptor])))
+                )
+
+            # End-to-end wall clock per transport (metrics must be identical).
+            wall = {}
+            metrics = {}
+            for transport, units in (
+                ("pickle", unit_mem),
+                ("shm", unit_mem),
+                ("mmap", unit_mmap),
+            ):
+                start = time.perf_counter()
+                metrics[transport] = ParallelRunner(n_jobs, transport=transport).map(units)[0]
+                wall[transport] = time.perf_counter() - start
+            results["per_chunk_ipc_bytes"] = per_chunk
+            results["wall_clock_s"] = wall
+            results["metrics"] = metrics
+        return results
+
+    results = run_once(benchmark, measure)
+    per_chunk = results["per_chunk_ipc_bytes"]
+    wall = results["wall_clock_s"]
+    metrics = results["metrics"]
+
+    payload = {
+        "lines": lines,
+        "chunk_size": config.chunk_size,
+        "n_jobs": n_jobs,
+        "per_chunk_ipc_bytes": per_chunk,
+        "ipc_reduction_vs_pickle": {
+            name: per_chunk["pickle"] / size
+            for name, size in per_chunk.items()
+            if name != "pickle" and size
+        },
+        "wall_clock_s": wall,
+    }
+    write_json("trace_transport", payload)
+    rows = {
+        name: {
+            "per_chunk_bytes": per_chunk.get(name, 0),
+            "wall_clock_s": wall[name],
+            "ipc_reduction": payload["ipc_reduction_vs_pickle"].get(name, 1.0),
+        }
+        for name in wall
+    }
+    write_result(
+        "trace_transport",
+        format_series_table(
+            rows,
+            title=f"Trace transport: {lines} lines, chunk {config.chunk_size}, "
+            f"{n_jobs} workers",
+            row_header="transport",
+        ),
+    )
+
+    # Contract: identical metrics on every transport, and descriptor dispatch
+    # must shrink the per-chunk IPC payload vs pickled arrays.
+    assert metrics["mmap"] == metrics["pickle"]
+    assert metrics["shm"] == metrics["pickle"]
+    assert per_chunk["mmap"] < per_chunk["pickle"]
+    if "shm" in per_chunk:
+        assert per_chunk["shm"] < per_chunk["pickle"]

@@ -386,6 +386,15 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
         help="worker processes for the evaluation (1 = serial, 0 or -1 = all cores)",
     )
     parser.add_argument(
+        "--backend",
+        choices=["process", "thread"],
+        default="process",
+        help="worker-pool backend for --jobs > 1: 'process' isolates workers "
+        "(best for long sweeps), 'thread' skips process start-up and trace "
+        "export (the GIL-free compression kernels make this competitive for "
+        "small sweeps); results are bit-identical either way",
+    )
+    parser.add_argument(
         "--trace-dir",
         default=None,
         metavar="DIR",
@@ -407,6 +416,7 @@ def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         trace_length=args.trace_length,
         seed=args.seed,
         n_jobs=args.jobs,
+        backend=args.backend,
         trace_dir=args.trace_dir,
         trace_cache_budget=args.trace_cache_budget,
     )
@@ -485,8 +495,9 @@ def _cmd_trace_convert(args: argparse.Namespace) -> int:
     from .traces import (
         TRACE_SUFFIX,
         TraceCorpus,
-        ingest_trace_file,
+        read_npz_trace_lines,
         read_trace_header,
+        stream_ingest_to_npz,
         stream_ingest_to_wtrc,
     )
 
@@ -526,14 +537,25 @@ def _cmd_trace_convert(args: argparse.Namespace) -> int:
             return _fail(str(exc))
         print(f"wrote {n_lines} write requests to {streamed_target}")
         return 0
-    # .npz archives need the materialised arrays; keep the in-memory path.
+    # .npz archives stream too: spooled columns are fed straight into the
+    # compressed zip members, so no target format materialises the trace.
+    out = Path(args.out)
+    if out.suffix != ".npz":  # mirror WriteTrace.save's suffix coercion
+        out = out.with_name(out.name + ".npz")
     try:
-        trace = ingest_trace_file(
-            args.input, fmt=args.fmt, profile=args.profile, name=args.name, seed=args.seed
+        stream_ingest_to_npz(
+            args.input,
+            out,
+            fmt=args.fmt,
+            profile=args.profile,
+            name=args.name or Path(args.input).stem,
+            seed=args.seed,
         )
-    except TraceError as exc:
+        n_lines = read_npz_trace_lines(out)
+    except (TraceError, OSError) as exc:
         return _fail(str(exc))
-    return _write_trace_output(trace, args, profile=args.profile, seed=args.seed)
+    print(f"wrote {n_lines} write requests to {out}")
+    return 0
 
 
 def _cmd_trace_info(args: argparse.Namespace) -> int:
@@ -918,7 +940,13 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
             trace = generate_benchmark_trace(args.benchmark, config.trace_length, config.seed)
         label = args.scheme
     try:
-        results = evaluate_schemes([encoder], trace, config.evaluation, n_jobs=config.n_jobs)
+        results = evaluate_schemes(
+            [encoder],
+            trace,
+            config.evaluation,
+            n_jobs=config.n_jobs,
+            backend=config.backend,
+        )
     finally:
         cleanup()
     metrics = next(iter(results.values()))

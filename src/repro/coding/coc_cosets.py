@@ -24,8 +24,8 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from ..compression.base import CompressedLine
 from ..compression.coc import COC_BUDGET_16BIT, COC_BUDGET_32BIT, COCCompressor
+from ..compression.kernels import PackedBits
 from ..core.cosets import DEFAULT_MAPPING, FOUR_COSETS, apply_mapping, invert_mapping
 from ..core.energy import DEFAULT_ENERGY_MODEL, EnergyModel
 from ..core.line import LineBatch
@@ -121,11 +121,19 @@ class COCFourCosetsEncoder(WriteEncoder):
             return LAYOUT_32
         return None
 
-    def _packed_symbols(self, words: np.ndarray, layout: _Layout) -> np.ndarray:
-        """Compressed payload of one line, zero-padded to 256 symbols."""
-        compressed = self.compressor.compress_line(words)
-        bits = np.zeros(BITS_PER_LINE, dtype=np.uint8)
-        bits[: compressed.size_bits] = compressed.bits
+    def _packed_symbols(
+        self, lines: LineBatch, member_sizes: np.ndarray
+    ) -> np.ndarray:
+        """Compressed payloads of a batch, zero-padded to 256 symbols each.
+
+        ``member_sizes`` is the bank-size matrix the caller already computed
+        while classifying the batch; passing it through means the bank is
+        never re-evaluated per line (the pre-validated batch entry point).
+        """
+        packed = self.compressor.compress_batch(lines, member_sizes=member_sizes)
+        bits = np.zeros((len(lines), BITS_PER_LINE), dtype=np.uint8)
+        width = min(packed.bits.shape[1], BITS_PER_LINE)
+        bits[:, :width] = packed.bits[:, :width]
         return bits_to_symbols(bits)
 
     def _encode_layout_group(
@@ -168,7 +176,8 @@ class COCFourCosetsEncoder(WriteEncoder):
         n = len(lines)
         symbols = lines.symbols()
         raw_states = apply_mapping(DEFAULT_MAPPING, symbols)
-        sizes = self.compressor.sizes_bits(lines)
+        member_sizes = self.compressor.member_sizes(lines)
+        sizes = self.compressor.sizes_from_members(member_sizes)
         mode16 = sizes <= LAYOUT_16.budget_bits
         mode32 = (~mode16) & (sizes <= LAYOUT_32.budget_bits)
         compressible = mode16 | mode32
@@ -177,9 +186,11 @@ class COCFourCosetsEncoder(WriteEncoder):
         aux_mask = np.zeros((n, self.total_cells), dtype=bool)
 
         payload_symbols = np.zeros((n, SYMBOLS_PER_LINE), dtype=np.uint8)
-        for index in np.nonzero(compressible)[0]:
-            layout = LAYOUT_16 if mode16[index] else LAYOUT_32
-            payload_symbols[index] = self._packed_symbols(lines.words[index], layout)
+        rows = np.nonzero(compressible)[0]
+        if rows.size:
+            payload_symbols[rows] = self._packed_symbols(
+                LineBatch(lines.words[rows]), member_sizes[:, rows]
+            )
 
         data_stored = stored_states[:, :SYMBOLS_PER_LINE]
         self._encode_layout_group(
@@ -201,24 +212,36 @@ class COCFourCosetsEncoder(WriteEncoder):
         inverse_default = invert_mapping(DEFAULT_MAPPING)
         flag = states[:, self.flag_cell_index]
         words = symbols_to_words(inverse_default[states[:, :SYMBOLS_PER_LINE]].astype(np.uint8))
-        for index in np.nonzero(flag == FLAG_COMPRESSED_STATE)[0]:
-            words[index] = self._decode_line(states[index, :SYMBOLS_PER_LINE], inverse_default)
+        compressed = np.nonzero(flag == FLAG_COMPRESSED_STATE)[0]
+        if compressed.size:
+            mode_symbols = inverse_default[states[compressed, self.MODE_CELL]]
+            mode16 = mode_symbols == LAYOUT_16.mode_symbol
+            for layout, rows in (
+                (LAYOUT_16, compressed[mode16]),
+                (LAYOUT_32, compressed[~mode16]),
+            ):
+                if rows.size:
+                    words[rows] = self._decode_layout_group(
+                        states[rows, :SYMBOLS_PER_LINE], layout
+                    )
         return LineBatch(words)
 
-    def _decode_line(self, line_states: np.ndarray, inverse_default: np.ndarray) -> np.ndarray:
-        mode_symbol = int(inverse_default[line_states[self.MODE_CELL]])
-        layout = LAYOUT_16 if mode_symbol == LAYOUT_16.mode_symbol else LAYOUT_32
-        aux_states = line_states[layout.data_cells:layout.data_cells + layout.aux_cells]
-        choice_bits = unpack_states_to_bits(aux_states[None, :], layout.aux_bits)[0]
-        choice = (choice_bits[0::2] | (choice_bits[1::2] << 1)).astype(np.uint8)
-        per_cell_choice = np.repeat(choice, layout.block_cells)
+    def _decode_layout_group(self, line_states: np.ndarray, layout: _Layout) -> np.ndarray:
+        """Decode every line of one layout group at once (vectorised)."""
+        n = line_states.shape[0]
+        aux_states = line_states[:, layout.data_cells:layout.data_cells + layout.aux_cells]
+        choice_bits = unpack_states_to_bits(aux_states, layout.aux_bits)
+        choice = (choice_bits[:, 0::2] | (choice_bits[:, 1::2] << 1)).astype(np.uint8)
+        per_cell_choice = np.repeat(choice, layout.block_cells, axis=1)
         inverse = self.inverse_candidates[per_cell_choice]
-        payload_states = line_states[: layout.data_cells]
+        payload_states = line_states[:, : layout.data_cells]
         payload_symbols = np.take_along_axis(
-            inverse, payload_states[:, None].astype(np.intp), axis=-1
-        )[:, 0]
-        full_symbols = np.zeros(SYMBOLS_PER_LINE, dtype=np.uint8)
-        full_symbols[: layout.data_cells] = payload_symbols
+            inverse, payload_states[..., None].astype(np.intp), axis=-1
+        )[..., 0]
+        full_symbols = np.zeros((n, SYMBOLS_PER_LINE), dtype=np.uint8)
+        full_symbols[:, : layout.data_cells] = payload_symbols
         bits = symbols_to_bits(full_symbols)
-        compressed = CompressedLine(bits=bits, compressor=self.compressor.name)
-        return self.compressor.decompress_line(compressed)
+        packed = PackedBits(
+            bits, np.full(n, BITS_PER_LINE, dtype=np.int64), self.compressor.name
+        )
+        return self.compressor.decompress_batch(packed)

@@ -26,6 +26,7 @@ from typing import Tuple
 import numpy as np
 
 from ..compression.fpc_bdi import FPCBDICompressor
+from ..compression.kernels import PackedBits, pack_fields, unpack_fields
 from ..core.cosets import DEFAULT_MAPPING, apply_mapping, invert_mapping
 from ..core.energy import DEFAULT_ENERGY_MODEL, EnergyModel
 from ..core.errors import EncodingError
@@ -97,56 +98,68 @@ class DINEncoder(WriteEncoder):
         return SYMBOLS_PER_LINE
 
     # ------------------------------------------------------------------ #
-    # Per-line encode / decode of the DIN payload
+    # Batched encode / decode of the DIN payload
     # ------------------------------------------------------------------ #
+    def _encode_lines_bits(self, lines: LineBatch) -> np.ndarray:
+        """Build the 512-bit encoded payloads of a batch of compressible lines.
+
+        The whole pipeline -- compression, length header, 3-to-4 expansion --
+        is vectorised.  Zero padding up to the full 369-bit budget is benign:
+        codeword 0 of the DIN table is ``0000`` by construction, so expanding
+        the padded groups writes the same zeros the per-line path produced.
+        Only the BCH parity remains per line (carry-propagating GF(2)
+        polynomial division over a 492-bit integer).
+        """
+        packed = self.compressor.compress_batch(lines)
+        sizes = packed.lengths
+        if np.any(sizes > MAX_COMPRESSED_BITS):
+            raise EncodingError("line exceeds the DIN compression budget")
+        n = len(lines)
+        budget = LENGTH_HEADER_BITS + MAX_COMPRESSED_BITS
+        payload = np.zeros((n, budget), dtype=np.uint8)
+        payload[:, :LENGTH_HEADER_BITS] = unpack_fields(
+            sizes.astype(np.uint64), LENGTH_HEADER_BITS
+        )
+        width = min(packed.bits.shape[1], MAX_COMPRESSED_BITS)
+        payload[:, LENGTH_HEADER_BITS:LENGTH_HEADER_BITS + width] = packed.bits[:, :width]
+        groups = payload.reshape(n, -1, 3)
+        values = groups[..., 0] | (groups[..., 1] << 1) | (groups[..., 2] << 2)
+        codewords = self.expand_table[values]
+        expanded = unpack_fields(codewords.astype(np.uint64), 4).reshape(n, -1)
+        line_bits = np.zeros((n, BITS_PER_LINE), dtype=np.uint8)
+        line_bits[:, :expanded.shape[1]] = expanded
+        for row in range(n):
+            line_bits[row, EXPANDED_BITS:EXPANDED_BITS + BCH_PARITY_BITS] = (
+                self.bch.parity(line_bits[row, :EXPANDED_BITS])
+            )
+        return line_bits
+
     def _encode_line_bits(self, words: np.ndarray) -> np.ndarray:
         """Build the 512-bit encoded payload of one compressible line."""
-        compressed = self.compressor.compress_line(words)
-        size = compressed.size_bits
-        if size > MAX_COMPRESSED_BITS:
-            raise EncodingError("line exceeds the DIN compression budget")
-        header = np.array([(size >> b) & 1 for b in range(LENGTH_HEADER_BITS)], dtype=np.uint8)
-        payload = np.concatenate([header, compressed.bits])
-        padded_len = ((payload.shape[0] + 2) // 3) * 3
-        padded = np.zeros(padded_len, dtype=np.uint8)
-        padded[: payload.shape[0]] = payload
-        groups = padded.reshape(-1, 3)
-        values = groups[:, 0] | (groups[:, 1] << 1) | (groups[:, 2] << 2)
-        codewords = self.expand_table[values]
-        expanded = np.zeros(EXPANDED_BITS, dtype=np.uint8)
-        for i, codeword in enumerate(codewords):
-            base = 4 * i
-            expanded[base + 0] = codeword & 1
-            expanded[base + 1] = (codeword >> 1) & 1
-            expanded[base + 2] = (codeword >> 2) & 1
-            expanded[base + 3] = (codeword >> 3) & 1
-        parity = self.bch.parity(expanded)
-        line_bits = np.zeros(BITS_PER_LINE, dtype=np.uint8)
-        line_bits[:EXPANDED_BITS] = expanded
-        line_bits[EXPANDED_BITS:EXPANDED_BITS + BCH_PARITY_BITS] = parity
-        return line_bits
+        return self._encode_lines_bits(
+            LineBatch(np.asarray(words, dtype=np.uint64).reshape(1, -1))
+        )[0]
+
+    def _decode_lines_bits(self, line_bits: np.ndarray) -> np.ndarray:
+        """Recover the original words of a batch of encoded lines."""
+        line_bits = np.asarray(line_bits, dtype=np.uint8)
+        n = line_bits.shape[0]
+        expanded = line_bits[:, :EXPANDED_BITS]
+        codewords = pack_fields(expanded.reshape(n, -1, 4))
+        values = self.contract_table[codewords.astype(np.intp)]
+        payload = unpack_fields(values.astype(np.uint64), 3).reshape(n, -1)
+        sizes = pack_fields(payload[:, :LENGTH_HEADER_BITS]).astype(np.int64)
+        bad = sizes[sizes > MAX_COMPRESSED_BITS]
+        if bad.size:
+            raise EncodingError(f"invalid DIN length header: {int(bad[0])}")
+        packed = PackedBits(
+            payload[:, LENGTH_HEADER_BITS:], sizes, self.compressor.name
+        )
+        return self.compressor.decompress_batch(packed)
 
     def _decode_line_bits(self, line_bits: np.ndarray) -> np.ndarray:
         """Recover the original words of one encoded line."""
-        expanded = np.asarray(line_bits[:EXPANDED_BITS], dtype=np.uint8)
-        groups = expanded.reshape(-1, 4)
-        codewords = (
-            groups[:, 0] | (groups[:, 1] << 1) | (groups[:, 2] << 2) | (groups[:, 3] << 3)
-        )
-        values = self.contract_table[codewords]
-        payload = np.zeros(values.shape[0] * 3, dtype=np.uint8)
-        payload[0::3] = values & 1
-        payload[1::3] = (values >> 1) & 1
-        payload[2::3] = (values >> 2) & 1
-        size = 0
-        for b in range(LENGTH_HEADER_BITS):
-            size |= int(payload[b]) << b
-        if size > MAX_COMPRESSED_BITS:
-            raise EncodingError(f"invalid DIN length header: {size}")
-        stream = payload[LENGTH_HEADER_BITS:LENGTH_HEADER_BITS + size]
-        from ..compression.base import CompressedLine
-
-        return self.compressor.decompress_line(CompressedLine(bits=stream, compressor="fpc+bdi"))
+        return self._decode_lines_bits(np.asarray(line_bits, dtype=np.uint8)[None, :])[0]
 
     # ------------------------------------------------------------------ #
     # WriteEncoder interface
@@ -161,10 +174,11 @@ class DINEncoder(WriteEncoder):
         encodable = sizes <= MAX_COMPRESSED_BITS
 
         data_states = raw_states.copy()
-        for index in np.nonzero(encodable)[0]:
-            line_bits = self._encode_line_bits(lines.words[index])
+        rows = np.nonzero(encodable)[0]
+        if rows.size:
+            line_bits = self._encode_lines_bits(LineBatch(lines.words[rows]))
             line_symbols = bits_to_symbols(line_bits)
-            data_states[index] = apply_mapping(DEFAULT_MAPPING, line_symbols)
+            data_states[rows] = apply_mapping(DEFAULT_MAPPING, line_symbols)
 
         flag_states = np.where(encodable, FLAG_COMPRESSED_STATE, FLAG_RAW_STATE).astype(np.uint8)
         states = np.concatenate([data_states, flag_states[:, None]], axis=1).astype(np.uint8)
@@ -184,7 +198,8 @@ class DINEncoder(WriteEncoder):
         flag = states[:, self.flag_cell_index]
         words = symbols_to_words(data_symbols.astype(np.uint8))
         decoded = words.copy()
-        for index in np.nonzero(flag == FLAG_COMPRESSED_STATE)[0]:
-            line_bits = symbols_to_bits(data_symbols[index])
-            decoded[index] = self._decode_line_bits(line_bits)
+        rows = np.nonzero(flag == FLAG_COMPRESSED_STATE)[0]
+        if rows.size:
+            line_bits = symbols_to_bits(data_symbols[rows])
+            decoded[rows] = self._decode_lines_bits(line_bits)
         return LineBatch(decoded)

@@ -156,21 +156,22 @@ class WLCRCEncoder(WLCWordEncoderBase):
         in the lowest position.
         """
         aux = family.astype(np.uint64) << np.uint64(self.reclaimed_bits - 1)
-        for block in range(self.selector_bits):
-            aux |= selector[..., block].astype(np.uint64) << np.uint64(block)
-        return aux
+        shifts = np.arange(self.selector_bits, dtype=np.uint64)
+        packed = (
+            (selector[..., : self.selector_bits].astype(np.uint64) << shifts)
+            .sum(axis=-1, dtype=np.uint64)
+        )
+        return aux | packed
 
     def _unpack_aux(self, aux_values: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
         """Split packed reclaimed-bit values into (family, per-block selectors)."""
         aux_values = np.asarray(aux_values, dtype=np.uint64)
         family = ((aux_values >> np.uint64(self.reclaimed_bits - 1)) & np.uint64(1)).astype(np.uint8)
-        selectors = []
-        for block in range(self.blocks_per_word):
-            if block < self.selector_bits:
-                selectors.append(((aux_values >> np.uint64(block)) & np.uint64(1)).astype(np.uint8))
-            else:
-                selectors.append(np.zeros_like(family))
-        return family, np.stack(selectors, axis=-1)
+        shifts = np.arange(self.blocks_per_word, dtype=np.uint64)
+        selectors = ((aux_values[..., None] >> shifts) & np.uint64(1)).astype(np.uint8)
+        # Blocks past the stored selector width read as zero, as before.
+        selectors[..., self.selector_bits:] = 0
+        return family, selectors
 
     def _choices_from_aux(self, aux_values: np.ndarray) -> np.ndarray:
         aux_values = np.asarray(aux_values, dtype=np.uint64)

@@ -1,6 +1,7 @@
 """Memory-line compression substrates: WLC, FPC, BDI, FPC+BDI and COC."""
 
 from .base import CompressedLine, Compressor, pack_bits_lsb_first, unpack_bits_lsb_first
+from .kernels import PackedBits, compact_segments, hstack_bits, pack_fields, unpack_fields
 from .bdi import (
     BDICompressor,
     BDIVariant,
@@ -33,6 +34,7 @@ __all__ = [
     "DIN_COMPRESSION_BUDGET_BITS",
     "FPCBDICompressor",
     "FPCCompressor",
+    "PackedBits",
     "RawLineCompressor",
     "RepeatedValueCompressor",
     "STANDARD_BDI_VARIANTS",
@@ -40,12 +42,16 @@ __all__ = [
     "WordDeltaCompressor",
     "ZeroLineCompressor",
     "classify_words32",
+    "compact_segments",
     "default_coc_members",
     "elements_to_line",
+    "hstack_bits",
     "line_elements",
     "line_to_words32",
     "msb_run_compressible",
     "pack_bits_lsb_first",
+    "pack_fields",
     "unpack_bits_lsb_first",
+    "unpack_fields",
     "words32_to_line",
 ]

@@ -22,6 +22,7 @@ import numpy as np
 from ..core.errors import CompressionError
 from ..core.line import LineBatch
 from ..core.symbols import BITS_PER_LINE
+from .kernels import PackedBits
 
 
 @dataclass(frozen=True)
@@ -63,6 +64,32 @@ class Compressor(ABC):
     @abstractmethod
     def decompress_line(self, compressed: CompressedLine) -> np.ndarray:
         """Recover the original ``(8,)`` ``uint64`` line from a compressed stream."""
+
+    # ------------------------------------------------------------------ #
+    # Batch kernels
+    # ------------------------------------------------------------------ #
+    def compress_batch(self, batch: LineBatch, validated: bool = False) -> PackedBits:
+        """Compress every line of ``batch`` into one :class:`PackedBits`.
+
+        Stream ``i`` is bit-identical to ``compress_line(batch.words[i])``.
+        ``validated=True`` promises the caller already classified the batch
+        (every line fits this compressor), letting kernels with a ``fits``
+        test skip re-running it -- the pre-validated entry point the encoders
+        use after their own ``sizes_bits`` pass.
+
+        Every built-in compressor overrides this with a vectorised kernel;
+        the base implementation is the scalar loop, kept as the contract
+        reference and as the fallback for third-party subclasses.
+        """
+        return PackedBits.from_streams(
+            [self.compress_line(words).bits for words in batch.words], self.name
+        )
+
+    def decompress_batch(self, packed: PackedBits) -> np.ndarray:
+        """Recover the ``(n, 8)`` ``uint64`` lines of a packed batch."""
+        return np.stack(
+            [self.decompress_line(stream) for stream in packed.lines()]
+        ) if len(packed) else np.zeros((0, 8), dtype=np.uint64)
 
     # ------------------------------------------------------------------ #
     # Convenience helpers

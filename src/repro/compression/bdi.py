@@ -16,7 +16,7 @@ wins" front-end used in the FPC+BDI comparison.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import Tuple
 
 import numpy as np
 
@@ -24,6 +24,14 @@ from ..core.errors import CompressionError
 from ..core.line import LineBatch
 from ..core.symbols import BITS_PER_LINE, BYTES_PER_LINE, WORDS_PER_LINE
 from .base import CompressedLine, Compressor
+from .kernels import (
+    PackedBits,
+    hstack_bits,
+    pack_fields,
+    single_line_batch,
+    single_stream,
+    unpack_fields,
+)
 
 
 def line_elements(words: np.ndarray, element_bytes: int) -> np.ndarray:
@@ -34,12 +42,16 @@ def line_elements(words: np.ndarray, element_bytes: int) -> np.ndarray:
     if element_bytes == 4:
         low = (words & np.uint64(0xFFFFFFFF)).astype(np.uint32)
         high = (words >> np.uint64(32)).astype(np.uint32)
-        return np.stack([low, high], axis=-1).reshape(words.shape[:-1] + (-1,))
+        return np.stack([low, high], axis=-1).reshape(
+            words.shape[:-1] + (words.shape[-1] * 2,)
+        )
     if element_bytes == 2:
         parts = [
             ((words >> np.uint64(16 * i)) & np.uint64(0xFFFF)).astype(np.uint16) for i in range(4)
         ]
-        return np.stack(parts, axis=-1).reshape(words.shape[:-1] + (-1,))
+        return np.stack(parts, axis=-1).reshape(
+            words.shape[:-1] + (words.shape[-1] * 4,)
+        )
     raise CompressionError(f"unsupported element size: {element_bytes} bytes")
 
 
@@ -66,14 +78,23 @@ class ZeroLineCompressor(Compressor):
         zero = np.all(batch.words == 0, axis=1)
         return np.where(zero, 0, BITS_PER_LINE).astype(np.int64)
 
-    def compress_line(self, words: np.ndarray) -> CompressedLine:
-        words = np.asarray(words, dtype=np.uint64).reshape(WORDS_PER_LINE)
-        if np.any(words != 0):
+    def compress_batch(self, batch: LineBatch, validated: bool = False) -> PackedBits:
+        if not validated and np.any(batch.words != 0):
             raise CompressionError("line is not all zero")
-        return CompressedLine(bits=np.zeros(0, dtype=np.uint8), compressor=self.name)
+        return PackedBits(
+            bits=np.zeros((len(batch), 0), dtype=np.uint8),
+            lengths=np.zeros(len(batch), dtype=np.int64),
+            compressor=self.name,
+        )
+
+    def decompress_batch(self, packed: PackedBits) -> np.ndarray:
+        return np.zeros((len(packed), WORDS_PER_LINE), dtype=np.uint64)
+
+    def compress_line(self, words: np.ndarray) -> CompressedLine:
+        return self.compress_batch(single_line_batch(words)).line(0)
 
     def decompress_line(self, compressed: CompressedLine) -> np.ndarray:
-        return np.zeros(WORDS_PER_LINE, dtype=np.uint64)
+        return self.decompress_batch(single_stream(compressed, self.name))[0]
 
 
 @dataclass(frozen=True)
@@ -86,22 +107,29 @@ class RepeatedValueCompressor(Compressor):
         repeated = np.all(batch.words == batch.words[:, :1], axis=1)
         return np.where(repeated, 64, BITS_PER_LINE).astype(np.int64)
 
-    def compress_line(self, words: np.ndarray) -> CompressedLine:
-        words = np.asarray(words, dtype=np.uint64).reshape(WORDS_PER_LINE)
-        if np.any(words != words[0]):
+    def compress_batch(self, batch: LineBatch, validated: bool = False) -> PackedBits:
+        words = batch.words
+        if not validated and np.any(words != words[:, :1]):
             raise CompressionError("line is not a repeated 8-byte value")
-        value = int(words[0])
-        bits = np.array([(value >> b) & 1 for b in range(64)], dtype=np.uint8)
-        return CompressedLine(bits=bits, compressor=self.name)
+        return PackedBits(
+            bits=unpack_fields(words[:, 0], 64),
+            lengths=np.full(len(batch), 64, dtype=np.int64),
+            compressor=self.name,
+        )
+
+    def decompress_batch(self, packed: PackedBits) -> np.ndarray:
+        if np.any(packed.lengths < 64):
+            raise CompressionError("repeated-value stream must be at least 64 bits")
+        if len(packed) == 0:
+            return np.zeros((0, WORDS_PER_LINE), dtype=np.uint64)
+        values = pack_fields(packed.bits[:, :64])
+        return np.broadcast_to(values[:, None], (len(packed), WORDS_PER_LINE)).copy()
+
+    def compress_line(self, words: np.ndarray) -> CompressedLine:
+        return self.compress_batch(single_line_batch(words)).line(0)
 
     def decompress_line(self, compressed: CompressedLine) -> np.ndarray:
-        bits = np.asarray(compressed.bits, dtype=np.uint8)
-        if bits.shape[0] < 64:
-            raise CompressionError("repeated-value stream must be at least 64 bits")
-        value = 0
-        for b in range(64):
-            value |= int(bits[b]) << b
-        return np.full(WORDS_PER_LINE, value, dtype=np.uint64)
+        return self.decompress_batch(single_stream(compressed, self.name))[0]
 
 
 @dataclass(frozen=True)
@@ -149,47 +177,53 @@ class BDIVariant(Compressor):
         fits = self.fits(batch)
         return np.where(fits, self.compressed_bits, BITS_PER_LINE).astype(np.int64)
 
-    def compress_line(self, words: np.ndarray) -> CompressedLine:
-        words = np.asarray(words, dtype=np.uint64).reshape(WORDS_PER_LINE)
-        batch = LineBatch(words.reshape(1, -1))
-        if not bool(self.fits(batch)[0]):
+    def compress_batch(self, batch: LineBatch, validated: bool = False) -> PackedBits:
+        if not validated and not bool(self.fits(batch).all()):
             raise CompressionError(f"line does not fit {self.name}")
-        elements = line_elements(words, self.base_bytes)
+        elements = line_elements(batch.words, self.base_bytes)
         deltas = self._deltas(elements)
-        bits: List[int] = []
-        base = int(elements[0])
-        for b in range(self.base_bytes * 8):
-            bits.append((base >> b) & 1)
-        delta_mask = (1 << (self.delta_bytes * 8)) - 1
-        for delta in deltas:
-            encoded = int(delta) & delta_mask
-            for b in range(self.delta_bytes * 8):
-                bits.append((encoded >> b) & 1)
-        return CompressedLine(bits=np.asarray(bits, dtype=np.uint8), compressor=self.name)
+        delta_mask = np.uint64((1 << (self.delta_bytes * 8)) - 1)
+        encoded = deltas.astype(np.uint64) & delta_mask
+        base_bits = unpack_fields(elements[:, 0].astype(np.uint64), self.base_bytes * 8)
+        delta_bits = unpack_fields(encoded, self.delta_bytes * 8)
+        bits = np.concatenate(
+            [base_bits, delta_bits.reshape(len(batch), -1)], axis=1
+        )
+        return PackedBits(
+            bits=bits,
+            lengths=np.full(len(batch), self.compressed_bits, dtype=np.int64),
+            compressor=self.name,
+        )
+
+    def decompress_batch(self, packed: PackedBits) -> np.ndarray:
+        short = packed.lengths[packed.lengths < self.compressed_bits]
+        if short.size:
+            raise CompressionError(
+                f"stream length {int(short[0])} is shorter than {self.compressed_bits}"
+            )
+        if len(packed) == 0:
+            return np.zeros((0, WORDS_PER_LINE), dtype=np.uint64)
+        base_width = self.base_bytes * 8
+        delta_width = self.delta_bytes * 8
+        base = pack_fields(packed.bits[:, :base_width])
+        raw = pack_fields(
+            packed.bits[
+                :, base_width : base_width + self.elements_per_line * delta_width
+            ].reshape(len(packed), self.elements_per_line, delta_width)
+        )
+        sign_bit = np.uint64(1 << (delta_width - 1))
+        full = np.uint64(1 << delta_width) if delta_width < 64 else np.uint64(0)
+        # Modular arithmetic: adding (raw - 2^w) mod 2^64 reverses the wrap.
+        delta = np.where((raw & sign_bit).astype(bool), raw - full, raw)
+        element_mask = np.uint64((1 << base_width) - 1) if base_width < 64 else np.uint64(0xFFFFFFFFFFFFFFFF)
+        elements = (base[:, None] + delta) & element_mask
+        return elements_to_line(elements, self.base_bytes)
+
+    def compress_line(self, words: np.ndarray) -> CompressedLine:
+        return self.compress_batch(single_line_batch(words)).line(0)
 
     def decompress_line(self, compressed: CompressedLine) -> np.ndarray:
-        bits = np.asarray(compressed.bits, dtype=np.uint8)
-        if bits.shape[0] < self.compressed_bits:
-            raise CompressionError(
-                f"stream length {bits.shape[0]} is shorter than {self.compressed_bits}"
-            )
-        cursor = 0
-        base = 0
-        for b in range(self.base_bytes * 8):
-            base |= int(bits[cursor + b]) << b
-        cursor += self.base_bytes * 8
-        element_mask = (1 << (self.base_bytes * 8)) - 1
-        sign_bit = 1 << (self.delta_bytes * 8 - 1)
-        full = 1 << (self.delta_bytes * 8)
-        elements = np.zeros(self.elements_per_line, dtype=np.uint64)
-        for i in range(self.elements_per_line):
-            raw = 0
-            for b in range(self.delta_bytes * 8):
-                raw |= int(bits[cursor + b]) << b
-            cursor += self.delta_bytes * 8
-            delta = raw - full if raw & sign_bit else raw
-            elements[i] = (base + delta) & element_mask
-        return elements_to_line(elements, self.base_bytes)
+        return self.decompress_batch(single_stream(compressed, self.name))[0]
 
 
 #: The six delta variants of the standard BDI family.
@@ -214,34 +248,76 @@ class BDICompressor(Compressor):
     #: Encoding-tag overhead added to every compressed line, in bits.
     tag_bits: int = 4
 
+    def variant_sizes(self, batch: LineBatch) -> np.ndarray:
+        """Per-variant compressed sizes, shape ``(variants, lines)``."""
+        return np.stack([v.sizes_bits(batch) for v in self.variants])
+
     def sizes_bits(self, batch: LineBatch) -> np.ndarray:
-        sizes = np.stack([v.sizes_bits(batch) for v in self.variants])
-        best = sizes.min(axis=0)
+        best = self.variant_sizes(batch).min(axis=0)
         return np.where(best < BITS_PER_LINE, best + self.tag_bits, BITS_PER_LINE).astype(np.int64)
 
     def _best_variant(self, words: np.ndarray) -> Tuple[int, Compressor]:
-        batch = LineBatch(np.asarray(words, dtype=np.uint64).reshape(1, -1))
-        sizes = [int(v.sizes_bits(batch)[0]) for v in self.variants]
+        sizes = self.variant_sizes(single_line_batch(words))[:, 0]
         index = int(np.argmin(sizes))
         return index, self.variants[index]
 
-    def compress_line(self, words: np.ndarray) -> CompressedLine:
-        index, variant = self._best_variant(words)
-        batch = LineBatch(np.asarray(words, dtype=np.uint64).reshape(1, -1))
-        if int(variant.sizes_bits(batch)[0]) >= BITS_PER_LINE:
+    def compress_batch(self, batch: LineBatch, validated: bool = False) -> PackedBits:
+        """Vectorised best-of-family compression.
+
+        The per-variant classification runs once for the whole batch; each
+        variant's kernel then compresses only the lines that chose it, with
+        the classification marked validated so it is never re-run per line.
+        """
+        sizes = self.variant_sizes(batch)
+        choice = sizes.argmin(axis=0)
+        if np.any(sizes.min(axis=0) >= BITS_PER_LINE):
             raise CompressionError("line is not BDI-compressible")
-        inner = variant.compress_line(words)
-        tag = np.array([(index >> b) & 1 for b in range(self.tag_bits)], dtype=np.uint8)
-        return CompressedLine(bits=np.concatenate([tag, inner.bits]), compressor=self.name)
+        n = len(batch)
+        inner_bits = np.zeros((n, 0), dtype=np.uint8)
+        inner_lengths = np.zeros(n, dtype=np.int64)
+        for index, variant in enumerate(self.variants):
+            rows = np.nonzero(choice == index)[0]
+            if rows.size == 0:
+                continue
+            part = variant.compress_batch(LineBatch(batch.words[rows]), validated=True)
+            if part.bits.shape[1] > inner_bits.shape[1]:
+                grown = np.zeros((n, part.bits.shape[1]), dtype=np.uint8)
+                grown[:, : inner_bits.shape[1]] = inner_bits
+                inner_bits = grown
+            inner_bits[rows, : part.bits.shape[1]] = part.bits
+            inner_lengths[rows] = part.lengths
+        inner = PackedBits(inner_bits, inner_lengths, self.name)
+        tag = PackedBits(
+            unpack_fields(choice.astype(np.uint64), self.tag_bits),
+            np.full(n, self.tag_bits, dtype=np.int64),
+            self.name,
+        )
+        return hstack_bits([tag, inner], self.name)
+
+    def decompress_batch(self, packed: PackedBits) -> np.ndarray:
+        if np.any(packed.lengths < self.tag_bits):
+            raise CompressionError("truncated BDI stream")
+        if len(packed) == 0:
+            return np.zeros((0, WORDS_PER_LINE), dtype=np.uint64)
+        tags = pack_fields(packed.bits[:, : self.tag_bits]).astype(np.int64)
+        bad = tags[tags >= len(self.variants)]
+        if bad.size:
+            raise CompressionError(f"unknown BDI variant tag {int(bad[0])}")
+        words = np.zeros((len(packed), WORDS_PER_LINE), dtype=np.uint64)
+        for index, variant in enumerate(self.variants):
+            rows = np.nonzero(tags == index)[0]
+            if rows.size == 0:
+                continue
+            inner = PackedBits(
+                packed.bits[rows, self.tag_bits :],
+                packed.lengths[rows] - self.tag_bits,
+                variant.name,
+            )
+            words[rows] = variant.decompress_batch(inner)
+        return words
+
+    def compress_line(self, words: np.ndarray) -> CompressedLine:
+        return self.compress_batch(single_line_batch(words)).line(0)
 
     def decompress_line(self, compressed: CompressedLine) -> np.ndarray:
-        bits = np.asarray(compressed.bits, dtype=np.uint8)
-        if bits.shape[0] < self.tag_bits:
-            raise CompressionError("truncated BDI stream")
-        index = 0
-        for b in range(self.tag_bits):
-            index |= int(bits[b]) << b
-        if index >= len(self.variants):
-            raise CompressionError(f"unknown BDI variant tag {index}")
-        inner = CompressedLine(bits=bits[self.tag_bits:], compressor=self.variants[index].name)
-        return self.variants[index].decompress_line(inner)
+        return self.decompress_batch(single_stream(compressed, self.name))[0]

@@ -20,16 +20,24 @@ word-level delta compressor and the raw fallback.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
 from ..core.errors import CompressionError
 from ..core.line import LineBatch
-from ..core.symbols import BITS_PER_LINE, WORDS_PER_LINE
+from ..core.symbols import BITS_PER_LINE, WORDS_PER_LINE, bits_to_words, words_to_bits
 from .base import CompressedLine, Compressor
 from .bdi import RepeatedValueCompressor, STANDARD_BDI_VARIANTS, ZeroLineCompressor
 from .fpc import FPCCompressor
+from .kernels import (
+    PackedBits,
+    hstack_bits,
+    pack_fields,
+    single_line_batch,
+    single_stream,
+    unpack_fields,
+)
 
 #: Compression budget for 16-bit-granularity COC+4cosets encoding.
 COC_BUDGET_16BIT = 448
@@ -46,26 +54,25 @@ class RawLineCompressor(Compressor):
     def sizes_bits(self, batch: LineBatch) -> np.ndarray:
         return np.full(len(batch), BITS_PER_LINE, dtype=np.int64)
 
+    def compress_batch(self, batch: LineBatch, validated: bool = False) -> PackedBits:
+        return PackedBits(
+            bits=words_to_bits(batch.words),
+            lengths=np.full(len(batch), BITS_PER_LINE, dtype=np.int64),
+            compressor=self.name,
+        )
+
+    def decompress_batch(self, packed: PackedBits) -> np.ndarray:
+        if np.any(packed.lengths < BITS_PER_LINE):
+            raise CompressionError("raw stream must be at least 512 bits")
+        if len(packed) == 0:
+            return np.zeros((0, WORDS_PER_LINE), dtype=np.uint64)
+        return bits_to_words(packed.bits[:, :BITS_PER_LINE])
+
     def compress_line(self, words: np.ndarray) -> CompressedLine:
-        words = np.asarray(words, dtype=np.uint64).reshape(WORDS_PER_LINE)
-        bits = np.zeros(BITS_PER_LINE, dtype=np.uint8)
-        for w in range(WORDS_PER_LINE):
-            value = int(words[w])
-            for b in range(64):
-                bits[w * 64 + b] = (value >> b) & 1
-        return CompressedLine(bits=bits, compressor=self.name)
+        return self.compress_batch(single_line_batch(words)).line(0)
 
     def decompress_line(self, compressed: CompressedLine) -> np.ndarray:
-        bits = np.asarray(compressed.bits, dtype=np.uint8)
-        if bits.shape[0] < BITS_PER_LINE:
-            raise CompressionError("raw stream must be at least 512 bits")
-        words = np.zeros(WORDS_PER_LINE, dtype=np.uint64)
-        for w in range(WORDS_PER_LINE):
-            value = 0
-            for b in range(64):
-                value |= int(bits[w * 64 + b]) << b
-            words[w] = value
-        return words
+        return self.decompress_batch(single_stream(compressed, self.name))[0]
 
 
 @dataclass(frozen=True)
@@ -90,42 +97,50 @@ class WordDeltaCompressor(Compressor):
     def sizes_bits(self, batch: LineBatch) -> np.ndarray:
         return np.where(self.fits(batch), self.compressed_bits, BITS_PER_LINE).astype(np.int64)
 
-    def compress_line(self, words: np.ndarray) -> CompressedLine:
-        words = np.asarray(words, dtype=np.uint64).reshape(WORDS_PER_LINE)
-        batch = LineBatch(words.reshape(1, -1))
-        if not bool(self.fits(batch)[0]):
+    def compress_batch(self, batch: LineBatch, validated: bool = False) -> PackedBits:
+        if not validated and not bool(self.fits(batch).all()):
             raise CompressionError("line does not fit word-delta compression")
-        bits: List[int] = []
-        base = int(words[0])
-        for b in range(64):
-            bits.append((base >> b) & 1)
-        mask = (1 << self.delta_bits) - 1
-        for w in range(1, WORDS_PER_LINE):
-            delta = (int(words[w]) - base) & mask
-            for b in range(self.delta_bits):
-                bits.append((delta >> b) & 1)
-        return CompressedLine(bits=np.asarray(bits, dtype=np.uint8), compressor=self.name)
+        words = batch.words
+        mask = np.uint64((1 << self.delta_bits) - 1)
+        deltas = (words[:, 1:] - words[:, :1]) & mask
+        bits = np.concatenate(
+            [
+                unpack_fields(words[:, 0], 64),
+                unpack_fields(deltas, self.delta_bits).reshape(len(batch), -1),
+            ],
+            axis=1,
+        )
+        return PackedBits(
+            bits=bits,
+            lengths=np.full(len(batch), self.compressed_bits, dtype=np.int64),
+            compressor=self.name,
+        )
+
+    def decompress_batch(self, packed: PackedBits) -> np.ndarray:
+        if np.any(packed.lengths < self.compressed_bits):
+            raise CompressionError("word-delta stream is too short")
+        n = len(packed)
+        if n == 0:
+            return np.zeros((0, WORDS_PER_LINE), dtype=np.uint64)
+        base = pack_fields(packed.bits[:, :64])
+        raw = pack_fields(
+            packed.bits[:, 64 : 64 + (WORDS_PER_LINE - 1) * self.delta_bits].reshape(
+                n, WORDS_PER_LINE - 1, self.delta_bits
+            )
+        )
+        sign = np.uint64(1 << (self.delta_bits - 1))
+        full = np.uint64(1 << self.delta_bits)
+        delta = np.where((raw & sign).astype(bool), raw - full, raw)
+        words = np.zeros((n, WORDS_PER_LINE), dtype=np.uint64)
+        words[:, 0] = base
+        words[:, 1:] = base[:, None] + delta
+        return words
+
+    def compress_line(self, words: np.ndarray) -> CompressedLine:
+        return self.compress_batch(single_line_batch(words)).line(0)
 
     def decompress_line(self, compressed: CompressedLine) -> np.ndarray:
-        bits = np.asarray(compressed.bits, dtype=np.uint8)
-        if bits.shape[0] < self.compressed_bits:
-            raise CompressionError("word-delta stream is too short")
-        base = 0
-        for b in range(64):
-            base |= int(bits[b]) << b
-        words = np.zeros(WORDS_PER_LINE, dtype=np.uint64)
-        words[0] = base
-        cursor = 64
-        sign = 1 << (self.delta_bits - 1)
-        full = 1 << self.delta_bits
-        for w in range(1, WORDS_PER_LINE):
-            raw = 0
-            for b in range(self.delta_bits):
-                raw |= int(bits[cursor + b]) << b
-            cursor += self.delta_bits
-            delta = raw - full if raw & sign else raw
-            words[w] = (base + delta) & ((1 << 64) - 1)
-        return words
+        return self.decompress_batch(single_stream(compressed, self.name))[0]
 
 
 def default_coc_members() -> Tuple[Compressor, ...]:
@@ -157,20 +172,25 @@ class COCCompressor(Compressor):
         """Matrix of per-member compressed sizes, shape ``(members, lines)``."""
         return np.stack([m.sizes_bits(batch) for m in self.members])
 
+    def sizes_from_members(self, member_sizes: np.ndarray) -> np.ndarray:
+        """Per-line best size (incl. tag) from a precomputed bank-size matrix."""
+        best = np.asarray(member_sizes).min(axis=0)
+        return np.minimum(best + self.tag_bits, BITS_PER_LINE).astype(np.int64)
+
     def sizes_bits(self, batch: LineBatch) -> np.ndarray:
         """Per-line best size across the bank, including the member tag."""
-        best = self.member_sizes(batch).min(axis=0)
-        return np.minimum(best + self.tag_bits, BITS_PER_LINE).astype(np.int64)
+        return self.sizes_from_members(self.member_sizes(batch))
 
     def best_member(self, words: np.ndarray) -> Tuple[int, Compressor]:
         """Index and instance of the member with the smallest output for one line.
 
         When no member beats the uncompressed size, the raw fallback is chosen
         (several members report 512 bits to mean "does not apply" and cannot
-        actually encode the line).
+        actually encode the line).  Batch callers use
+        :meth:`compress_batch(member_sizes=...) <compress_batch>` instead,
+        which evaluates the bank once for the whole batch.
         """
-        batch = LineBatch(np.asarray(words, dtype=np.uint64).reshape(1, -1))
-        sizes = [int(m.sizes_bits(batch)[0]) for m in self.members]
+        sizes = self.member_sizes(single_line_batch(words))[:, 0]
         index = int(np.argmin(sizes))
         if sizes[index] >= BITS_PER_LINE:
             for fallback_index, member in enumerate(self.members):
@@ -178,20 +198,83 @@ class COCCompressor(Compressor):
                     return fallback_index, member
         return index, self.members[index]
 
+    def _member_choice(self, member_sizes: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`best_member`: per-line member index from the bank sizes."""
+        choice = member_sizes.argmin(axis=0)
+        no_winner = member_sizes.min(axis=0) >= BITS_PER_LINE
+        if np.any(no_winner):
+            raw_indexes = [
+                index
+                for index, member in enumerate(self.members)
+                if isinstance(member, RawLineCompressor)
+            ]
+            if not raw_indexes:
+                raise CompressionError(
+                    "no COC member can encode the line (bank has no raw fallback)"
+                )
+            choice = np.where(no_winner, raw_indexes[0], choice)
+        return choice.astype(np.int64)
+
+    def compress_batch(
+        self,
+        batch: LineBatch,
+        validated: bool = False,
+        member_sizes: Optional[np.ndarray] = None,
+    ) -> PackedBits:
+        """Vectorised COC: evaluate the bank once, dispatch lines per member.
+
+        ``member_sizes`` accepts a precomputed ``(members, lines)`` matrix
+        (e.g. from the caller's compressibility classification) so the bank
+        is sized exactly once per batch rather than once per member per line.
+        """
+        sizes = member_sizes if member_sizes is not None else self.member_sizes(batch)
+        choice = self._member_choice(sizes)
+        n = len(batch)
+        inner_bits = np.zeros((n, 0), dtype=np.uint8)
+        inner_lengths = np.zeros(n, dtype=np.int64)
+        for index, member in enumerate(self.members):
+            rows = np.nonzero(choice == index)[0]
+            if rows.size == 0:
+                continue
+            part = member.compress_batch(LineBatch(batch.words[rows]), validated=True)
+            if part.bits.shape[1] > inner_bits.shape[1]:
+                grown = np.zeros((n, part.bits.shape[1]), dtype=np.uint8)
+                grown[:, : inner_bits.shape[1]] = inner_bits
+                inner_bits = grown
+            inner_bits[rows, : part.bits.shape[1]] = part.bits
+            inner_lengths[rows] = part.lengths
+        inner = PackedBits(inner_bits, inner_lengths, self.name)
+        tag = PackedBits(
+            unpack_fields(choice.astype(np.uint64), self.tag_bits),
+            np.full(n, self.tag_bits, dtype=np.int64),
+            self.name,
+        )
+        return hstack_bits([tag, inner], self.name)
+
+    def decompress_batch(self, packed: PackedBits) -> np.ndarray:
+        if np.any(packed.lengths < self.tag_bits):
+            raise CompressionError("truncated COC stream")
+        if len(packed) == 0:
+            return np.zeros((0, WORDS_PER_LINE), dtype=np.uint64)
+        tags = pack_fields(packed.bits[:, : self.tag_bits]).astype(np.int64)
+        bad = tags[tags >= len(self.members)]
+        if bad.size:
+            raise CompressionError(f"unknown COC member tag {int(bad[0])}")
+        words = np.zeros((len(packed), WORDS_PER_LINE), dtype=np.uint64)
+        for index, member in enumerate(self.members):
+            rows = np.nonzero(tags == index)[0]
+            if rows.size == 0:
+                continue
+            inner = PackedBits(
+                packed.bits[rows, self.tag_bits :],
+                packed.lengths[rows] - self.tag_bits,
+                member.name,
+            )
+            words[rows] = member.decompress_batch(inner)
+        return words
+
     def compress_line(self, words: np.ndarray) -> CompressedLine:
-        index, member = self.best_member(words)
-        inner = member.compress_line(np.asarray(words, dtype=np.uint64).reshape(WORDS_PER_LINE))
-        tag = np.array([(index >> b) & 1 for b in range(self.tag_bits)], dtype=np.uint8)
-        return CompressedLine(bits=np.concatenate([tag, inner.bits]), compressor=self.name)
+        return self.compress_batch(single_line_batch(words)).line(0)
 
     def decompress_line(self, compressed: CompressedLine) -> np.ndarray:
-        bits = np.asarray(compressed.bits, dtype=np.uint8)
-        if bits.shape[0] < self.tag_bits:
-            raise CompressionError("truncated COC stream")
-        index = 0
-        for b in range(self.tag_bits):
-            index |= int(bits[b]) << b
-        if index >= len(self.members):
-            raise CompressionError(f"unknown COC member tag {index}")
-        inner = CompressedLine(bits=bits[self.tag_bits:], compressor=self.members[index].name)
-        return self.members[index].decompress_line(inner)
+        return self.decompress_batch(single_stream(compressed, self.name))[0]

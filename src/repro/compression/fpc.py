@@ -12,7 +12,6 @@ Figure 4.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
 
 import numpy as np
 
@@ -20,6 +19,8 @@ from ..core.errors import CompressionError
 from ..core.line import LineBatch
 from ..core.symbols import WORDS_PER_LINE
 from .base import CompressedLine, Compressor
+from .kernels import single_line_batch, single_stream
+from .kernels import PackedBits, compact_segments, pack_fields, unpack_fields
 
 #: Number of 32-bit words per 512-bit line.
 WORDS32_PER_LINE = 16
@@ -89,6 +90,51 @@ def classify_words32(words32: np.ndarray) -> np.ndarray:
     return pattern
 
 
+def payloads_for_patterns(words32: np.ndarray, patterns: np.ndarray) -> np.ndarray:
+    """Vectorised :func:`payload_for_pattern` over aligned word/pattern arrays."""
+    w = np.asarray(words32, dtype=np.uint32)
+    patterns = np.asarray(patterns, dtype=np.uint8)
+    choices = [
+        np.zeros_like(w),                                            # zero
+        w & np.uint32(0xF),                                          # 4-bit
+        w & np.uint32(0xFF),                                         # byte
+        w & np.uint32(0xFFFF),                                       # halfword
+        (w >> np.uint32(16)) & np.uint32(0xFFFF),                    # zero-padded
+        (w & np.uint32(0xFF)) | (((w >> np.uint32(16)) & np.uint32(0xFF)) << np.uint32(8)),
+        w & np.uint32(0xFF),                                         # repeated bytes
+        w,                                                           # uncompressed
+    ]
+    return np.select([patterns == p for p in range(8)], choices)
+
+
+def words_from_payloads(payloads: np.ndarray, patterns: np.ndarray) -> np.ndarray:
+    """Vectorised :func:`word_from_payload` over aligned payload/pattern arrays."""
+    p = np.asarray(payloads, dtype=np.uint32)
+    patterns = np.asarray(patterns, dtype=np.uint8)
+
+    def sign_extend(values: np.ndarray, width: int) -> np.ndarray:
+        sign = np.uint32(1 << (width - 1))
+        upper = np.uint32((0xFFFFFFFF >> width) << width)
+        return np.where((values & sign).astype(bool), values | upper, values)
+
+    low = p & np.uint32(0xFF)
+    high = (p >> np.uint32(8)) & np.uint32(0xFF)
+    low16 = np.where((low & np.uint32(0x80)).astype(bool), low | np.uint32(0xFF00), low)
+    high16 = np.where((high & np.uint32(0x80)).astype(bool), high | np.uint32(0xFF00), high)
+    byte = p & np.uint32(0xFF)
+    choices = [
+        np.zeros_like(p),
+        sign_extend(p & np.uint32(0xF), 4),
+        sign_extend(p & np.uint32(0xFF), 8),
+        sign_extend(p & np.uint32(0xFFFF), 16),
+        (p & np.uint32(0xFFFF)) << np.uint32(16),
+        low16 | (high16 << np.uint32(16)),
+        byte | (byte << np.uint32(8)) | (byte << np.uint32(16)) | (byte << np.uint32(24)),
+        p,
+    ]
+    return np.select([patterns == q for q in range(8)], choices).astype(np.uint32)
+
+
 def payload_for_pattern(word: int, pattern: int) -> int:
     """Extract the payload bits stored for a 32-bit word under a pattern."""
     if pattern == 0:
@@ -149,37 +195,63 @@ class FPCCompressor(Compressor):
         payload = np.asarray(PATTERN_PAYLOAD_BITS, dtype=np.int64)[patterns]
         return (payload + PREFIX_BITS).sum(axis=-1)
 
+    def compress_batch(self, batch: LineBatch, validated: bool = False) -> PackedBits:
+        """Vectorised FPC: classify, gather payloads, compact the ragged fields.
+
+        Every 32-bit word contributes one ``prefix + payload`` segment whose
+        width depends on its pattern; :func:`~repro.compression.kernels
+        .compact_segments` lays the segments back to back exactly like the
+        scalar cursor loop.  FPC applies to every line, so ``validated`` is
+        irrelevant here.
+        """
+        words32 = line_to_words32(batch.words)
+        patterns = classify_words32(words32)
+        payloads = payloads_for_patterns(words32, patterns)
+        seg_bits = np.concatenate(
+            [
+                unpack_fields(patterns.astype(np.uint64), PREFIX_BITS),
+                unpack_fields(payloads.astype(np.uint64), 32),
+            ],
+            axis=-1,
+        )
+        widths = PREFIX_BITS + np.asarray(PATTERN_PAYLOAD_BITS, dtype=np.int64)[patterns]
+        return compact_segments(seg_bits, widths, self.name)
+
+    def decompress_batch(self, packed: PackedBits) -> np.ndarray:
+        """Vectorised FPC decode: one cursor per line, sixteen lockstep steps."""
+        n = len(packed)
+        if n == 0:
+            return np.zeros((0, WORDS_PER_LINE), dtype=np.uint64)
+        bits = packed.bits
+        payload_widths = np.asarray(PATTERN_PAYLOAD_BITS, dtype=np.int64)
+        cursor = np.zeros(n, dtype=np.int64)
+        words32 = np.zeros((n, WORDS32_PER_LINE), dtype=np.uint32)
+        column_cap = bits.shape[1] - 1
+        for i in range(WORDS32_PER_LINE):
+            if np.any(cursor + PREFIX_BITS > packed.lengths):
+                raise CompressionError("truncated FPC stream")
+            prefix_cols = cursor[:, None] + np.arange(PREFIX_BITS)
+            patterns = pack_fields(
+                np.take_along_axis(bits, np.minimum(prefix_cols, column_cap), axis=1)
+            ).astype(np.uint8)
+            cursor = cursor + PREFIX_BITS
+            widths = payload_widths[patterns]
+            if np.any(cursor + widths > packed.lengths):
+                raise CompressionError("truncated FPC stream")
+            payload_cols = cursor[:, None] + np.arange(32)
+            payload_bits = np.take_along_axis(
+                bits, np.minimum(payload_cols, column_cap), axis=1
+            )
+            payload_bits = payload_bits * (np.arange(32) < widths[:, None])
+            payloads = pack_fields(payload_bits).astype(np.uint32)
+            cursor = cursor + widths
+            words32[:, i] = words_from_payloads(payloads, patterns)
+        return words32_to_line(words32)
+
     def compress_line(self, words: np.ndarray) -> CompressedLine:
         """Produce the bit-exact FPC stream of one line."""
-        words = np.asarray(words, dtype=np.uint64).reshape(WORDS_PER_LINE)
-        words32 = line_to_words32(words)
-        patterns = classify_words32(words32)
-        bits: List[int] = []
-        for w32, pattern in zip(words32, patterns):
-            pattern = int(pattern)
-            for b in range(PREFIX_BITS):
-                bits.append((pattern >> b) & 1)
-            payload = payload_for_pattern(int(w32), pattern)
-            for b in range(PATTERN_PAYLOAD_BITS[pattern]):
-                bits.append((payload >> b) & 1)
-        return CompressedLine(bits=np.asarray(bits, dtype=np.uint8), compressor=self.name)
+        return self.compress_batch(single_line_batch(words)).line(0)
 
     def decompress_line(self, compressed: CompressedLine) -> np.ndarray:
         """Rebuild a line from an FPC stream."""
-        bits = np.asarray(compressed.bits, dtype=np.uint8)
-        cursor = 0
-        words32 = np.zeros(WORDS32_PER_LINE, dtype=np.uint32)
-        for i in range(WORDS32_PER_LINE):
-            if cursor + PREFIX_BITS > bits.shape[0]:
-                raise CompressionError("truncated FPC stream")
-            pattern = int(bits[cursor]) | (int(bits[cursor + 1]) << 1) | (int(bits[cursor + 2]) << 2)
-            cursor += PREFIX_BITS
-            width = PATTERN_PAYLOAD_BITS[pattern]
-            if cursor + width > bits.shape[0]:
-                raise CompressionError("truncated FPC stream")
-            payload = 0
-            for b in range(width):
-                payload |= int(bits[cursor + b]) << b
-            cursor += width
-            words32[i] = word_from_payload(payload, pattern) & 0xFFFFFFFF
-        return words32_to_line(words32)
+        return self.decompress_batch(single_stream(compressed, self.name))[0]

@@ -18,6 +18,7 @@ from ..core.symbols import BITS_PER_LINE, WORDS_PER_LINE
 from .base import CompressedLine, Compressor
 from .bdi import BDICompressor
 from .fpc import FPCCompressor
+from .kernels import PackedBits, hstack_bits, single_line_batch, single_stream
 
 #: Compression budget (bits) that DIN requires to apply its 3-to-4-bit expansion.
 DIN_COMPRESSION_BUDGET_BITS = 369
@@ -38,27 +39,54 @@ class FPCBDICompressor(Compressor):
         best = np.minimum(fpc_sizes, bdi_sizes)
         return np.minimum(best + 1, BITS_PER_LINE).astype(np.int64)
 
+    def compress_batch(self, batch: LineBatch, validated: bool = False) -> PackedBits:
+        """Vectorised best-of: classify both once, compress each sub-batch once."""
+        n = len(batch)
+        fpc_sizes = self.fpc.sizes_bits(batch)
+        bdi_sizes = self.bdi.sizes_bits(batch)
+        use_bdi = (bdi_sizes < fpc_sizes) & (bdi_sizes < BITS_PER_LINE)
+        inner_bits = np.zeros((n, 0), dtype=np.uint8)
+        inner_lengths = np.zeros(n, dtype=np.int64)
+        for selector, compressor in ((0, self.fpc), (1, self.bdi)):
+            rows = np.nonzero(use_bdi == bool(selector))[0]
+            if rows.size == 0:
+                continue
+            part = compressor.compress_batch(LineBatch(batch.words[rows]), validated=True)
+            if part.bits.shape[1] > inner_bits.shape[1]:
+                grown = np.zeros((n, part.bits.shape[1]), dtype=np.uint8)
+                grown[:, : inner_bits.shape[1]] = inner_bits
+                inner_bits = grown
+            inner_bits[rows, : part.bits.shape[1]] = part.bits
+            inner_lengths[rows] = part.lengths
+        tag = PackedBits(
+            use_bdi.astype(np.uint8).reshape(n, 1),
+            np.ones(n, dtype=np.int64),
+            self.name,
+        )
+        inner = PackedBits(inner_bits, inner_lengths, self.name)
+        return hstack_bits([tag, inner], self.name)
+
+    def decompress_batch(self, packed: PackedBits) -> np.ndarray:
+        if np.any(packed.lengths < 1):
+            raise CompressionError("empty FPC+BDI stream")
+        if len(packed) == 0:
+            return np.zeros((0, WORDS_PER_LINE), dtype=np.uint64)
+        selector = packed.bits[:, 0]
+        words = np.zeros((len(packed), WORDS_PER_LINE), dtype=np.uint64)
+        for value, compressor in ((0, self.fpc), (1, self.bdi)):
+            rows = np.nonzero(selector == value)[0]
+            if rows.size == 0:
+                continue
+            inner = PackedBits(
+                packed.bits[rows, 1:], packed.lengths[rows] - 1, compressor.name
+            )
+            words[rows] = compressor.decompress_batch(inner)
+        return words
+
     def compress_line(self, words: np.ndarray) -> CompressedLine:
         """Compress a single line with whichever of FPC / BDI is smaller."""
-        words = np.asarray(words, dtype=np.uint64).reshape(WORDS_PER_LINE)
-        batch = LineBatch(words.reshape(1, -1))
-        fpc_size = int(self.fpc.sizes_bits(batch)[0])
-        bdi_size = int(self.bdi.sizes_bits(batch)[0])
-        if bdi_size < fpc_size and bdi_size < BITS_PER_LINE:
-            inner = self.bdi.compress_line(words)
-            selector = 1
-        else:
-            inner = self.fpc.compress_line(words)
-            selector = 0
-        bits = np.concatenate([np.array([selector], dtype=np.uint8), inner.bits])
-        return CompressedLine(bits=bits, compressor=self.name)
+        return self.compress_batch(single_line_batch(words)).line(0)
 
     def decompress_line(self, compressed: CompressedLine) -> np.ndarray:
         """Recover the line; the first stream bit selects the inner compressor."""
-        bits = np.asarray(compressed.bits, dtype=np.uint8)
-        if bits.shape[0] < 1:
-            raise CompressionError("empty FPC+BDI stream")
-        inner = CompressedLine(bits=bits[1:], compressor="inner")
-        if int(bits[0]) == 1:
-            return self.bdi.decompress_line(inner)
-        return self.fpc.decompress_line(inner)
+        return self.decompress_batch(single_stream(compressed, self.name))[0]

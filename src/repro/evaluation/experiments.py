@@ -57,6 +57,12 @@ class ExperimentConfig:
     #: 0/-1 = every core).  Results are identical for any value, so the
     #: experiment caches deliberately ignore it.
     n_jobs: int = 1
+    #: Worker-pool backend: ``"process"`` (default) or ``"thread"``.  The
+    #: vectorised compression kernels release the GIL, so threads overlap
+    #: nearly as well while skipping process start-up and trace export --
+    #: pick ``"thread"`` for small sweeps.  Results are bit-identical for
+    #: either value, so the experiment caches ignore it too.
+    backend: str = "process"
     #: Optional trace-corpus directory (see :class:`repro.traces.store
     #: .TraceCorpus`).  When set, benchmark traces are generated once into
     #: the corpus (content-addressed by profile, length, seed and generator
@@ -137,7 +143,7 @@ def _aggregate(traces: Mapping[str, WriteTrace], encoder, config: ExperimentConf
     units = [
         WorkUnit("total", encoder, trace, config.evaluation) for trace in traces.values()
     ]
-    return shared_runner(config.n_jobs).run(units).get("total", WriteMetrics())
+    return shared_runner(config.n_jobs, config.backend).run(units).get("total", WriteMetrics())
 
 
 def _energy_breakdown(metrics: WriteMetrics) -> Dict[str, float]:
@@ -171,7 +177,7 @@ def figure1(
         FIGURE1_GRANULARITIES,
         traces,
         config.evaluation,
-        runner=shared_runner(config.n_jobs),
+        runner=shared_runner(config.n_jobs, config.backend),
     )
     return {granularity: _energy_breakdown(metrics) for granularity, metrics in sweep.items()}
 
@@ -190,7 +196,7 @@ def _coset_comparison(
             encoder = factory(g, DEFAULT_ENERGY_MODEL)
             for trace in traces.values():
                 units.append(WorkUnit((label, g), encoder, trace, config.evaluation))
-    reduced = shared_runner(config.n_jobs).run(units)
+    reduced = shared_runner(config.n_jobs, config.backend).run(units)
     results: Dict[str, Dict[int, Dict[str, float]]] = {}
     for label in factories:
         results[label] = {
@@ -228,7 +234,7 @@ def figure4(config: ExperimentConfig = DEFAULT_EXPERIMENT_CONFIG) -> Dict[str, D
     return _cached(
         key,
         lambda: compression_coverage(
-            benchmark_traces(config), runner=shared_runner(config.n_jobs)
+            benchmark_traces(config), runner=shared_runner(config.n_jobs, config.backend)
         ),
     )  # type: ignore[return-value]
 
@@ -281,7 +287,7 @@ def evaluate_all_schemes(
             for scheme_name in schemes
             for bench, trace in traces.items()
         ]
-        per_unit = shared_runner(config.n_jobs).run(units)
+        per_unit = shared_runner(config.n_jobs, config.backend).run(units)
         return {
             scheme_name: {
                 bench: per_unit[(scheme_name, bench)] for bench in traces
@@ -351,7 +357,7 @@ def section8d_multiobjective(
             for bench, trace in traces.items()
             for role, encoder in roles.items()
         ]
-        per_unit = shared_runner(config.n_jobs).run(units)
+        per_unit = shared_runner(config.n_jobs, config.backend).run(units)
         rows: Dict[str, Dict[str, float]] = {}
         totals = {role: WriteMetrics() for role in roles}
         for bench in traces:
@@ -402,7 +408,7 @@ def _wlc_granularity_metrics(
                 encoder = factory(g, DEFAULT_ENERGY_MODEL)
                 for trace in traces.values():
                     units.append(WorkUnit((label, g), encoder, trace, config.evaluation))
-        reduced = shared_runner(config.n_jobs).run(units)
+        reduced = shared_runner(config.n_jobs, config.backend).run(units)
         return {
             label: {
                 g: reduced.get((label, g), WriteMetrics()) for g in GRANULARITIES_WLC
@@ -461,7 +467,7 @@ def figure14(config: ExperimentConfig = DEFAULT_EXPERIMENT_CONFIG) -> Dict[str, 
             baseline_factory=lambda em: make_scheme("baseline", em),
             traces=traces,
             config=config.evaluation,
-            runner=shared_runner(config.n_jobs),
+            runner=shared_runner(config.n_jobs, config.backend),
         )
         return {
             f"S3={36 + s3:.0f}pJ / S4={36 + s4:.0f}pJ": values

@@ -53,7 +53,7 @@ from __future__ import annotations
 import atexit
 import os
 from collections import deque
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import (
@@ -183,6 +183,17 @@ class ParallelRunner:
         Tasks handed to each worker per round-trip (``chunksize`` of
         :meth:`~concurrent.futures.Executor.map`).  Defaults to a heuristic
         that keeps roughly four batches in flight per worker.
+    backend:
+        ``"process"`` (default) fans shards out over a
+        :class:`~concurrent.futures.ProcessPoolExecutor`; ``"thread"`` uses a
+        :class:`~concurrent.futures.ThreadPoolExecutor` instead.  The encode
+        hot path is vectorised ``numpy`` bit-twiddling that releases the GIL,
+        so threads overlap almost as well as processes while skipping
+        process start-up, pickling and trace export entirely (workers share
+        the parent's memory) -- the right choice for small sweeps and
+        short-lived runners.  Both backends share the submission-order
+        reduction, so results are bit-identical across backends and worker
+        counts.
     transport:
         How chunk data reaches the workers: ``"auto"`` (mmap for
         corpus-backed traces, shared memory for in-memory ones, pickling as
@@ -190,7 +201,8 @@ class ParallelRunner:
         descriptor kind (traces that cannot travel that way -- e.g. an
         in-memory trace under ``"mmap"`` -- silently fall back to pickling),
         or ``"pickle"`` to force the legacy behaviour everywhere.  The
-        transport benchmark compares all three.
+        transport benchmark compares all three.  The thread backend ignores
+        transport: chunks are shared memory already.
     persistent:
         Keep the process pool alive across ``run()``/``map()`` calls until
         :meth:`close` (entering the runner as a context manager implies
@@ -216,17 +228,23 @@ class ParallelRunner:
         transport: str = "auto",
         persistent: bool = False,
         window: Optional[int] = None,
+        backend: str = "process",
     ):
         self.n_jobs = resolve_n_jobs(n_jobs)
         self.executor_chunksize = executor_chunksize
         if transport not in ("auto", "mmap", "shm", "pickle"):
             raise ConfigurationError(f"unknown transport {transport!r}")
         self.transport = transport
+        if backend not in ("process", "thread"):
+            raise ConfigurationError(
+                f"unknown backend {backend!r} (choose 'process' or 'thread')"
+            )
+        self.backend = backend
         self.persistent = persistent
         if window is not None and window < 1:
             raise ConfigurationError(f"window must be a positive integer: {window}")
         self.window = window
-        self._executor: Optional[ProcessPoolExecutor] = None
+        self._executor: Optional[Executor] = None
         self._exporter: Optional[TraceExporter] = None
         self._enter_depth = 0
         self._persistent_before_enter = persistent
@@ -320,36 +338,51 @@ class ParallelRunner:
         if any(not isinstance(unit.trace, WriteTrace) for unit in units):
             return self._map_streaming(units)
         per_unit = [WriteMetrics() for _ in units]
-        # A persistent runner keeps one exporter for its whole lifetime, so
-        # repeated run() calls over the same (memoised) traces reuse one
-        # shared-memory segment per trace -- stable descriptors also mean the
-        # workers' attachment caches hit instead of accumulating stale
-        # segments.  One-shot runners release their exports per call.
-        if self.persistent:
-            if self._exporter is None:
-                self._exporter = TraceExporter(self.transport)
-            exporter = self._exporter
-        else:
-            exporter = TraceExporter(self.transport)
+        exporter = None
         try:
             descriptors = None
             total_shards = sum(n_chunks_of(unit.trace, unit.config) for unit in units)
-            # Export only when _execute will actually dispatch to workers;
-            # otherwise the shm copy (and the parent-side attachment it would
-            # leave in the worker cache) is pure waste.
-            if self.n_jobs > 1 and total_shards > 1 and self.transport != "pickle":
+            # Export only when _execute will actually dispatch to worker
+            # *processes*; thread workers share the parent's memory, so the
+            # shm copy (and the parent-side attachment it would leave in the
+            # worker cache) would be pure waste for them too.
+            if (
+                self.backend == "process"
+                and self.n_jobs > 1
+                and total_shards > 1
+                and self.transport != "pickle"
+            ):
+                exporter = self._acquire_exporter()
                 descriptors = [exporter.export(unit.trace) for unit in units]
             shards = list(self._shards(units, descriptors))
             for unit_index, _, metrics in self._execute(_evaluate_shard, shards):
                 per_unit[unit_index].merge(metrics)
         finally:
-            if exporter is not self._exporter:
+            if exporter is not None and exporter is not self._exporter:
                 exporter.release()
             elif self._exporter is not None:
                 # Keep this call's exports for reuse next run(); drop the
                 # rest so looping over ever-new traces can't grow /dev/shm.
+                # This prunes even when *this* call exported nothing, so a
+                # persistent runner that did one big exporting sweep cannot
+                # pin that trace's shm segment through later small calls.
                 self._exporter.prune(id(unit.trace) for unit in units)
         return per_unit
+
+    def _acquire_exporter(self) -> TraceExporter:
+        """The exporter for this call: cached for persistent runners.
+
+        A persistent runner keeps one exporter for its whole lifetime, so
+        repeated ``run()`` calls over the same (memoised) traces reuse one
+        shared-memory segment per trace -- stable descriptors also mean the
+        workers' attachment caches hit instead of accumulating stale
+        segments.  One-shot runners release their exports per call.
+        """
+        if self.persistent:
+            if self._exporter is None:
+                self._exporter = TraceExporter(self.transport)
+            return self._exporter
+        return TraceExporter(self.transport)
 
     def _map_streaming(self, units: Sequence[WorkUnit]) -> List[WriteMetrics]:
         """Evaluate units whose chunks are produced on the fly.
@@ -414,16 +447,14 @@ class ParallelRunner:
         """
         tasks = [tuple(args) for args in tasks]
         dispatching = (
-            self.n_jobs > 1 and len(tasks) > 1 and self.transport != "pickle"
+            self.backend == "process"
+            and self.n_jobs > 1
+            and len(tasks) > 1
+            and self.transport != "pickle"
         )
         if not dispatching:
             return list(self._execute(_call_star, [(func, args) for args in tasks]))
-        if self.persistent:
-            if self._exporter is None:
-                self._exporter = TraceExporter(self.transport)
-            exporter = self._exporter
-        else:
-            exporter = TraceExporter(self.transport)
+        exporter = self._acquire_exporter()
         try:
             wrapped = [
                 (func, tuple(self._export_arg(arg, exporter) for arg in args))
@@ -450,13 +481,20 @@ class ParallelRunner:
     # ------------------------------------------------------------------ #
     # Execution backend
     # ------------------------------------------------------------------ #
+    def _make_executor(self, max_workers: int) -> Executor:
+        """Build the worker pool of the configured :attr:`backend`."""
+        if self.backend == "thread":
+            return ThreadPoolExecutor(max_workers=max_workers)
+        return ProcessPoolExecutor(max_workers=max_workers)
+
     def _execute(self, worker: Callable[[Any], Any], items: Sequence[Any]) -> Iterator[Any]:
-        """Run ``worker`` over ``items`` serially or on the process pool.
+        """Run ``worker`` over ``items`` serially or on the worker pool.
 
         Always yields results in input order (``Executor.map`` preserves it),
-        which the metric reduction relies on for float determinism.  A
-        persistent runner reuses one lazily created pool across calls; a
-        one-shot runner builds and tears the pool down per call, as before.
+        which the metric reduction relies on for float determinism -- on both
+        backends.  A persistent runner reuses one lazily created pool across
+        calls; a one-shot runner builds and tears the pool down per call, as
+        before.
         """
         if self.n_jobs == 1 or len(items) <= 1:
             for item in items:
@@ -468,7 +506,7 @@ class ParallelRunner:
         )
         if self.persistent:
             if self._executor is None:
-                self._executor = ProcessPoolExecutor(max_workers=max_workers)
+                self._executor = self._make_executor(max_workers)
             try:
                 yield from self._executor.map(worker, items, chunksize=chunksize)
             except BrokenProcessPool:
@@ -478,7 +516,7 @@ class ParallelRunner:
                 self.close()
                 raise
             return
-        with ProcessPoolExecutor(max_workers=max_workers) as executor:
+        with self._make_executor(max_workers) as executor:
             yield from executor.map(worker, items, chunksize=chunksize)
 
     def _execute_windowed(
@@ -501,19 +539,19 @@ class ParallelRunner:
         window = self.window or 4 * self.n_jobs
         if self.persistent:
             if self._executor is None:
-                self._executor = ProcessPoolExecutor(max_workers=self.n_jobs)
+                self._executor = self._make_executor(self.n_jobs)
             try:
                 yield from self._windowed(self._executor, worker, items, window)
             except BrokenProcessPool:
                 self.close()
                 raise
             return
-        with ProcessPoolExecutor(max_workers=self.n_jobs) as executor:
+        with self._make_executor(self.n_jobs) as executor:
             yield from self._windowed(executor, worker, items, window)
 
     @staticmethod
     def _windowed(
-        executor: ProcessPoolExecutor,
+        executor: Executor,
         worker: Callable[[Any], Any],
         items: Iterable[Any],
         window: int,
@@ -530,23 +568,24 @@ class ParallelRunner:
 # ---------------------------------------------------------------------- #
 # Shared persistent runners
 # ---------------------------------------------------------------------- #
-_SHARED_RUNNERS: Dict[int, ParallelRunner] = {}
+_SHARED_RUNNERS: Dict[Tuple[int, str], ParallelRunner] = {}
 
 
-def shared_runner(n_jobs: int = 1) -> ParallelRunner:
+def shared_runner(n_jobs: int = 1, backend: str = "process") -> ParallelRunner:
     """The process-wide persistent runner for ``n_jobs`` workers.
 
     Experiment drivers and sweep helpers route their fan-outs through this
-    so that one :class:`~concurrent.futures.ProcessPoolExecutor` is built per
-    worker count and reused across every ``run()`` call of the session,
-    instead of paying pool start-up per sweep.  Pools are torn down at
-    interpreter exit (or explicitly via :func:`shutdown_shared_runners`).
+    so that one executor is built per ``(worker count, backend)`` and reused
+    across every ``run()`` call of the session, instead of paying pool
+    start-up per sweep.  Pools are torn down at interpreter exit (or
+    explicitly via :func:`shutdown_shared_runners`).
     """
     jobs = resolve_n_jobs(n_jobs)
-    runner = _SHARED_RUNNERS.get(jobs)
+    key = (jobs, backend)
+    runner = _SHARED_RUNNERS.get(key)
     if runner is None:
-        runner = ParallelRunner(jobs, persistent=True)
-        _SHARED_RUNNERS[jobs] = runner
+        runner = ParallelRunner(jobs, persistent=True, backend=backend)
+        _SHARED_RUNNERS[key] = runner
     return runner
 
 

@@ -146,13 +146,15 @@ def evaluate_schemes(
     disturbance_model: DisturbanceModel = DEFAULT_DISTURBANCE_MODEL,
     n_jobs: int = 1,
     runner: Optional["ParallelRunner"] = None,
+    backend: str = "process",
 ) -> Dict[str, WriteMetrics]:
     """Evaluate several schemes on the same trace; keyed by scheme name.
 
     If two encoders share a name, the last one wins (dict semantics), matching
     the historical behaviour.  Passing ``runner`` reuses an existing (e.g.
     persistent) :class:`~repro.evaluation.parallel.ParallelRunner` instead of
-    building a throwaway pool.
+    building a throwaway pool; otherwise ``backend`` selects the throwaway
+    pool's executor kind (results are bit-identical either way).
     """
     from .parallel import ParallelRunner, WorkUnit
 
@@ -160,7 +162,7 @@ def evaluate_schemes(
         WorkUnit(encoder.name, encoder, trace, config, disturbance_model)
         for encoder in encoders
     ]
-    per_unit = (runner or ParallelRunner(n_jobs)).map(units)
+    per_unit = (runner or ParallelRunner(n_jobs, backend=backend)).map(units)
     return {encoder.name: metrics for encoder, metrics in zip(encoders, per_unit)}
 
 
@@ -171,6 +173,7 @@ def evaluate_benchmarks(
     disturbance_model: DisturbanceModel = DEFAULT_DISTURBANCE_MODEL,
     n_jobs: int = 1,
     runner: Optional["ParallelRunner"] = None,
+    backend: str = "process",
 ) -> Dict[str, WriteMetrics]:
     """Evaluate one scheme across a set of per-benchmark traces."""
     from .parallel import ParallelRunner, WorkUnit
@@ -179,7 +182,7 @@ def evaluate_benchmarks(
         WorkUnit(name, encoder, trace, config, disturbance_model)
         for name, trace in traces.items()
     ]
-    return (runner or ParallelRunner(n_jobs)).run(units)
+    return (runner or ParallelRunner(n_jobs, backend=backend)).run(units)
 
 
 def average_metrics(per_benchmark: Mapping[str, WriteMetrics]) -> WriteMetrics:

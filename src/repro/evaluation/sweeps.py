@@ -151,7 +151,8 @@ def compression_coverage(
     from ..traces.transport import shared_memory_available
 
     by_descriptor = (
-        runner.n_jobs > 1
+        runner.backend == "process"
+        and runner.n_jobs > 1
         and runner.transport != "pickle"
         and (
             shared_memory_available()

@@ -27,16 +27,19 @@ from .ingest import (
     parse_ramulator_inst_trace,
     parse_ramulator_trace,
     parse_tracehm_trace,
+    stream_ingest_to_npz,
     stream_ingest_to_wtrc,
     synthesize_write_trace,
 )
 from .store import (
     CORPUS_INDEX_NAME,
     TRACE_SUFFIX,
+    NpzTraceWriter,
     TraceCorpus,
     TraceWriter,
     is_wtrc_file,
     load_trace,
+    read_npz_trace_lines,
     read_trace_header,
     save_trace,
     trace_cache_key,
@@ -61,6 +64,7 @@ __all__ = [
     "TRACE_SUFFIX",
     "TraceCorpus",
     "TraceExporter",
+    "NpzTraceWriter",
     "TraceWriter",
     "attach_trace",
     "detect_trace_format",
@@ -71,9 +75,11 @@ __all__ = [
     "parse_ramulator_inst_trace",
     "parse_ramulator_trace",
     "parse_tracehm_trace",
+    "read_npz_trace_lines",
     "read_trace_header",
     "save_trace",
     "shared_memory_available",
+    "stream_ingest_to_npz",
     "stream_ingest_to_wtrc",
     "synthesize_write_trace",
     "trace_cache_key",

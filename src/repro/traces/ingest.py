@@ -631,6 +631,43 @@ def stream_ingest_to_wtrc(
     """
     from .store import TraceWriter
 
+    return _stream_ingest(TraceWriter, path, out, fmt, profile, name, seed, chunk_lines)
+
+
+def stream_ingest_to_npz(
+    path: Union[str, Path],
+    out: Union[str, Path],
+    fmt: str = "auto",
+    profile: str = DEFAULT_SYNTHESIS_PROFILE,
+    name: Optional[str] = None,
+    seed: Optional[int] = None,
+    chunk_lines: int = SYNTHESIS_CHUNK_LINES,
+) -> Path:
+    """Stream-convert an external ASCII trace straight to a ``.npz`` archive.
+
+    Same pipeline as :func:`stream_ingest_to_wtrc` -- parse, synthesise and
+    spool one quantum at a time -- finalised through
+    :class:`~repro.traces.store.NpzTraceWriter`, which streams the spooled
+    columns into the compressed archive instead of materialising the whole
+    trace.  Loading the result equals loading a save of
+    :func:`ingest_trace_file`'s materialised trace, array for array (the zip
+    framing itself is not byte-stable across writers).
+    """
+    from .store import NpzTraceWriter
+
+    return _stream_ingest(NpzTraceWriter, path, out, fmt, profile, name, seed, chunk_lines)
+
+
+def _stream_ingest(
+    writer_cls,
+    path: Union[str, Path],
+    out: Union[str, Path],
+    fmt: str,
+    profile: str,
+    name: Optional[str],
+    seed: Optional[int],
+    chunk_lines: int,
+) -> Path:
     path = Path(path)
     if fmt == "auto":
         fmt = detect_trace_format(path)
@@ -640,7 +677,7 @@ def stream_ingest_to_wtrc(
     # has_addresses preset: a trace with zero writes yields no chunks, but
     # the in-memory path still records an (empty) address array -- the empty
     # streamed file must say the same to stay byte-identical.
-    with TraceWriter(out, name=synthesizer.name, has_addresses=True) as writer:
+    with writer_cls(out, name=synthesizer.name, has_addresses=True) as writer:
         for chunk in synthesizer.feed_all(
             iter_trace_address_chunks(path, fmt, chunk_lines)
         ):

@@ -228,6 +228,41 @@ class TestTraceCommands:
         reference = save_trace(ingest_trace_file(SAMPLE_TRACE), tmp_path / "ref.wtrc")
         assert out.read_bytes() == reference.read_bytes()
 
+    def test_convert_npz_streams_load_equivalently(self, capsys, tmp_path):
+        """The streamed .npz convert path loads equal to in-memory ingest+save."""
+        import numpy as np
+
+        from repro.traces import ingest_trace_file
+        from repro.workloads import WriteTrace
+
+        out = tmp_path / "streamed.npz"
+        assert main(["trace", "convert", str(SAMPLE_TRACE), "--out", str(out)]) == 0
+        assert "wrote 992 write requests" in capsys.readouterr().out
+        reference = ingest_trace_file(SAMPLE_TRACE)
+        loaded = WriteTrace.load(out)
+        assert np.array_equal(loaded.old.words, reference.old.words)
+        assert np.array_equal(loaded.new.words, reference.new.words)
+        assert np.array_equal(loaded.addresses, reference.addresses)
+        assert loaded.name == reference.name
+        assert loaded.metadata == reference.metadata
+
+    def test_convert_npz_appends_suffix(self, capsys, tmp_path):
+        out = tmp_path / "plain"
+        assert main(["trace", "convert", str(SAMPLE_TRACE), "--out", str(out)]) == 0
+        assert (tmp_path / "plain.npz").exists()
+
+    def test_evaluate_thread_backend_matches_process(self, capsys, tmp_path):
+        out = tmp_path / "sample.wtrc"
+        assert main(["trace", "convert", str(SAMPLE_TRACE), "--out", str(out)]) == 0
+        capsys.readouterr()
+        assert main(["evaluate", "--scheme", "wlcrc-16", "--trace", str(out),
+                     "--jobs", "3", "--backend", "thread", "--json"]) == 0
+        threaded = json.loads(capsys.readouterr().out)
+        assert main(["evaluate", "--scheme", "wlcrc-16", "--trace", str(out),
+                     "--jobs", "3", "--backend", "process", "--json"]) == 0
+        process = json.loads(capsys.readouterr().out)
+        assert threaded == process
+
     def test_convert_ramulator_inst_dialect(self, capsys, tmp_path):
         src = tmp_path / "cpu.trace"
         src.write_text("2 4096\n0 4096 8192\n1 64 0x2040\n")

@@ -140,6 +140,83 @@ class TestTraceWriter:
             writer.append(gcc_trace[:10])
 
 
+class TestNpzTraceWriter:
+    """Streaming ``.npz`` targets (the archive path no longer materialises)."""
+
+    def _assert_traces_equal(self, a, b):
+        assert np.array_equal(a.old.words, b.old.words)
+        assert np.array_equal(a.new.words, b.new.words)
+        if a.addresses is None:
+            assert b.addresses is None
+        else:
+            assert np.array_equal(a.addresses, b.addresses)
+        assert a.name == b.name
+        assert a.metadata == b.metadata
+
+    def test_chunked_write_loads_equal_to_save(self, tmp_path, gcc_trace):
+        from repro.traces.store import NpzTraceWriter
+
+        trace = gcc_trace[:150]
+        trace.metadata["origin"] = "unit-test"
+        reference = trace.save(tmp_path / "ref.npz")
+        with NpzTraceWriter(tmp_path / "streamed.npz", name=trace.name) as writer:
+            for chunk in trace.chunks(37):
+                writer.append(chunk)
+            writer.metadata.update(trace.metadata)
+        self._assert_traces_equal(
+            WriteTrace.load(tmp_path / "streamed.npz"), WriteTrace.load(reference)
+        )
+
+    def test_with_addresses_and_line_count_probe(self, tmp_path):
+        from repro.traces.store import NpzTraceWriter, read_npz_trace_lines
+
+        rng = np.random.default_rng(0)
+        trace = synthesize_write_trace(_addresses(rng, 100), chunk_lines=32)
+        with NpzTraceWriter(tmp_path / "s.npz", name=trace.name) as writer:
+            for chunk in trace.chunks(41):
+                writer.append(chunk)
+            writer.metadata.update(trace.metadata)
+        assert read_npz_trace_lines(tmp_path / "s.npz") == len(trace)
+        self._assert_traces_equal(WriteTrace.load(tmp_path / "s.npz"), trace)
+
+    def test_stream_ingest_to_npz_equals_in_memory(self, tmp_path):
+        from repro.traces.ingest import ingest_trace_file, stream_ingest_to_npz
+
+        sample = Path(__file__).parent.parent / "data" / "sample_ramulator2.trace"
+        streamed = stream_ingest_to_npz(sample, tmp_path / "s.npz")
+        reference = ingest_trace_file(sample)
+        self._assert_traces_equal(WriteTrace.load(streamed), reference)
+
+    def test_empty_writer_produces_valid_empty_archive(self, tmp_path):
+        from repro.traces.store import NpzTraceWriter, read_npz_trace_lines
+
+        with NpzTraceWriter(tmp_path / "empty.npz", has_addresses=True) as writer:
+            pass
+        loaded = WriteTrace.load(tmp_path / "empty.npz")
+        assert len(loaded) == 0
+        assert loaded.addresses is not None and loaded.addresses.shape == (0,)
+        assert read_npz_trace_lines(tmp_path / "empty.npz") == 0
+
+    def test_exception_leaves_no_file(self, tmp_path, gcc_trace):
+        from repro.traces.store import NpzTraceWriter
+
+        target = tmp_path / "aborted.npz"
+        with pytest.raises(RuntimeError):
+            with NpzTraceWriter(target) as writer:
+                writer.append(gcc_trace[:10])
+                raise RuntimeError("boom")
+        assert not target.exists()
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_probe_rejects_non_archives(self, tmp_path):
+        from repro.traces.store import read_npz_trace_lines
+
+        junk = tmp_path / "junk.npz"
+        junk.write_text("not a zip")
+        with pytest.raises(TraceError):
+            read_npz_trace_lines(junk)
+
+
 class TestStreamedIngestIdentity:
     @pytest.mark.parametrize("dialect", sorted(DIALECT_WRITERS))
     def test_streamed_wtrc_is_byte_identical_to_in_memory(self, tmp_path, dialect):
