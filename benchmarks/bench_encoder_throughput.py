@@ -9,14 +9,21 @@ on the same biased-content lines -- lines/s per scheme plus the
 batch-over-scalar speedup -- and asserts the kernel contract:
 
 * the batch streams are bit-identical to the scalar streams;
-* ``decompress_batch`` round-trips the original lines; and
-* at the default 4096-line batch, BDI and FPC encode at least **5x** faster
-  through the batch kernels than through the per-line loop.
+* ``decompress_batch`` round-trips the original lines;
+* at the default 4096-line batch, BDI, FPC and the DIN payload encoder
+  (whose BCH parity is one batched GF(2) reduction, not a per-line
+  polynomial carry chain) run at least **5x** faster through the batch
+  paths than through the per-line loops; and
+* every *available* array backend (numpy reference, numba-compiled, cupy)
+  produces bit-identical batch streams, with a per-backend throughput
+  column recorded for the perf gate.  Backends whose optional dependency is
+  not installed are skipped; their gates are declared ``optional`` so a
+  runner without the extra warns instead of failing.
 
 ``REPRO_BENCH_KERNEL_LINES`` overrides the batch size (the speedup assert
 only applies from 2048 lines up, where kernel start-up cost is amortised).
 Results land in ``BENCH_encoder_throughput.json``; the perf gate tracks the
-BDI/FPC speedups and the FPC batch throughput against
+BDI/FPC/DIN speedups and the FPC batch throughput against
 ``benchmarks/baselines/encoder_throughput.json``.
 """
 
@@ -26,6 +33,7 @@ import time
 import numpy as np
 
 from repro.bench import BenchSpec, Gate, run_once, write_json, write_result
+from repro.coding.din import MAX_COMPRESSED_BITS, DINEncoder
 from repro.compression import (
     BDICompressor,
     COCCompressor,
@@ -33,6 +41,7 @@ from repro.compression import (
     FPCCompressor,
     WLCCompressor,
 )
+from repro.compression.backend import available_backends, use_array_backend
 from repro.core.line import LineBatch
 from repro.core.symbols import BITS_PER_LINE
 from repro.evaluation import format_series_table
@@ -47,6 +56,7 @@ BENCHMARK = BenchSpec(
         "BENCH_encoder_throughput.json",
     ),
     env=("REPRO_BENCH_KERNEL_LINES", "REPRO_BENCH_SEED"),
+    backend_sensitive=True,
     gates=(
         Gate(
             artifact="BENCH_encoder_throughput.json",
@@ -64,10 +74,36 @@ BENCHMARK = BenchSpec(
         ),
         Gate(
             artifact="BENCH_encoder_throughput.json",
+            metric="speedup.din",
+            direction="higher",
+            tolerance_pct=60.0,
+            context=("lines",),
+        ),
+        Gate(
+            artifact="BENCH_encoder_throughput.json",
             metric="batch_lines_per_s.fpc",
             direction="higher",
             tolerance_pct=75.0,
             context=("lines",),
+        ),
+        # Per-backend columns only exist when the optional dependency is
+        # installed, so their gates warn (not fail) when the metric or its
+        # baseline is absent.
+        Gate(
+            artifact="BENCH_encoder_throughput.json",
+            metric="backend_lines_per_s.numba.fpc",
+            direction="higher",
+            tolerance_pct=75.0,
+            context=("lines",),
+            optional=True,
+        ),
+        Gate(
+            artifact="BENCH_encoder_throughput.json",
+            metric="backend_lines_per_s.numba.bdi",
+            direction="higher",
+            tolerance_pct=75.0,
+            context=("lines",),
+            optional=True,
         ),
     ),
 )
@@ -107,6 +143,13 @@ def _eligible_lines(name, compressor, batch, lines):
     return np.tile(words, (reps, 1))[:lines]
 
 
+def _din_eligible_lines(encoder, batch, lines):
+    """``lines`` DIN-encodable words (FPC+BDI output within the 360-bit budget)."""
+    words = batch.words[encoder.compressor.sizes_bits(batch) <= MAX_COMPRESSED_BITS]
+    reps = -(-lines // max(1, words.shape[0]))
+    return np.tile(words, (reps, 1))[:lines]
+
+
 def bench_encoder_throughput(benchmark):
     lines = int(os.environ.get("REPRO_BENCH_KERNEL_LINES", "4096"))
     seed = int(os.environ.get("REPRO_BENCH_SEED", "2018"))
@@ -134,19 +177,55 @@ def bench_encoder_throughput(benchmark):
                 assert np.array_equal(packed.line(i).bits, scalar_streams[i].bits)
             assert np.array_equal(compressor.decompress_batch(packed), words)
 
+            backends = {}
+            for backend_name in available_backends():
+                with use_array_backend(backend_name):
+                    compressor.compress_batch(sub)  # warm-up (numba JIT, GPU init)
+                    start = time.perf_counter()
+                    per_backend = compressor.compress_batch(sub)
+                    backends[backend_name] = time.perf_counter() - start
+                assert np.array_equal(per_backend.bits, packed.bits)
+                assert np.array_equal(per_backend.lengths, packed.lengths)
+
             results[name] = {
                 "lines": len(sub),
                 "scalar_s": scalar_s,
                 "batch_s": batch_s,
+                "backend_s": backends,
             }
+
+        # DIN payload encode: the 3-to-4 expansion plus the batched BCH
+        # parity (one GF(2) reduction over the whole batch) against the
+        # per-line wrapper.  DIN has no public scalar API -- the wrapper is
+        # what the PCM device model uses for single-line writes.
+        encoder = DINEncoder()
+        words = _din_eligible_lines(encoder, pool, lines)
+        sub = LineBatch(words)
+        start = time.perf_counter()
+        batch_bits = encoder._encode_lines_bits(sub)
+        batch_s = time.perf_counter() - start
+        scalar_count = max(1, len(sub) // 8)  # per-line path is slow; sample
+        start = time.perf_counter()
+        scalar_bits = [encoder._encode_line_bits(words[i]) for i in range(scalar_count)]
+        scalar_s = (time.perf_counter() - start) * (len(sub) / scalar_count)
+        for i in range(0, scalar_count, max(1, scalar_count // VERIFY_LINES)):
+            assert np.array_equal(batch_bits[i], scalar_bits[i])
+        results["din"] = {
+            "lines": len(sub),
+            "scalar_s": scalar_s,
+            "batch_s": batch_s,
+            "backend_s": {},
+        }
         return results
 
     results = run_once(benchmark, measure)
 
     payload = {
         "lines": lines,
+        "array_backends": sorted(available_backends()),
         "scalar_lines_per_s": {},
         "batch_lines_per_s": {},
+        "backend_lines_per_s": {},
         "speedup": {},
     }
     rows = {}
@@ -162,6 +241,10 @@ def bench_encoder_throughput(benchmark):
             "batch_lines_per_s": batch_rate,
             "speedup": speedup,
         }
+        for backend_name, seconds in cell["backend_s"].items():
+            rate = cell["lines"] / seconds if seconds else 0.0
+            payload["backend_lines_per_s"].setdefault(backend_name, {})[name] = rate
+            rows[name][f"{backend_name}_lines_per_s"] = rate
     write_json("encoder_throughput", payload)
     write_result(
         "encoder_throughput",
@@ -175,3 +258,4 @@ def bench_encoder_throughput(benchmark):
     if lines >= SPEEDUP_ASSERT_LINES:
         assert payload["speedup"]["bdi"] >= MIN_SPEEDUP, payload["speedup"]
         assert payload["speedup"]["fpc"] >= MIN_SPEEDUP, payload["speedup"]
+        assert payload["speedup"]["din"] >= MIN_SPEEDUP, payload["speedup"]

@@ -33,7 +33,10 @@ BASELINE_SCHEMA = 1
 
 #: Gate states.  ``regression``, ``missing-result`` and ``missing-metric``
 #: always fail the gate; ``missing-baseline`` and ``context-mismatch`` only
-#: warn unless strict mode is on.
+#: warn unless strict mode is on.  For *optional* gates (metrics that only
+#: exist when an optional dependency like numba or cupy is installed) a
+#: missing metric or missing baseline warns instead of failing, even under
+#: ``--strict`` -- a runner without the extra must not trip the perf gate.
 OK = "ok"
 REGRESSION = "regression"
 MISSING_BASELINE = "missing-baseline"
@@ -55,6 +58,7 @@ class GateCheck:
     baseline: Optional[float] = None
     current: Optional[float] = None
     detail: str = ""
+    optional: bool = False
 
     @property
     def change_pct(self) -> Optional[float]:
@@ -74,6 +78,7 @@ class GateCheck:
             "current": self.current,
             "change_pct": self.change_pct,
             "detail": self.detail,
+            "optional": self.optional,
         }
 
 
@@ -89,7 +94,15 @@ class CompareReport:
         failing = {REGRESSION, MISSING_RESULT, MISSING_METRIC}
         if self.strict:
             failing |= {MISSING_BASELINE, CONTEXT_MISMATCH}
-        return [check for check in self.checks if check.status in failing]
+        # Optional gates (metrics behind an optional dependency) never fail on
+        # absence -- only on an actual regression of a value that is present.
+        soft_when_optional = {MISSING_METRIC, MISSING_BASELINE, MISSING_RESULT}
+        return [
+            check
+            for check in self.checks
+            if check.status in failing
+            and not (check.optional and check.status in soft_when_optional)
+        ]
 
     @property
     def ok(self) -> bool:
@@ -158,12 +171,16 @@ def update_baselines(
         for gate in spec.gates:
             payload = _load_artifact(Path(results_dir), gate.artifact)
             if payload is None:
+                if gate.optional:
+                    continue
                 raise BenchError(
                     f"bench {name!r}: cannot update baseline, artifact "
                     f"{gate.artifact!r} missing from {results_dir}"
                 )
             value = extract_metric(payload, gate.metric)
             if value is None:
+                if gate.optional:
+                    continue
                 raise BenchError(
                     f"bench {name!r}: metric {gate.metric!r} not found in "
                     f"{gate.artifact!r}"
@@ -211,6 +228,7 @@ def compare(
                 direction=gate.direction,
                 tolerance_pct=gate.tolerance_pct,
                 status=OK,
+                optional=gate.optional,
             )
             checks.append(check)
             if baseline is None:

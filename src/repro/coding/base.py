@@ -83,6 +83,26 @@ class EncodedBatch:
         """Number of cells written per request (data + auxiliary)."""
         return int(self.states.shape[1])
 
+    def __len__(self) -> int:
+        return int(self.states.shape[0])
+
+    def window(self, start: int, stop: int) -> "EncodedBatch":
+        """View of the requests in ``[start, stop)`` (no copies).
+
+        Encoding is per-line, so a window of a super-batch encode is exactly
+        the encode of those lines alone; the evaluation layer slices each
+        coalesced encoder batch back into its original ``chunk_size`` windows
+        to keep metric accumulation (and its float rounding) identical to the
+        per-chunk path.
+        """
+        return EncodedBatch(
+            states=self.states[start:stop],
+            old_states=self.old_states[start:stop],
+            aux_mask=self.aux_mask[start:stop],
+            compressed=self.compressed[start:stop],
+            encoded=self.encoded[start:stop],
+        )
+
 
 class WriteEncoder(ABC):
     """Base class of every write-encoding scheme."""

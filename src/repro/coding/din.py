@@ -107,8 +107,9 @@ class DINEncoder(WriteEncoder):
         is vectorised.  Zero padding up to the full 369-bit budget is benign:
         codeword 0 of the DIN table is ``0000`` by construction, so expanding
         the padded groups writes the same zeros the per-line path produced.
-        Only the BCH parity remains per line (carry-propagating GF(2)
-        polynomial division over a 492-bit integer).
+        The BCH parity is batched too: one GF(2) reduction against the code's
+        shifted-remainder table (:meth:`repro.ecc.bch.BCHCode.parity_batch`)
+        replaces the per-line polynomial carry chain.
         """
         packed = self.compressor.compress_batch(lines)
         sizes = packed.lengths
@@ -128,10 +129,9 @@ class DINEncoder(WriteEncoder):
         expanded = unpack_fields(codewords.astype(np.uint64), 4).reshape(n, -1)
         line_bits = np.zeros((n, BITS_PER_LINE), dtype=np.uint8)
         line_bits[:, :expanded.shape[1]] = expanded
-        for row in range(n):
-            line_bits[row, EXPANDED_BITS:EXPANDED_BITS + BCH_PARITY_BITS] = (
-                self.bch.parity(line_bits[row, :EXPANDED_BITS])
-            )
+        line_bits[:, EXPANDED_BITS:EXPANDED_BITS + BCH_PARITY_BITS] = (
+            self.bch.parity_batch(line_bits[:, :EXPANDED_BITS])
+        )
         return line_bits
 
     def _encode_line_bits(self, words: np.ndarray) -> np.ndarray:

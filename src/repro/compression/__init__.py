@@ -1,7 +1,14 @@
 """Memory-line compression substrates: WLC, FPC, BDI, FPC+BDI and COC."""
 
 from .base import CompressedLine, Compressor, pack_bits_lsb_first, unpack_bits_lsb_first
-from .kernels import PackedBits, compact_segments, hstack_bits, pack_fields, unpack_fields
+from .kernels import (
+    PackedBits,
+    compact_segments,
+    hstack_bits,
+    pack_fields,
+    unpack_fields,
+    xor_reduce,
+)
 from .bdi import (
     BDICompressor,
     BDIVariant,
@@ -54,4 +61,5 @@ __all__ = [
     "unpack_bits_lsb_first",
     "unpack_fields",
     "words32_to_line",
+    "xor_reduce",
 ]

@@ -26,7 +26,8 @@ import numpy as np
 
 from ..core.errors import CompressionError
 from ..core.line import LineBatch
-from ..core.symbols import BITS_PER_LINE, WORDS_PER_LINE, bits_to_words, words_to_bits
+from ..core.symbols import BITS_PER_LINE, WORDS_PER_LINE
+from .backend import get_backend
 from .base import CompressedLine, Compressor
 from .bdi import RepeatedValueCompressor, STANDARD_BDI_VARIANTS, ZeroLineCompressor
 from .fpc import FPCCompressor
@@ -55,8 +56,10 @@ class RawLineCompressor(Compressor):
         return np.full(len(batch), BITS_PER_LINE, dtype=np.int64)
 
     def compress_batch(self, batch: LineBatch, validated: bool = False) -> PackedBits:
+        b = get_backend()
+        bits = unpack_fields(b.to_device(batch.words), 64, backend=b)
         return PackedBits(
-            bits=words_to_bits(batch.words),
+            bits=b.to_host(bits.reshape(len(batch), BITS_PER_LINE)),
             lengths=np.full(len(batch), BITS_PER_LINE, dtype=np.int64),
             compressor=self.name,
         )
@@ -66,7 +69,11 @@ class RawLineCompressor(Compressor):
             raise CompressionError("raw stream must be at least 512 bits")
         if len(packed) == 0:
             return np.zeros((0, WORDS_PER_LINE), dtype=np.uint64)
-        return bits_to_words(packed.bits[:, :BITS_PER_LINE])
+        b = get_backend()
+        grouped = b.to_device(packed.bits[:, :BITS_PER_LINE]).reshape(
+            len(packed), WORDS_PER_LINE, 64
+        )
+        return b.to_host(pack_fields(grouped, backend=b))
 
     def compress_line(self, words: np.ndarray) -> CompressedLine:
         return self.compress_batch(single_line_batch(words)).line(0)
@@ -87,31 +94,41 @@ class WordDeltaCompressor(Compressor):
         """Size when the variant applies: one full word plus seven deltas."""
         return 64 + (WORDS_PER_LINE - 1) * self.delta_bits
 
-    def fits(self, batch: LineBatch) -> np.ndarray:
-        """All wrapped word-to-word deltas against word 0 fit in ``delta_bits``."""
-        words = batch.words
+    def _fits_device(self, words, xp) -> np.ndarray:
         deltas = (words[:, 1:] - words[:, :1]).astype(np.int64)
         limit = 1 << (self.delta_bits - 1)
-        return np.all((deltas >= -limit) & (deltas < limit), axis=1)
+        return xp.all((deltas >= -limit) & (deltas < limit), axis=1)
+
+    def fits(self, batch: LineBatch) -> np.ndarray:
+        """All wrapped word-to-word deltas against word 0 fit in ``delta_bits``."""
+        b = get_backend()
+        return b.to_host(self._fits_device(b.to_device(batch.words), b.xp))
 
     def sizes_bits(self, batch: LineBatch) -> np.ndarray:
-        return np.where(self.fits(batch), self.compressed_bits, BITS_PER_LINE).astype(np.int64)
+        b = get_backend()
+        xp = b.xp
+        fits = self._fits_device(b.to_device(batch.words), xp)
+        return b.to_host(
+            xp.where(fits, self.compressed_bits, BITS_PER_LINE).astype(np.int64)
+        )
 
     def compress_batch(self, batch: LineBatch, validated: bool = False) -> PackedBits:
-        if not validated and not bool(self.fits(batch).all()):
+        b = get_backend()
+        xp = b.xp
+        words = b.to_device(batch.words)
+        if not validated and not bool(self._fits_device(words, xp).all()):
             raise CompressionError("line does not fit word-delta compression")
-        words = batch.words
         mask = np.uint64((1 << self.delta_bits) - 1)
         deltas = (words[:, 1:] - words[:, :1]) & mask
-        bits = np.concatenate(
+        bits = xp.concatenate(
             [
-                unpack_fields(words[:, 0], 64),
-                unpack_fields(deltas, self.delta_bits).reshape(len(batch), -1),
+                unpack_fields(words[:, 0], 64, backend=b),
+                unpack_fields(deltas, self.delta_bits, backend=b).reshape(len(batch), -1),
             ],
             axis=1,
         )
         return PackedBits(
-            bits=bits,
+            bits=b.to_host(bits),
             lengths=np.full(len(batch), self.compressed_bits, dtype=np.int64),
             compressor=self.name,
         )
@@ -122,19 +139,23 @@ class WordDeltaCompressor(Compressor):
         n = len(packed)
         if n == 0:
             return np.zeros((0, WORDS_PER_LINE), dtype=np.uint64)
-        base = pack_fields(packed.bits[:, :64])
+        b = get_backend()
+        xp = b.xp
+        bits = b.to_device(packed.bits)
+        base = pack_fields(bits[:, :64], backend=b)
         raw = pack_fields(
-            packed.bits[:, 64 : 64 + (WORDS_PER_LINE - 1) * self.delta_bits].reshape(
+            bits[:, 64 : 64 + (WORDS_PER_LINE - 1) * self.delta_bits].reshape(
                 n, WORDS_PER_LINE - 1, self.delta_bits
-            )
+            ),
+            backend=b,
         )
         sign = np.uint64(1 << (self.delta_bits - 1))
         full = np.uint64(1 << self.delta_bits)
-        delta = np.where((raw & sign).astype(bool), raw - full, raw)
-        words = np.zeros((n, WORDS_PER_LINE), dtype=np.uint64)
+        delta = xp.where((raw & sign).astype(bool), raw - full, raw)
+        words = xp.zeros((n, WORDS_PER_LINE), dtype=np.uint64)
         words[:, 0] = base
         words[:, 1:] = base[:, None] + delta
-        return words
+        return b.to_host(words)
 
     def compress_line(self, words: np.ndarray) -> CompressedLine:
         return self.compress_batch(single_line_batch(words)).line(0)

@@ -9,7 +9,8 @@ passed around, hashed, and printed in reports.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
+from typing import Optional
 
 from .disturbance import DisturbanceModel, DEFAULT_DISTURBANCE_MODEL
 from .energy import EnergyModel, DEFAULT_ENERGY_MODEL
@@ -78,15 +79,24 @@ class EvaluationConfig:
     #: When ``True`` disturbance errors are Monte-Carlo sampled instead of
     #: using the deterministic expected-value count.
     sample_disturbance: bool = False
+    #: Array backend the compression kernels run on (``"numpy"``, ``"numba"``,
+    #: ``"cupy"``); ``None`` keeps whatever backend is already active (the
+    #: ``REPRO_ARRAY_BACKEND`` env var or the numpy reference).  Results are
+    #: bit-identical for every backend -- this knob only moves throughput.
+    array_backend: Optional[str] = None
+    #: Coalesce streaming chunks into encoder batches of at least this many
+    #: lines (the *super-batch* accumulator) before calling ``encode_batch``.
+    #: Metrics are still computed per original ``chunk_size`` window with the
+    #: per-chunk RNG streams and merged in chunk order, so results stay
+    #: bit-identical to the per-chunk path; only the kernel batch size -- and
+    #: hence compiled/GPU backend utilisation -- changes.  ``None`` disables
+    #: coalescing (one ``encode_batch`` call per chunk, the historical
+    #: behaviour).
+    superbatch_size: Optional[int] = None
 
     def with_trace_length(self, trace_length: int) -> "EvaluationConfig":
         """Copy of this config with a different trace length."""
-        return EvaluationConfig(
-            trace_length=trace_length,
-            chunk_size=self.chunk_size,
-            seed=self.seed,
-            sample_disturbance=self.sample_disturbance,
-        )
+        return replace(self, trace_length=trace_length)
 
 
 #: Default system configuration matching Table II of the paper.

@@ -113,6 +113,20 @@ class BCHCode:
                 f"exceeds the natural length {self.natural_length}"
             )
         self.data_bits = data_bits
+        # Shifted-remainder table: row i is x^(i + r) mod g(x) as LSB-first
+        # bits.  Systematic parity is linear over GF(2), so the parity of
+        # d(x)*x^r is the XOR of these rows over the set data bits -- the
+        # vectorised form computed by parity_batch as a matmul mod 2.
+        self._remainder_table = np.array(
+            [
+                [
+                    (_gf2_poly_mod(1 << (i + self.parity_bits), self.generator_poly) >> j) & 1
+                    for j in range(self.parity_bits)
+                ]
+                for i in range(self.data_bits)
+            ],
+            dtype=np.uint8,
+        )
 
     @property
     def codeword_bits(self) -> int:
@@ -125,14 +139,30 @@ class BCHCode:
     def parity(self, data: Sequence[int]) -> np.ndarray:
         """Parity bits of a data-bit sequence (LSB-first, length ``data_bits``)."""
         data = np.asarray(data, dtype=np.uint8)
-        if data.shape[0] != self.data_bits:
-            raise ValueError(f"expected {self.data_bits} data bits, got {data.shape[0]}")
-        data_int = 0
-        for i, bit in enumerate(data):
-            if bit:
-                data_int |= 1 << i
-        remainder = _gf2_poly_mod(data_int << self.parity_bits, self.generator_poly)
-        return np.array([(remainder >> i) & 1 for i in range(self.parity_bits)], dtype=np.uint8)
+        if data.ndim != 1 or data.shape[0] != self.data_bits:
+            raise ValueError(f"expected {self.data_bits} data bits, got {data.shape}")
+        return self.parity_batch(data.reshape(1, -1))[0]
+
+    def parity_batch(self, data: np.ndarray) -> np.ndarray:
+        """Parity bits of a whole ``(n, data_bits)`` bit matrix at once.
+
+        One GF(2) reduction against the precomputed shifted-remainder table
+        replaces the per-line carry chain of long division -- this is what
+        keeps the DIN encode path free of per-line Python loops (see
+        :func:`repro.compression.kernels.xor_reduce`).
+        """
+        from ..compression.backend import get_backend
+        from ..compression.kernels import xor_reduce
+
+        data = np.asarray(data, dtype=np.uint8)
+        if data.ndim != 2 or data.shape[1] != self.data_bits:
+            raise ValueError(
+                f"expected (n, {self.data_bits}) data bits, got {data.shape}"
+            )
+        backend = get_backend()
+        return backend.to_host(
+            xor_reduce(backend.to_device(data), self._remainder_table, backend=backend)
+        )
 
     def encode(self, data: Sequence[int]) -> np.ndarray:
         """Systematic codeword: parity bits (positions ``0..r-1``) then data bits."""

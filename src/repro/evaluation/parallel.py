@@ -54,6 +54,7 @@ import atexit
 import os
 from collections import deque
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from contextlib import nullcontext
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import (
@@ -75,11 +76,18 @@ import numpy as np
 from ..coding.base import WriteEncoder
 from ..core.config import DEFAULT_EVALUATION_CONFIG, EvaluationConfig
 from ..core.disturbance import DEFAULT_DISTURBANCE_MODEL, DisturbanceModel
+from ..compression.backend import use_array_backend
 from ..core.errors import ConfigurationError
 from ..core.metrics import WriteMetrics
 from ..traces.transport import TraceDescriptor, TraceExporter, attach_trace
 from ..workloads.trace import ChunkSource, WriteTrace
-from .runner import chunk_stream, chunk_streams, metrics_from_encoded, n_chunks_of
+from .runner import (
+    chunk_group_size,
+    chunk_stream,
+    chunk_streams,
+    evaluate_chunk_group,
+    n_chunks_of,
+)
 
 
 def resolve_n_jobs(n_jobs: Optional[int]) -> int:
@@ -119,33 +127,58 @@ class WorkUnit:
 
 @dataclass(frozen=True)
 class _Shard:
-    """One chunk of one work unit -- the granularity of executor dispatch.
+    """One chunk *group* of one work unit -- the granularity of dispatch.
 
-    The chunk's data travels either inline (``chunk``, the pickled fallback
-    and the serial path) or by reference (``descriptor`` naming a shared
-    segment or corpus file plus the ``[start, stop)`` line range); the two
-    are mutually exclusive.
+    A shard spans one or more consecutive evaluation chunks (several when the
+    config's super-batch accumulator coalesces them); ``chunk_index`` is the
+    first chunk of the group and ``streams`` carries one RNG stream per
+    member chunk.  The group's data travels either inline (``chunk``, the
+    pickled fallback and the serial path) or by reference (``descriptor``
+    naming a shared segment or corpus file plus the ``[start, stop)`` line
+    range); the two are mutually exclusive.  ``array_backend`` re-selects the
+    parent's kernel backend inside the worker process (the selection is
+    thread-local state that does not travel with the fork/spawn).
     """
 
     unit_index: int
     chunk_index: int
     encoder: WriteEncoder
     disturbance_model: DisturbanceModel
-    stream: Optional[np.random.SeedSequence]
+    streams: Tuple[Optional[np.random.SeedSequence], ...]
+    chunk_size: int
     chunk: Optional[WriteTrace] = None
     descriptor: Optional[TraceDescriptor] = None
     start: int = 0
     stop: int = 0
+    array_backend: Optional[str] = None
 
 
-def _evaluate_shard(shard: _Shard) -> Tuple[int, int, WriteMetrics]:
-    """Evaluate one shard; runs in a worker process (or inline when serial)."""
+def _evaluate_shard(shard: _Shard) -> Tuple[int, int, List[WriteMetrics]]:
+    """Evaluate one shard; runs in a worker process (or inline when serial).
+
+    The group is encoded in one ``encode_batch`` call; metrics come back *per
+    chunk window* (not pre-merged), so the parent merges every chunk of every
+    shard in exactly the serial submission order -- grouping chunks therefore
+    cannot change a single float rounding, whatever the group size.
+    """
     chunk = shard.chunk
     if chunk is None:
         chunk = attach_trace(shard.descriptor)[shard.start:shard.stop]
-    rng = np.random.default_rng(shard.stream) if shard.stream is not None else None
-    encoded = shard.encoder.encode_batch(chunk.new, chunk.old)
-    metrics = metrics_from_encoded(encoded, shard.encoder, shard.disturbance_model, rng)
+    scope = (
+        use_array_backend(shard.array_backend)
+        if shard.array_backend is not None
+        else nullcontext()
+    )
+    with scope:
+        metrics = list(
+            evaluate_chunk_group(
+                shard.encoder,
+                chunk,
+                shard.streams,
+                shard.chunk_size,
+                shard.disturbance_model,
+            )
+        )
     return shard.unit_index, shard.chunk_index, metrics
 
 
@@ -289,35 +322,40 @@ class ParallelRunner:
         descriptors: Optional[Sequence[Optional[TraceDescriptor]]] = None,
     ) -> Iterator[_Shard]:
         for unit_index, unit in enumerate(units):
-            streams = chunk_streams(
-                unit.config, n_chunks_of(unit.trace, unit.config), unit_index
-            )
+            n_chunks = n_chunks_of(unit.trace, unit.config)
+            streams = chunk_streams(unit.config, n_chunks, unit_index)
             descriptor = descriptors[unit_index] if descriptors else None
             chunk_size = unit.config.chunk_size
-            if descriptor is not None:
-                for chunk_index, stream in enumerate(streams):
-                    start = chunk_index * chunk_size
+            group_chunks = chunk_group_size(unit.config)
+            for first in range(0, n_chunks, group_chunks):
+                members = range(first, min(n_chunks, first + group_chunks))
+                group_streams = tuple(streams[index] for index in members)
+                start = first * chunk_size
+                stop = min(len(unit.trace), (first + len(members)) * chunk_size)
+                if descriptor is not None:
                     yield _Shard(
                         unit_index=unit_index,
-                        chunk_index=chunk_index,
+                        chunk_index=first,
                         encoder=unit.encoder,
                         disturbance_model=unit.disturbance_model,
-                        stream=stream,
+                        streams=group_streams,
+                        chunk_size=chunk_size,
                         descriptor=descriptor,
                         start=start,
-                        stop=min(len(unit.trace), start + chunk_size),
+                        stop=stop,
+                        array_backend=unit.config.array_backend,
                     )
-                continue
-            chunks = unit.trace.chunks(chunk_size)
-            for chunk_index, (chunk, stream) in enumerate(zip(chunks, streams)):
-                yield _Shard(
-                    unit_index=unit_index,
-                    chunk_index=chunk_index,
-                    encoder=unit.encoder,
-                    disturbance_model=unit.disturbance_model,
-                    stream=stream,
-                    chunk=chunk,
-                )
+                else:
+                    yield _Shard(
+                        unit_index=unit_index,
+                        chunk_index=first,
+                        encoder=unit.encoder,
+                        disturbance_model=unit.disturbance_model,
+                        streams=group_streams,
+                        chunk_size=chunk_size,
+                        chunk=unit.trace[start:stop],
+                        array_backend=unit.config.array_backend,
+                    )
 
     def map(self, units: Sequence[WorkUnit]) -> List[WriteMetrics]:
         """Evaluate every unit and return one :class:`WriteMetrics` per unit.
@@ -341,7 +379,10 @@ class ParallelRunner:
         exporter = None
         try:
             descriptors = None
-            total_shards = sum(n_chunks_of(unit.trace, unit.config) for unit in units)
+            total_shards = sum(
+                -(-n_chunks_of(unit.trace, unit.config) // chunk_group_size(unit.config))
+                for unit in units
+            )
             # Export only when _execute will actually dispatch to worker
             # *processes*; thread workers share the parent's memory, so the
             # shm copy (and the parent-side attachment it would leave in the
@@ -355,8 +396,9 @@ class ParallelRunner:
                 exporter = self._acquire_exporter()
                 descriptors = [exporter.export(unit.trace) for unit in units]
             shards = list(self._shards(units, descriptors))
-            for unit_index, _, metrics in self._execute(_evaluate_shard, shards):
-                per_unit[unit_index].merge(metrics)
+            for unit_index, _, group_metrics in self._execute(_evaluate_shard, shards):
+                for metrics in group_metrics:
+                    per_unit[unit_index].merge(metrics)
         finally:
             if exporter is not None and exporter is not self._exporter:
                 exporter.release()
@@ -400,18 +442,43 @@ class ParallelRunner:
         def shards() -> Iterator[_Shard]:
             for unit_index, unit in enumerate(units):
                 chunk_size = unit.config.chunk_size
-                for chunk_index, chunk in enumerate(unit.trace.chunks(chunk_size)):
-                    yield _Shard(
+                group_chunks = chunk_group_size(unit.config)
+                buffer: List[WriteTrace] = []
+                first_index = 0
+
+                def group_shard() -> _Shard:
+                    group = (
+                        buffer[0] if len(buffer) == 1 else WriteTrace.concat(buffer)
+                    )
+                    return _Shard(
                         unit_index=unit_index,
-                        chunk_index=chunk_index,
+                        chunk_index=first_index,
                         encoder=unit.encoder,
                         disturbance_model=unit.disturbance_model,
-                        stream=chunk_stream(unit.config, unit_index, chunk_index),
-                        chunk=chunk,
+                        streams=tuple(
+                            chunk_stream(unit.config, unit_index, first_index + offset)
+                            for offset in range(len(buffer))
+                        ),
+                        chunk_size=chunk_size,
+                        chunk=group,
+                        array_backend=unit.config.array_backend,
                     )
 
-        for unit_index, _, metrics in self._execute_windowed(_evaluate_shard, shards()):
-            per_unit[unit_index].merge(metrics)
+                for chunk_index, chunk in enumerate(unit.trace.chunks(chunk_size)):
+                    if not buffer:
+                        first_index = chunk_index
+                    buffer.append(chunk)
+                    if len(buffer) >= group_chunks:
+                        yield group_shard()
+                        buffer = []
+                if buffer:
+                    yield group_shard()
+
+        for unit_index, _, group_metrics in self._execute_windowed(
+            _evaluate_shard, shards()
+        ):
+            for metrics in group_metrics:
+                per_unit[unit_index].merge(metrics)
         return per_unit
 
     def run(self, units: Sequence[WorkUnit]) -> Dict[Hashable, WriteMetrics]:

@@ -22,11 +22,13 @@ exact serial path.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence
+from contextlib import nullcontext
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence
 
 import numpy as np
 
 from ..coding.base import EncodedBatch, WriteEncoder
+from ..compression.backend import use_array_backend
 from ..core.config import DEFAULT_EVALUATION_CONFIG, EvaluationConfig
 from ..core.disturbance import DEFAULT_DISTURBANCE_MODEL, DisturbanceModel
 from ..core.metrics import WriteMetrics
@@ -83,6 +85,52 @@ def n_chunks_of(trace: WriteTrace, config: EvaluationConfig) -> int:
     return -(-len(trace) // config.chunk_size) if len(trace) else 0
 
 
+def chunk_group_size(config: EvaluationConfig) -> int:
+    """Chunks coalesced per encoder super-batch (1 = the per-chunk path).
+
+    ``config.superbatch_size`` names a *line* target; the accumulator rounds
+    it up to whole chunks so group boundaries land exactly on the chunk grid
+    and the per-chunk RNG streams / metric windows stay well defined.
+    """
+    if config.superbatch_size is None:
+        return 1
+    return max(1, -(-config.superbatch_size // config.chunk_size))
+
+
+def array_backend_scope(config: EvaluationConfig):
+    """Context manager activating ``config.array_backend`` (no-op when unset)."""
+    if config.array_backend is None:
+        return nullcontext()
+    return use_array_backend(config.array_backend)
+
+
+def evaluate_chunk_group(
+    encoder: WriteEncoder,
+    group: WriteTrace,
+    streams: Sequence[Optional[np.random.SeedSequence]],
+    chunk_size: int,
+    disturbance_model: DisturbanceModel = DEFAULT_DISTURBANCE_MODEL,
+) -> Iterator[WriteMetrics]:
+    """Encode a coalesced chunk group once; yield per-chunk-window metrics.
+
+    This is the super-batch accumulator's unit of work, shared by the serial
+    runner and the parallel engine.  The whole group feeds *one*
+    ``encode_batch`` call (so compiled/GPU array backends see >=256k-line
+    batches), but the metric reduction still happens per original
+    ``chunk_size`` window -- window ``i`` of the group uses ``streams[i]``,
+    the very stream chunk ``first + i`` draws on the per-chunk path, and a
+    window's arrays have the same shape and layout a standalone chunk's
+    would, so every float accumulates in the same order.  That is what keeps
+    super-batched results bit-identical to the per-chunk path.
+    """
+    encoded = encoder.encode_batch(group.new, group.old)
+    for index, stream in enumerate(streams):
+        start = index * chunk_size
+        window = encoded.window(start, min(len(encoded), start + chunk_size))
+        rng = np.random.default_rng(stream) if stream is not None else None
+        yield metrics_from_encoded(window, encoder, disturbance_model, rng)
+
+
 def chunk_stream(
     config: EvaluationConfig, unit_index: int, chunk_index: int
 ) -> Optional[np.random.SeedSequence]:
@@ -124,18 +172,39 @@ def evaluate_trace(
 
     ``trace`` is a :class:`~repro.workloads.trace.WriteTrace` or any
     :class:`~repro.workloads.trace.ChunkSource` -- the loop only ever holds
-    one chunk, so evaluating a streaming source keeps memory bounded by the
-    chunk size regardless of the trace length.  ``unit_index`` selects the
+    one chunk group (one chunk unless ``config.superbatch_size`` coalesces
+    several), so evaluating a streaming source keeps memory bounded
+    regardless of the trace length.  ``unit_index`` selects the
     disturbance-sampling stream when the trace is one of several work units
     evaluated together (see :mod:`.parallel`); the default of 0 matches a
     standalone run.
     """
     total = WriteMetrics()
-    for chunk_index, chunk in enumerate(trace.chunks(config.chunk_size)):
-        stream = chunk_stream(config, unit_index, chunk_index)
-        rng = np.random.default_rng(stream) if stream is not None else None
-        encoded = encoder.encode_batch(chunk.new, chunk.old)
-        total.merge(metrics_from_encoded(encoded, encoder, disturbance_model, rng))
+    group_chunks = chunk_group_size(config)
+    with array_backend_scope(config):
+        buffer: List[WriteTrace] = []
+        first_index = 0
+
+        def flush() -> None:
+            group = buffer[0] if len(buffer) == 1 else WriteTrace.concat(buffer)
+            streams = [
+                chunk_stream(config, unit_index, first_index + offset)
+                for offset in range(len(buffer))
+            ]
+            for metrics in evaluate_chunk_group(
+                encoder, group, streams, config.chunk_size, disturbance_model
+            ):
+                total.merge(metrics)
+
+        for chunk_index, chunk in enumerate(trace.chunks(config.chunk_size)):
+            if not buffer:
+                first_index = chunk_index
+            buffer.append(chunk)
+            if len(buffer) >= group_chunks:
+                flush()
+                buffer = []
+        if buffer:
+            flush()
     return total
 
 
