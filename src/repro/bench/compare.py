@@ -21,12 +21,15 @@ be noise, not signal.
 from __future__ import annotations
 
 import json
+import logging
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Mapping, Optional
 
 from ..core.errors import BenchError
 from .registry import BenchSpec, Gate
+
+logger = logging.getLogger(__name__)
 
 #: Schema marker of the baseline files.
 BASELINE_SCHEMA = 1
@@ -172,6 +175,11 @@ def update_baselines(
             payload = _load_artifact(Path(results_dir), gate.artifact)
             if payload is None:
                 if gate.optional:
+                    logger.warning(
+                        "bench %r: optional artifact %r missing; baseline not updated",
+                        name,
+                        gate.artifact,
+                    )
                     continue
                 raise BenchError(
                     f"bench {name!r}: cannot update baseline, artifact "
@@ -180,6 +188,12 @@ def update_baselines(
             value = extract_metric(payload, gate.metric)
             if value is None:
                 if gate.optional:
+                    logger.warning(
+                        "bench %r: optional metric %r absent from %r; baseline not updated",
+                        name,
+                        gate.metric,
+                        gate.artifact,
+                    )
                     continue
                 raise BenchError(
                     f"bench {name!r}: metric {gate.metric!r} not found in "

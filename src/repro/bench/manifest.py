@@ -33,6 +33,14 @@ MANIFEST_NAME = "BENCH_manifest.json"
 #: Glob matching the per-shard run records.
 SHARD_RECORD_GLOB = "BENCH_shard_*of*.json"
 
+#: Glob matching the per-shard observability span logs (profiled runs only).
+SHARD_TRACE_GLOB = "BENCH_shard_*of*.trace.jsonl"
+
+#: File name of the merged Perfetto-loadable trace (when shards were
+#: profiled).  Deliberately outside the ``BENCH_*.json`` namespace so the
+#: trajectory copy and the manifest globs never pick it up.
+MERGED_TRACE_NAME = "profile.trace.json"
+
 _SHARD_RECORD_RE = re.compile(r"^BENCH_shard_(\d+)of(\d+)\.json$")
 
 
@@ -181,6 +189,23 @@ def merge_shards(
         target = out_dir / path.name
         if path.resolve() != target.resolve():
             shutil.copyfile(path, target)
+
+    # Profiled shards leave span logs next to their records; collect them
+    # and stitch one Perfetto-loadable trace for the merged run.  Purely
+    # additive: the manifest below never digests these files.
+    trace_logs: List[Path] = []
+    for directory in dict.fromkeys([*shard_dirs, out_dir]):
+        trace_logs.extend(sorted(directory.glob(SHARD_TRACE_GLOB)))
+    copied_logs: Dict[str, Path] = {}
+    for source in trace_logs:
+        target = out_dir / source.name
+        if source.resolve() != target.resolve():
+            shutil.copyfile(source, target)
+        copied_logs[target.name] = target
+    if copied_logs:
+        from ..obs import merge_jsonl_to_chrome
+
+        merge_jsonl_to_chrome(copied_logs.values(), out_dir / MERGED_TRACE_NAME)
 
     assert config is not None  # records is non-empty
     payload = build_manifest(registry, out_dir, config)

@@ -28,12 +28,17 @@ from typing import Dict, List, Mapping, Optional, Tuple
 
 from ..core.errors import BenchError
 from ..evaluation.experiments import ExperimentConfig
+from ..obs import observation, profile_summary, span, write_session
 from . import harness
 from .registry import DiscoveredBench, discover
 from .partition import shard_names
 
 #: Name pattern of the per-shard run records.
 SHARD_RECORD_TEMPLATE = "BENCH_shard_{index}of{count}.json"
+
+#: Name pattern of the per-shard span logs (``.jsonl`` deliberately: the
+#: ``BENCH_*.json`` globs of manifest/trajectory code must not pick these up).
+SHARD_TRACE_TEMPLATE = "BENCH_shard_{index}of{count}.trace.jsonl"
 
 
 class _TmpPathFactory:
@@ -77,6 +82,8 @@ class ShardReport:
     config: Dict[str, int]
     record_path: Optional[Path] = None
     manifest_path: Optional[Path] = None
+    profile: Optional[dict] = None
+    trace_path: Optional[Path] = None
 
     @property
     def failures(self) -> List[BenchOutcome]:
@@ -87,7 +94,7 @@ class ShardReport:
         return sum(outcome.wall_clock_s for outcome in self.outcomes)
 
     def as_dict(self) -> dict:
-        return {
+        payload = {
             "schema": 1,
             "shard": {"index": self.index, "count": self.count},
             "config": dict(self.config),
@@ -105,6 +112,9 @@ class ShardReport:
             },
             "wall_clock_s": round(self.wall_clock_s, 6),
         }
+        if self.profile is not None:
+            payload["profile"] = self.profile
+        return payload
 
 
 def _resolve_fixtures(
@@ -151,7 +161,8 @@ def _run_bench(
     for function_name, function in bench.functions:
         try:
             recorder, kwargs = _resolve_fixtures(function, config, tmp_factory)
-            function(**kwargs)
+            with span("bench_function", bench=bench.name, function=function_name):
+                function(**kwargs)
             outcome.functions[function_name] = recorder.elapsed_s
         except Exception:
             outcome.status = "failed"
@@ -177,6 +188,8 @@ def run_shard(
     results_dir: Optional[Path] = None,
     jobs: Optional[int] = None,
     registry: Optional[Mapping[str, DiscoveredBench]] = None,
+    profile: bool = False,
+    trace_out: Optional[Path] = None,
 ) -> ShardReport:
     """Run shard ``(index, count)`` of the benchmark registry in this process.
 
@@ -185,8 +198,17 @@ def run_shard(
     run so one CI job reports every failure -- but the report's ``failures``
     list is non-empty and no manifest is written.  ``jobs`` sets the worker
     count of the shared evaluation pool for every figure of the shard.
+
+    ``profile=True`` runs the shard under an observation session: the span
+    log lands next to the record as ``BENCH_shard_KofN.trace.jsonl`` (a
+    suffix the ``BENCH_*.json`` manifest/trajectory globs cannot match) and
+    the record gains a ``"profile"`` summary section; ``bench merge``
+    stitches every shard's log into one Perfetto-loadable Chrome trace.
+    ``trace_out`` writes the session to an explicit path as well (Chrome
+    JSON, or the span log for a ``.jsonl`` suffix) and implies profiling.
     """
     index, count = shard
+    profile = profile or trace_out is not None
     registry = dict(registry) if registry is not None else discover(bench_dir)
     names = list(shard_names(registry, index, count))
 
@@ -213,13 +235,25 @@ def run_shard(
         for stale in (
             results / MANIFEST_NAME,
             results / SHARD_RECORD_TEMPLATE.format(index=index, count=count),
+            results / SHARD_TRACE_TEMPLATE.format(index=index, count=count),
         ):
             try:
                 stale.unlink()
             except FileNotFoundError:
                 pass
         tmp_factory = _TmpPathFactory(tmp_root)
-        outcomes = [_run_bench(registry[name], config, results, tmp_factory) for name in names]
+        session = None
+        if profile:
+            with observation(f"bench-shard-{index}of{count}") as session:
+                outcomes = [
+                    _run_bench(registry[name], config, results, tmp_factory)
+                    for name in names
+                ]
+        else:
+            outcomes = [
+                _run_bench(registry[name], config, results, tmp_factory)
+                for name in names
+            ]
         report = ShardReport(
             index=index,
             count=count,
@@ -227,6 +261,16 @@ def run_shard(
             outcomes=outcomes,
             config=harness.config_snapshot(config),
         )
+        if session is not None:
+            metrics = session.metrics.snapshot()
+            report.profile = profile_summary(session.spans, metrics)
+            report.trace_path = write_session(
+                session,
+                results / SHARD_TRACE_TEMPLATE.format(index=index, count=count),
+                fmt="jsonl",
+            )
+            if trace_out is not None:
+                write_session(session, Path(trace_out))
         record = results / SHARD_RECORD_TEMPLATE.format(index=index, count=count)
         record.write_text(json.dumps(report.as_dict(), indent=2, sort_keys=True) + "\n")
         report.record_path = record

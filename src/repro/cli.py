@@ -42,8 +42,10 @@ gate")::
 from __future__ import annotations
 
 import argparse
+import contextlib
 import difflib
 import json
+import logging
 import sys
 from pathlib import Path
 from typing import Callable, Dict, Optional, Sequence
@@ -55,6 +57,21 @@ from .evaluation import ExperimentConfig, evaluate_schemes, format_series_table
 from .hardware import WLCRCSynthesisModel
 from .traces.ingest import TRACE_FORMATS
 from .workloads import ALL_BENCHMARKS, WriteTrace, generate_benchmark_trace
+
+#: CLI diagnostics go through logging (to stderr), never stdout: JSON and
+#: table output must stay machine-parseable under redirection.
+_LOG = logging.getLogger("repro.cli")
+
+#: ``--log-level`` choices.
+LOG_LEVELS = ("debug", "info", "warning", "error")
+
+
+def _setup_logging(level: str) -> None:
+    logging.basicConfig(
+        level=getattr(logging, level.upper(), logging.WARNING),
+        stream=sys.stderr,
+        format="%(levelname)s %(name)s: %(message)s",
+    )
 
 #: Experiment name -> driver function in :mod:`repro.evaluation.experiments`.
 EXPERIMENTS: Dict[str, Callable] = {
@@ -81,6 +98,13 @@ def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="wlcrc-repro",
         description="Reproduce the WLCRC (HPCA 2018) evaluation figures and tables.",
+    )
+    parser.add_argument(
+        "--log-level",
+        choices=LOG_LEVELS,
+        default="warning",
+        help="diagnostic verbosity; all diagnostics go to stderr so stdout "
+        "stays machine-parseable (default: warning)",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -113,8 +137,9 @@ def _build_parser() -> argparse.ArgumentParser:
         help="dialect of an ASCII --trace input (default: sniff)",
     )
     evaluate.add_argument(
-        "--profile",
+        "--content-profile",
         default="gcc",
+        dest="content_profile",
         help="content profile used to synthesise line data for an ASCII --trace input",
     )
     _add_config_arguments(evaluate)
@@ -247,6 +272,21 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="do not copy BENCH_*.json out of the results directory",
     )
+    bench_run.add_argument(
+        "--profile",
+        action="store_true",
+        help="run the shard under an observation session: writes "
+        "BENCH_shard_KofN.trace.jsonl next to the record and embeds a "
+        "'profile' summary section in it ('bench merge' stitches the logs "
+        "into one Perfetto-loadable profile.trace.json)",
+    )
+    bench_run.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE",
+        help="also write the shard's trace to this path (Chrome trace-event "
+        "JSON; use a .jsonl suffix for the span-log format); implies --profile",
+    )
     bench_run.add_argument("--json", action="store_true", help="emit JSON")
 
     bench_merge = bench_commands.add_parser(
@@ -310,6 +350,17 @@ def _build_parser() -> argparse.ArgumentParser:
         help="also fail on missing baselines and context mismatches",
     )
     bench_compare.add_argument("--json", action="store_true", help="emit JSON")
+
+    profile = subparsers.add_parser(
+        "profile",
+        help="summarise an observability trace written by --trace-out, a "
+        "profiled bench shard, or 'bench merge' (span log or Chrome trace)",
+    )
+    profile.add_argument(
+        "path",
+        help="trace file: a .trace.jsonl span log or a Chrome trace-event .json",
+    )
+    profile.add_argument("--json", action="store_true", help="emit JSON")
     return parser
 
 
@@ -426,6 +477,20 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
         help="byte budget of the --trace-dir generation cache; least-recently-"
         "used cached traces are evicted past it (bytes or K/M/G/T suffix)",
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="trace the run and print a span/metric profile summary to "
+        "stderr (stdout output is unaffected; results stay bit-identical)",
+    )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE",
+        help="write the run's trace to this path -- Chrome trace-event JSON "
+        "loadable in Perfetto, or the JSON-lines span log for a .jsonl "
+        "suffix; implies tracing on",
+    )
     parser.add_argument("--json", action="store_true", help="emit JSON instead of a text table")
 
 
@@ -477,6 +542,64 @@ def _suggest(name: str, known: Sequence[str]) -> Sequence[str]:
 def _unknown_name(kind: str, value: str, known: Sequence[str]) -> int:
     """Exit-2 error for an unrecognised name, with close-match suggestions."""
     return _fail(f"unknown {kind} {value!r}", _suggest(value, known))
+
+
+def _format_profile(summary: Dict) -> str:
+    """Human rendering of an :func:`repro.obs.profile_summary` payload."""
+    parts = []
+    span_rows = {
+        name: {
+            "count": entry["count"],
+            "total_ms": entry["total_ms"],
+            "mean_ms": entry["mean_ms"],
+            "max_ms": entry["max_ms"],
+        }
+        for name, entry in summary["spans"].items()
+    }
+    if span_rows:
+        parts.append(
+            format_series_table(
+                span_rows, precision=2, title="Span summary", row_header="span"
+            )
+        )
+    metrics = summary["metrics"]
+    if metrics:
+        lines = ["metrics:"]
+        for key, value in metrics.items():
+            if isinstance(value, dict):
+                lines.append(
+                    f"  {key}: count={value['count']} mean={value['mean']:.3f} "
+                    f"min={value['min']:.3f} max={value['max']:.3f}"
+                )
+            else:
+                lines.append(f"  {key}: {value}")
+        parts.append("\n".join(lines))
+    return "\n\n".join(parts) if parts else "no spans recorded"
+
+
+@contextlib.contextmanager
+def _observation_scope(args: argparse.Namespace, label: str):
+    """Trace a command's run when ``--profile`` / ``--trace-out`` ask for it.
+
+    On exit: ``--trace-out`` writes the session to the requested file and
+    ``--profile`` prints the summary table to *stderr* -- stdout belongs to
+    the command's own (often JSON) output.
+    """
+    from . import obs
+
+    trace_out = getattr(args, "trace_out", None)
+    profiling = getattr(args, "profile", False) or trace_out is not None
+    if not profiling:
+        yield
+        return
+    with obs.observation(label) as session:
+        yield
+    if trace_out is not None:
+        path = obs.write_session(session, Path(trace_out))
+        _LOG.info("wrote trace to %s", path)
+    if getattr(args, "profile", False):
+        summary = obs.profile_summary(session.spans, session.metrics.snapshot())
+        print(_format_profile(summary), file=sys.stderr)
 
 
 def _print_result(result, as_json: bool) -> None:
@@ -776,14 +899,20 @@ def _cmd_bench_run(args: argparse.Namespace) -> int:
             results_dir=Path(args.results) if args.results else None,
             jobs=args.jobs,
             registry=registry,
+            profile=args.profile,
+            trace_out=Path(args.trace_out) if args.trace_out else None,
         )
     except (ReproError, OSError) as exc:
         return _fail(str(exc))
+    if report.trace_path is not None:
+        _LOG.info("wrote span log to %s", report.trace_path)
     if args.json:
         payload = report.as_dict()
         payload["record"] = str(report.record_path)
         if report.manifest_path is not None:
             payload["manifest"] = str(report.manifest_path)
+        if report.trace_path is not None:
+            payload["trace"] = str(report.trace_path)
         print(json.dumps(payload, indent=2, sort_keys=True))
     else:
         rows = {
@@ -872,11 +1001,13 @@ def _cmd_bench_compare(args: argparse.Namespace) -> int:
             print(format_series_table(rows, precision=4, row_header="gate"))
         else:
             print("no perf gates registered")
-        for check in report.checks:
-            if check.detail:
-                print(f"note: {check.bench}: {check.metric}: {check.detail}")
+    # Diagnostics go to stderr via logging, never interleaved with the
+    # result table/JSON on stdout.
+    for check in report.checks:
+        if check.detail:
+            _LOG.warning("%s: %s: %s", check.bench, check.metric, check.detail)
     if not report.ok:
-        print("perf regression gate FAILED", file=sys.stderr)
+        _LOG.error("perf regression gate FAILED")
         return 1
     return 0
 
@@ -921,9 +1052,9 @@ def _load_evaluation_trace(args: argparse.Namespace):
         known_container = magic.startswith(b"PK") or is_wtrc_file(path)
     if known_container or not path.is_file():
         return WriteTrace.load(args.trace), lambda: None
-    if args.profile not in ALL_BENCHMARKS:
+    if args.content_profile not in ALL_BENCHMARKS:
         raise TraceError(
-            f"unknown profile {args.profile!r} for ASCII trace synthesis "
+            f"unknown profile {args.content_profile!r} for ASCII trace synthesis "
             f"(have: {', '.join(ALL_BENCHMARKS)})"
         )
     tmp_dir = Path(tempfile.mkdtemp(prefix="wlcrc-stream-"))
@@ -936,7 +1067,7 @@ def _load_evaluation_trace(args: argparse.Namespace):
             path,
             tmp_dir / f"{path.stem}.wtrc",
             fmt=args.trace_format,
-            profile=args.profile,
+            profile=args.content_profile,
         )
         return load_trace(spooled, mmap=True), lambda: shutil.rmtree(
             tmp_dir, ignore_errors=True
@@ -985,13 +1116,14 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
             trace = generate_benchmark_trace(args.benchmark, config.trace_length, config.seed)
         label = args.scheme
     try:
-        results = evaluate_schemes(
-            [encoder],
-            trace,
-            config.evaluation,
-            n_jobs=config.n_jobs,
-            backend=config.backend,
-        )
+        with _observation_scope(args, f"evaluate-{args.scheme}"):
+            results = evaluate_schemes(
+                [encoder],
+                trace,
+                config.evaluation,
+                n_jobs=config.n_jobs,
+                backend=config.backend,
+            )
     finally:
         cleanup()
     metrics = next(iter(results.values()))
@@ -999,10 +1131,35 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     return 0
 
 
+# ---------------------------------------------------------------------- #
+# Profile
+# ---------------------------------------------------------------------- #
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from . import obs
+
+    path = Path(args.path)
+    if not path.is_file():
+        return _fail(f"trace file not found: {path}")
+    try:
+        if path.suffix == ".jsonl":
+            spans, metrics, _meta = obs.read_jsonl(path)
+        else:
+            spans, metrics = obs.read_chrome_trace(path)
+    except (ValueError, OSError) as exc:
+        return _fail(f"cannot parse trace {path}: {exc}")
+    summary = obs.profile_summary(spans, metrics)
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        print(_format_profile(summary))
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point of the ``wlcrc-repro`` console script."""
     parser = _build_parser()
     args = parser.parse_args(argv)
+    _setup_logging(args.log_level)
 
     if args.command == "list":
         print("experiments:")
@@ -1025,13 +1182,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "evaluate":
         return _cmd_evaluate(args)
 
+    if args.command == "profile":
+        return _cmd_profile(args)
+
     experiment_name = args.experiment if args.command == "run" else args.command
     error = _check_array_backend(args.array_backend)
     if error is not None:
         return error
     config = _config_from_args(args)
     try:
-        result = EXPERIMENTS[experiment_name](config)
+        with _observation_scope(args, f"experiment-{experiment_name}"):
+            result = EXPERIMENTS[experiment_name](config)
     except (ReproError, OSError) as exc:
         return _fail(str(exc))
     _print_result(result, args.json)

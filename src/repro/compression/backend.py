@@ -54,6 +54,7 @@ from typing import Any, Callable, Dict, Iterator, Mapping, Optional, Tuple
 import numpy as np
 
 from ..core.errors import ConfigurationError
+from ..obs import timer as _obs_timer
 
 __all__ = [
     "ArrayBackend",
@@ -61,6 +62,7 @@ __all__ = [
     "available_backends",
     "backend_names",
     "get_backend",
+    "kernel_timer",
     "register_backend",
     "set_array_backend",
     "use_array_backend",
@@ -109,6 +111,17 @@ class ArrayBackend:
         """Device-side ``asarray`` convenience (keeps call sites terse)."""
         moved = self.to_device(array)
         return moved if dtype is None else self.xp.asarray(moved, dtype=dtype)
+
+
+def kernel_timer(backend_name: str, kernel: str):
+    """Duration histogram for one kernel dispatch (``kernel_ms{backend,kernel}``).
+
+    Kernel calls are far too frequent for one span each -- a single sweep
+    dispatches millions -- so they aggregate into a histogram instead, which
+    the profile summary reports per ``(backend, kernel)`` pair.  No-op (a
+    shared null context) while no observation is active.
+    """
+    return _obs_timer("kernel_ms", backend=backend_name, kernel=kernel)
 
 
 # --------------------------------------------------------------------------- #

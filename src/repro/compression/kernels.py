@@ -41,7 +41,7 @@ from typing import Iterator, Optional, Sequence
 import numpy as np
 
 from ..core.errors import CompressionError
-from .backend import ArrayBackend, get_backend
+from .backend import ArrayBackend, get_backend, kernel_timer
 
 __all__ = [
     "PackedBits",
@@ -150,11 +150,12 @@ def unpack_fields(
     b = backend or get_backend()
     xp = b.xp
     values = xp.asarray(values, dtype=xp.uint64)
-    kernel = b.compiled.get("unpack_fields")
-    if kernel is not None:
-        return kernel(np.ascontiguousarray(values), width)
-    shifts = xp.arange(width, dtype=xp.uint64)
-    return ((values[..., None] >> shifts) & xp.uint64(1)).astype(xp.uint8)
+    with kernel_timer(b.name, "unpack_fields"):
+        kernel = b.compiled.get("unpack_fields")
+        if kernel is not None:
+            return kernel(np.ascontiguousarray(values), width)
+        shifts = xp.arange(width, dtype=xp.uint64)
+        return ((values[..., None] >> shifts) & xp.uint64(1)).astype(xp.uint8)
 
 
 def pack_fields(bits, backend: Optional[ArrayBackend] = None):
@@ -167,11 +168,12 @@ def pack_fields(bits, backend: Optional[ArrayBackend] = None):
     bits = xp.asarray(bits, dtype=xp.uint64)
     if bits.shape[-1] > 64:
         raise CompressionError("cannot pack more than 64 bits into one field")
-    kernel = b.compiled.get("pack_fields")
-    if kernel is not None:
-        return kernel(np.ascontiguousarray(bits))
-    shifts = xp.arange(bits.shape[-1], dtype=xp.uint64)
-    return (bits << shifts).sum(axis=-1, dtype=xp.uint64)
+    with kernel_timer(b.name, "pack_fields"):
+        kernel = b.compiled.get("pack_fields")
+        if kernel is not None:
+            return kernel(np.ascontiguousarray(bits))
+        shifts = xp.arange(bits.shape[-1], dtype=xp.uint64)
+        return (bits << shifts).sum(axis=-1, dtype=xp.uint64)
 
 
 def compact_segments(
@@ -212,27 +214,28 @@ def compact_segments(
             np.zeros((0, 0), dtype=np.uint8), b.to_host(lengths), compressor
         )
     width = int(lengths.max())
-    kernel = b.compiled.get("compact_fill")
-    if kernel is not None:
-        out = np.zeros((n, width), dtype=np.uint8)
-        kernel(
-            np.ascontiguousarray(seg_bits),
-            np.ascontiguousarray(seg_widths),
-            out,
+    with kernel_timer(b.name, "compact_fill"):
+        kernel = b.compiled.get("compact_fill")
+        if kernel is not None:
+            out = np.zeros((n, width), dtype=np.uint8)
+            kernel(
+                np.ascontiguousarray(seg_bits),
+                np.ascontiguousarray(seg_widths),
+                out,
+            )
+            return PackedBits(out, b.to_host(lengths), compressor)
+        # Row-major selection of the valid bits yields them already ordered by
+        # (line, segment, bit); only the destination columns need computing.
+        valid = xp.arange(max_width, dtype=xp.int64) < seg_widths[..., None]
+        flat = seg_bits[valid]
+        out = xp.zeros((n, width), dtype=xp.uint8)
+        rows = xp.repeat(xp.arange(n, dtype=xp.int64), lengths)
+        starts = xp.concatenate(
+            [xp.zeros(1, dtype=xp.int64), xp.cumsum(lengths, dtype=xp.int64)[:-1]]
         )
-        return PackedBits(out, b.to_host(lengths), compressor)
-    # Row-major selection of the valid bits yields them already ordered by
-    # (line, segment, bit); only the destination columns need computing.
-    valid = xp.arange(max_width, dtype=xp.int64) < seg_widths[..., None]
-    flat = seg_bits[valid]
-    out = xp.zeros((n, width), dtype=xp.uint8)
-    rows = xp.repeat(xp.arange(n, dtype=xp.int64), lengths)
-    starts = xp.concatenate(
-        [xp.zeros(1, dtype=xp.int64), xp.cumsum(lengths, dtype=xp.int64)[:-1]]
-    )
-    cols = xp.arange(flat.shape[0], dtype=xp.int64) - xp.repeat(starts, lengths)
-    out[rows, cols] = flat
-    return PackedBits(b.to_host(out), b.to_host(lengths), compressor)
+        cols = xp.arange(flat.shape[0], dtype=xp.int64) - xp.repeat(starts, lengths)
+        out[rows, cols] = flat
+        return PackedBits(b.to_host(out), b.to_host(lengths), compressor)
 
 
 def hstack_bits(
@@ -278,10 +281,11 @@ def xor_reduce(bits, matrix, backend: Optional[ArrayBackend] = None):
     # for it -- short-circuit to the empty host answer instead.
     if bits.shape[0] == 0:
         return xp.zeros((0, matrix.shape[1]), dtype=xp.uint8)
-    kernel = b.compiled.get("xor_reduce")
-    if kernel is not None:
-        return kernel(np.ascontiguousarray(bits), np.ascontiguousarray(matrix))
-    # uint64 accumulators: popcounts along k can reach k (> 255), so the
-    # matmul must not run in the uint8 input dtype.
-    products = bits.astype(xp.uint64) @ matrix.astype(xp.uint64)
-    return (products & xp.uint64(1)).astype(xp.uint8)
+    with kernel_timer(b.name, "xor_reduce"):
+        kernel = b.compiled.get("xor_reduce")
+        if kernel is not None:
+            return kernel(np.ascontiguousarray(bits), np.ascontiguousarray(matrix))
+        # uint64 accumulators: popcounts along k can reach k (> 255), so the
+        # matmul must not run in the uint8 input dtype.
+        products = bits.astype(xp.uint64) @ matrix.astype(xp.uint64)
+        return (products & xp.uint64(1)).astype(xp.uint8)

@@ -79,6 +79,7 @@ from ..core.disturbance import DEFAULT_DISTURBANCE_MODEL, DisturbanceModel
 from ..compression.backend import use_array_backend
 from ..core.errors import ConfigurationError
 from ..core.metrics import WriteMetrics
+from ..obs import ObsPayload, TaskContext, absorb, collect, count, observe, span, task_context
 from ..traces.transport import TraceDescriptor, TraceExporter, attach_trace
 from ..workloads.trace import ChunkSource, WriteTrace
 from .runner import (
@@ -138,6 +139,9 @@ class _Shard:
     range); the two are mutually exclusive.  ``array_backend`` re-selects the
     parent's kernel backend inside the worker process (the selection is
     thread-local state that does not travel with the fork/spawn).
+    ``obs_ctx`` carries the parent's observation context (when tracing is
+    active at dispatch) so the worker's spans stitch under the dispatching
+    span; it is ``None`` -- and costs nothing -- otherwise.
     """
 
     unit_index: int
@@ -151,35 +155,50 @@ class _Shard:
     start: int = 0
     stop: int = 0
     array_backend: Optional[str] = None
+    obs_ctx: Optional[TaskContext] = None
 
 
-def _evaluate_shard(shard: _Shard) -> Tuple[int, int, List[WriteMetrics]]:
+def _evaluate_shard(
+    shard: _Shard,
+) -> Tuple[int, int, List[WriteMetrics], Optional[ObsPayload]]:
     """Evaluate one shard; runs in a worker process (or inline when serial).
 
     The group is encoded in one ``encode_batch`` call; metrics come back *per
     chunk window* (not pre-merged), so the parent merges every chunk of every
     shard in exactly the serial submission order -- grouping chunks therefore
     cannot change a single float rounding, whatever the group size.
+
+    The fourth element is the worker's observability payload: ``None`` unless
+    the shard ran in a separate process during an active observation, in
+    which case the parent absorbs it in the same submission order as the
+    metrics, keeping the span/metric aggregation deterministic too.
     """
-    chunk = shard.chunk
-    if chunk is None:
-        chunk = attach_trace(shard.descriptor)[shard.start:shard.stop]
-    scope = (
-        use_array_backend(shard.array_backend)
-        if shard.array_backend is not None
-        else nullcontext()
-    )
-    with scope:
-        metrics = list(
-            evaluate_chunk_group(
-                shard.encoder,
-                chunk,
-                shard.streams,
-                shard.chunk_size,
-                shard.disturbance_model,
+    with collect(shard.obs_ctx) as collector:
+        with span(
+            "evaluate_shard",
+            unit=shard.unit_index,
+            chunk=shard.chunk_index,
+            scheme=shard.encoder.name,
+        ):
+            chunk = shard.chunk
+            if chunk is None:
+                chunk = attach_trace(shard.descriptor)[shard.start:shard.stop]
+            scope = (
+                use_array_backend(shard.array_backend)
+                if shard.array_backend is not None
+                else nullcontext()
             )
-        )
-    return shard.unit_index, shard.chunk_index, metrics
+            with scope:
+                metrics = list(
+                    evaluate_chunk_group(
+                        shard.encoder,
+                        chunk,
+                        shard.streams,
+                        shard.chunk_size,
+                        shard.disturbance_model,
+                    )
+                )
+    return shard.unit_index, shard.chunk_index, metrics, collector.payload()
 
 
 @dataclass(frozen=True)
@@ -194,14 +213,19 @@ class _ExportedTrace:
     descriptor: TraceDescriptor
 
 
-def _call_star(task: Tuple[Callable[..., Any], Tuple]) -> Any:
+def _call_star(
+    task: Tuple[Callable[..., Any], Tuple, Optional[TaskContext]],
+) -> Tuple[Any, Optional[ObsPayload]]:
     """Apply ``func(*args)``; module-level so it pickles into workers."""
-    func, args = task
+    func, args, obs_ctx = task
     args = tuple(
         attach_trace(arg.descriptor) if isinstance(arg, _ExportedTrace) else arg
         for arg in args
     )
-    return func(*args)
+    with collect(obs_ctx) as collector:
+        with span("starmap_task", task=getattr(func, "__name__", str(func))):
+            result = func(*args)
+    return result, collector.payload()
 
 
 class ParallelRunner:
@@ -320,6 +344,7 @@ class ParallelRunner:
         self,
         units: Sequence[WorkUnit],
         descriptors: Optional[Sequence[Optional[TraceDescriptor]]] = None,
+        obs_ctx: Optional[TaskContext] = None,
     ) -> Iterator[_Shard]:
         for unit_index, unit in enumerate(units):
             n_chunks = n_chunks_of(unit.trace, unit.config)
@@ -344,6 +369,7 @@ class ParallelRunner:
                         start=start,
                         stop=stop,
                         array_backend=unit.config.array_backend,
+                        obs_ctx=obs_ctx,
                     )
                 else:
                     yield _Shard(
@@ -355,6 +381,7 @@ class ParallelRunner:
                         chunk_size=chunk_size,
                         chunk=unit.trace[start:stop],
                         array_backend=unit.config.array_backend,
+                        obs_ctx=obs_ctx,
                     )
 
     def map(self, units: Sequence[WorkUnit]) -> List[WriteMetrics]:
@@ -377,7 +404,12 @@ class ParallelRunner:
             return self._map_streaming(units)
         per_unit = [WriteMetrics() for _ in units]
         exporter = None
+        map_span = span(
+            "parallel_map", units=len(units), n_jobs=self.n_jobs, backend=self.backend
+        )
         try:
+            map_span.__enter__()
+            obs_ctx = task_context()
             descriptors = None
             total_shards = sum(
                 -(-n_chunks_of(unit.trace, unit.config) // chunk_group_size(unit.config))
@@ -395,11 +427,15 @@ class ParallelRunner:
             ):
                 exporter = self._acquire_exporter()
                 descriptors = [exporter.export(unit.trace) for unit in units]
-            shards = list(self._shards(units, descriptors))
-            for unit_index, _, group_metrics in self._execute(_evaluate_shard, shards):
+            shards = list(self._shards(units, descriptors, obs_ctx))
+            for unit_index, _, group_metrics, payload in self._execute(
+                _evaluate_shard, shards
+            ):
+                absorb(payload)
                 for metrics in group_metrics:
                     per_unit[unit_index].merge(metrics)
         finally:
+            map_span.__exit__(None, None, None)
             if exporter is not None and exporter is not self._exporter:
                 exporter.release()
             elif self._exporter is not None:
@@ -439,46 +475,55 @@ class ParallelRunner:
         """
         per_unit = [WriteMetrics() for _ in units]
 
-        def shards() -> Iterator[_Shard]:
-            for unit_index, unit in enumerate(units):
-                chunk_size = unit.config.chunk_size
-                group_chunks = chunk_group_size(unit.config)
-                buffer: List[WriteTrace] = []
-                first_index = 0
-
-                def group_shard() -> _Shard:
-                    group = (
-                        buffer[0] if len(buffer) == 1 else WriteTrace.concat(buffer)
-                    )
-                    return _Shard(
-                        unit_index=unit_index,
-                        chunk_index=first_index,
-                        encoder=unit.encoder,
-                        disturbance_model=unit.disturbance_model,
-                        streams=tuple(
-                            chunk_stream(unit.config, unit_index, first_index + offset)
-                            for offset in range(len(buffer))
-                        ),
-                        chunk_size=chunk_size,
-                        chunk=group,
-                        array_backend=unit.config.array_backend,
-                    )
-
-                for chunk_index, chunk in enumerate(unit.trace.chunks(chunk_size)):
-                    if not buffer:
-                        first_index = chunk_index
-                    buffer.append(chunk)
-                    if len(buffer) >= group_chunks:
-                        yield group_shard()
-                        buffer = []
-                if buffer:
-                    yield group_shard()
-
-        for unit_index, _, group_metrics in self._execute_windowed(
-            _evaluate_shard, shards()
+        with span(
+            "map_streaming", units=len(units), n_jobs=self.n_jobs, backend=self.backend
         ):
-            for metrics in group_metrics:
-                per_unit[unit_index].merge(metrics)
+            obs_ctx = task_context()
+
+            def shards() -> Iterator[_Shard]:
+                for unit_index, unit in enumerate(units):
+                    chunk_size = unit.config.chunk_size
+                    group_chunks = chunk_group_size(unit.config)
+                    buffer: List[WriteTrace] = []
+                    first_index = 0
+
+                    def group_shard() -> _Shard:
+                        group = (
+                            buffer[0] if len(buffer) == 1 else WriteTrace.concat(buffer)
+                        )
+                        return _Shard(
+                            unit_index=unit_index,
+                            chunk_index=first_index,
+                            encoder=unit.encoder,
+                            disturbance_model=unit.disturbance_model,
+                            streams=tuple(
+                                chunk_stream(
+                                    unit.config, unit_index, first_index + offset
+                                )
+                                for offset in range(len(buffer))
+                            ),
+                            chunk_size=chunk_size,
+                            chunk=group,
+                            array_backend=unit.config.array_backend,
+                            obs_ctx=obs_ctx,
+                        )
+
+                    for chunk_index, chunk in enumerate(unit.trace.chunks(chunk_size)):
+                        if not buffer:
+                            first_index = chunk_index
+                        buffer.append(chunk)
+                        if len(buffer) >= group_chunks:
+                            yield group_shard()
+                            buffer = []
+                    if buffer:
+                        yield group_shard()
+
+            for unit_index, _, group_metrics, payload in self._execute_windowed(
+                _evaluate_shard, shards()
+            ):
+                absorb(payload)
+                for metrics in group_metrics:
+                    per_unit[unit_index].merge(metrics)
         return per_unit
 
     def run(self, units: Sequence[WorkUnit]) -> Dict[Hashable, WriteMetrics]:
@@ -519,23 +564,40 @@ class ParallelRunner:
             and len(tasks) > 1
             and self.transport != "pickle"
         )
-        if not dispatching:
-            return list(self._execute(_call_star, [(func, args) for args in tasks]))
-        exporter = self._acquire_exporter()
-        try:
-            wrapped = [
-                (func, tuple(self._export_arg(arg, exporter) for arg in args))
-                for args in tasks
-            ]
-            return list(self._execute(_call_star, wrapped))
-        finally:
-            if exporter is not self._exporter:
-                exporter.release()
-            elif self._exporter is not None:
-                self._exporter.prune(
-                    id(arg) for args in tasks for arg in args
-                    if isinstance(arg, WriteTrace)
+        with span("starmap", tasks=len(tasks), n_jobs=self.n_jobs, backend=self.backend):
+            obs_ctx = task_context()
+            if not dispatching:
+                return self._collect_star(
+                    self._execute(_call_star, [(func, args, obs_ctx) for args in tasks])
                 )
+            exporter = self._acquire_exporter()
+            try:
+                wrapped = [
+                    (
+                        func,
+                        tuple(self._export_arg(arg, exporter) for arg in args),
+                        obs_ctx,
+                    )
+                    for args in tasks
+                ]
+                return self._collect_star(self._execute(_call_star, wrapped))
+            finally:
+                if exporter is not self._exporter:
+                    exporter.release()
+                elif self._exporter is not None:
+                    self._exporter.prune(
+                        id(arg) for args in tasks for arg in args
+                        if isinstance(arg, WriteTrace)
+                    )
+
+    @staticmethod
+    def _collect_star(results: Iterator[Tuple[Any, Optional[ObsPayload]]]) -> List[Any]:
+        """Unwrap ``_call_star`` results, absorbing worker payloads in order."""
+        values = []
+        for value, payload in results:
+            absorb(payload)
+            values.append(value)
+        return values
 
     @staticmethod
     def _export_arg(arg: Any, exporter: TraceExporter) -> Any:
@@ -625,9 +687,15 @@ class ParallelRunner:
     ) -> Iterator[Any]:
         pending: "deque" = deque()
         for item in items:
-            while len(pending) >= window:
-                yield pending.popleft().result()
+            if len(pending) >= window:
+                # The producer is ahead of the drain: block until the oldest
+                # in-flight task completes (the backpressure that bounds
+                # streaming memory).
+                count("backpressure_stalls")
+                while len(pending) >= window:
+                    yield pending.popleft().result()
             pending.append(executor.submit(worker, item))
+            observe("window_occupancy", len(pending))
         while pending:
             yield pending.popleft().result()
 

@@ -32,6 +32,7 @@ from ..compression.backend import use_array_backend
 from ..core.config import DEFAULT_EVALUATION_CONFIG, EvaluationConfig
 from ..core.disturbance import DEFAULT_DISTURBANCE_MODEL, DisturbanceModel
 from ..core.metrics import WriteMetrics
+from ..obs import count, span
 from ..workloads.trace import WriteTrace
 
 
@@ -123,7 +124,9 @@ def evaluate_chunk_group(
     would, so every float accumulates in the same order.  That is what keeps
     super-batched results bit-identical to the per-chunk path.
     """
-    encoded = encoder.encode_batch(group.new, group.old)
+    with span("encode_batch", scheme=encoder.name, lines=len(group)):
+        encoded = encoder.encode_batch(group.new, group.old)
+    count("lines_encoded", len(group), scheme=encoder.name)
     for index, stream in enumerate(streams):
         start = index * chunk_size
         window = encoded.window(start, min(len(encoded), start + chunk_size))

@@ -1,0 +1,56 @@
+"""`repro.obs` — zero-dependency tracing, metrics, and profiling.
+
+Off by default: every primitive is a no-op until an :func:`observation`
+session is active, so instrumentation stays in the hot paths permanently
+without perturbing benchmarks or bit-identity.
+"""
+
+from .core import (
+    ObsPayload,
+    ObsSession,
+    SpanRecord,
+    TaskContext,
+    absorb,
+    active_session,
+    collect,
+    count,
+    is_active,
+    observation,
+    observe,
+    span,
+    task_context,
+    timer,
+)
+from .export import (
+    merge_jsonl_to_chrome,
+    profile_summary,
+    read_chrome_trace,
+    read_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+    write_session,
+)
+
+__all__ = [
+    "ObsPayload",
+    "ObsSession",
+    "SpanRecord",
+    "TaskContext",
+    "absorb",
+    "active_session",
+    "collect",
+    "count",
+    "is_active",
+    "merge_jsonl_to_chrome",
+    "observation",
+    "observe",
+    "profile_summary",
+    "read_chrome_trace",
+    "read_jsonl",
+    "span",
+    "task_context",
+    "timer",
+    "write_chrome_trace",
+    "write_jsonl",
+    "write_session",
+]

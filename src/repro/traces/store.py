@@ -43,6 +43,7 @@ import numpy as np
 from ..core.errors import TraceError
 from ..core.line import LineBatch
 from ..core.symbols import WORDS_PER_LINE
+from ..obs import count
 from ..workloads.trace import WriteTrace
 
 try:  # POSIX advisory locking for concurrent corpus writers
@@ -757,6 +758,7 @@ class TraceCorpus:
         digest = trace_cache_key(profile, n_lines, seed, GENERATOR_VERSION)
         cached = self.root / "cache" / f"{digest}{TRACE_SUFFIX}"
         generated = not cached.exists()
+        count("corpus_cache", result="miss" if generated else "hit")
         if generated:
             trace = generate_benchmark_trace(profile, n_lines, seed)
             save_trace(trace, cached)

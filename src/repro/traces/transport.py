@@ -35,6 +35,7 @@ import numpy as np
 from ..core.errors import TraceError
 from ..core.line import LineBatch
 from ..core.symbols import WORDS_PER_LINE
+from ..obs import count
 from ..workloads.trace import WriteTrace
 
 try:  # pragma: no cover - exercised implicitly on every supported platform
@@ -206,6 +207,7 @@ class TraceExporter:
         key = id(trace)
         cached = self._by_trace.get(key)
         if cached is not None:
+            count("trace_export_reused")
             return cached[1]
         descriptor: Optional[TraceDescriptor] = None
         segment = None
@@ -213,6 +215,16 @@ class TraceExporter:
             descriptor = self._mmap_descriptor(trace)
         if descriptor is None and self.policy in ("auto", "shm"):
             descriptor, segment = self._shm_export(trace)
+        if isinstance(descriptor, ShmTraceDescriptor):
+            count("trace_export", kind="shm")
+            count(
+                "shm_export_bytes",
+                _segment_bytes(descriptor.n_lines, descriptor.has_addresses),
+            )
+        elif isinstance(descriptor, MmapTraceDescriptor):
+            count("trace_export", kind="mmap")
+        else:
+            count("trace_export", kind="pickle")
         self._by_trace[key] = (trace, descriptor, segment)
         return descriptor
 
@@ -304,7 +316,9 @@ def attach_trace(descriptor: TraceDescriptor) -> WriteTrace:
     cached = _ATTACHED.get(descriptor)
     if cached is not None:
         _ATTACHED.move_to_end(descriptor)
+        count("trace_attach", result="hit")
         return cached[1]
+    count("trace_attach", result="miss")
     if isinstance(descriptor, ShmTraceDescriptor):
         handle, trace = _attach_shm(descriptor)
     elif isinstance(descriptor, MmapTraceDescriptor):

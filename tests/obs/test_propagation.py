@@ -1,0 +1,125 @@
+"""Cross-process/thread span propagation and metric aggregation.
+
+The matrix mirrors the engine's own bit-identity contract: every
+``(n_jobs, backend)`` combination must produce (a) one stitched span tree
+with no orphan parents, (b) identical aggregated metrics, and (c) results
+bit-identical to an uninstrumented run -- observability rides alongside the
+seeded RNG streams, never inside them.
+"""
+
+import os
+
+import pytest
+
+from repro.coding import make_scheme
+from repro.core.config import EvaluationConfig
+from repro.evaluation.runner import evaluate_schemes
+from repro.obs import observation
+from repro.workloads.generator import generate_benchmark_trace
+
+#: 256 lines at chunk_size=32 -> 8 shards per unit, so 4-worker pools
+#: genuinely fan out.
+CONFIG = EvaluationConfig(chunk_size=32)
+
+#: serial inline path, multi-process pool, GIL-released thread pool.
+MATRIX = [
+    pytest.param(1, "process", id="serial"),
+    pytest.param(4, "process", id="process-4"),
+    pytest.param(1, "thread", id="thread-1"),
+    pytest.param(4, "thread", id="thread-4"),
+]
+
+
+def _run_observed(trace, n_jobs, backend):
+    encoder = make_scheme("din")
+    with observation(f"test-{backend}-{n_jobs}") as session:
+        results = evaluate_schemes(
+            [encoder], trace, CONFIG, n_jobs=n_jobs, backend=backend
+        )
+    return results, session
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_benchmark_trace("gcc", length=256, seed=7)
+
+
+@pytest.fixture(scope="module")
+def reference(trace):
+    """Uninstrumented serial run: the bit-identity baseline."""
+    return evaluate_schemes([make_scheme("din")], trace, CONFIG, n_jobs=1)
+
+
+class TestPropagationMatrix:
+    @pytest.mark.parametrize("n_jobs, backend", MATRIX)
+    def test_span_tree_stitches_with_no_orphans(self, trace, n_jobs, backend):
+        _, session = _run_observed(trace, n_jobs, backend)
+        ids = {record.span_id for record in session.spans}
+        roots = [r for r in session.spans if r.parent_id is None]
+        assert len(roots) == 1, "one observation -> one root"
+        orphans = [
+            r for r in session.spans if r.parent_id is not None and r.parent_id not in ids
+        ]
+        assert orphans == []
+
+    @pytest.mark.parametrize("n_jobs, backend", MATRIX)
+    def test_worker_spans_cover_every_shard(self, trace, n_jobs, backend):
+        _, session = _run_observed(trace, n_jobs, backend)
+        shard_spans = [r for r in session.spans if r.name == "evaluate_shard"]
+        assert len(shard_spans) == 8  # 256 lines / chunk_size 32
+        chunks = sorted(r.attrs["chunk"] for r in shard_spans)
+        assert chunks == list(range(8))
+        map_span = next(r for r in session.spans if r.name == "parallel_map")
+        assert all(r.parent_id == map_span.span_id for r in shard_spans)
+        assert map_span.attrs["backend"] == backend
+        assert map_span.attrs["n_jobs"] == n_jobs
+
+    def test_process_backend_spans_come_from_worker_pids(self, trace):
+        _, session = _run_observed(trace, 4, "process")
+        shard_pids = {r.pid for r in session.spans if r.name == "evaluate_shard"}
+        assert shard_pids and os.getpid() not in shard_pids
+
+    def test_thread_backend_records_in_parent_process(self, trace):
+        _, session = _run_observed(trace, 4, "thread")
+        assert {r.pid for r in session.spans} == {os.getpid()}
+
+    @pytest.mark.parametrize("n_jobs, backend", MATRIX)
+    def test_metrics_aggregate_identically(self, trace, n_jobs, backend):
+        _, session = _run_observed(trace, n_jobs, backend)
+        snapshot = session.metrics.snapshot()
+        assert snapshot["lines_encoded{scheme=din}"]["value"] == 256
+        kernel_keys = [k for k in snapshot if k.startswith("kernel_ms{")]
+        assert kernel_keys, "kernel timers must fire under observation"
+
+    @pytest.mark.parametrize("n_jobs, backend", MATRIX)
+    def test_bit_identity_vs_uninstrumented(self, trace, reference, n_jobs, backend):
+        results, _ = _run_observed(trace, n_jobs, backend)
+        assert results == reference  # exact dataclass equality, no approx
+
+    @pytest.mark.parametrize("n_jobs, backend", MATRIX)
+    def test_starmap_tasks_stitch_and_match_serial(self, trace, n_jobs, backend):
+        from repro.evaluation.parallel import ParallelRunner
+        from repro.evaluation.sweeps import compression_coverage
+
+        reference = compression_coverage(
+            {"gcc": trace}, wlc_k_values=(4, 8), runner=ParallelRunner(n_jobs=1)
+        )
+        runner = ParallelRunner(n_jobs=n_jobs, backend=backend)
+        with observation("sweep") as session:
+            observed = compression_coverage(
+                {"gcc": trace}, wlc_k_values=(4, 8), runner=runner
+            )
+        assert observed == reference
+        tasks = [r for r in session.spans if r.name == "starmap_task"]
+        assert tasks, "every coverage cell must record a task span"
+        starmap_span = next(r for r in session.spans if r.name == "starmap")
+        assert all(r.parent_id == starmap_span.span_id for r in tasks)
+
+    def test_disabled_runs_record_nothing(self, trace):
+        from repro.obs import is_active
+
+        results = evaluate_schemes(
+            [make_scheme("din")], trace, CONFIG, n_jobs=4, backend="process"
+        )
+        assert not is_active()
+        assert results is not None

@@ -286,7 +286,9 @@ class TestTraceCommands:
         assert json.loads(capsys.readouterr().out) == direct
 
     def test_evaluate_ascii_trace_unknown_profile(self, capsys):
-        assert main(["evaluate", "--trace", str(SAMPLE_TRACE), "--profile", "nope"]) == 2
+        assert main(
+            ["evaluate", "--trace", str(SAMPLE_TRACE), "--content-profile", "nope"]
+        ) == 2
         assert "unknown profile" in capsys.readouterr().err
 
 
@@ -441,3 +443,109 @@ class TestBenchCommands:
     def test_bench_unknown_dir(self, capsys):
         assert main(["bench", "ls", "--bench-dir", "/no/such/dir"]) == 2
         assert "benchmark directory" in capsys.readouterr().err
+
+
+class TestObservability:
+    """--profile / --trace-out plumbing and the `profile` subcommand."""
+
+    def _evaluate(self, extra):
+        return main(
+            ["evaluate", "--scheme", "baseline", "--benchmark", "gcc",
+             "--trace-length", "64", "--json", *extra]
+        )
+
+    def test_profile_flag_prints_summary_to_stderr(self, capsys):
+        assert self._evaluate(["--profile"]) == 0
+        captured = capsys.readouterr()
+        json.loads(captured.out)  # stdout stays pure JSON
+        assert "Span summary" in captured.err
+        assert "evaluate_shard" in captured.err
+
+    def test_trace_out_writes_chrome_trace(self, capsys, tmp_path):
+        out = tmp_path / "eval.trace.json"
+        assert self._evaluate(["--trace-out", str(out)]) == 0
+        document = json.loads(out.read_text())
+        events = [e for e in document["traceEvents"] if e["ph"] == "X"]
+        assert events, "trace must contain complete events"
+        assert {"evaluate-baseline", "parallel_map"} <= {e["name"] for e in events}
+
+    def test_trace_out_jsonl_suffix_selects_span_log(self, capsys, tmp_path):
+        out = tmp_path / "eval.trace.jsonl"
+        assert self._evaluate(["--trace-out", str(out)]) == 0
+        first = json.loads(out.read_text().splitlines()[0])
+        assert first["type"] == "meta"
+
+    def test_observability_off_is_output_identical(self, capsys, tmp_path):
+        assert self._evaluate([]) == 0
+        plain = capsys.readouterr()
+        assert self._evaluate(["--trace-out", str(tmp_path / "t.json")]) == 0
+        traced = capsys.readouterr()
+        assert json.loads(traced.out) == json.loads(plain.out)
+
+    def test_profile_command_reads_both_formats(self, capsys, tmp_path):
+        chrome = tmp_path / "eval.trace.json"
+        jsonl = tmp_path / "eval.trace.jsonl"
+        assert self._evaluate(["--trace-out", str(chrome)]) == 0
+        assert self._evaluate(["--trace-out", str(jsonl)]) == 0
+        capsys.readouterr()
+        assert main(["profile", str(chrome)]) == 0
+        assert "Span summary" in capsys.readouterr().out
+        assert main(["profile", str(jsonl), "--json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert "parallel_map" in summary["spans"]
+        assert summary["metrics"]["lines_encoded{scheme=baseline}"] == 64
+
+    def test_profile_command_missing_file(self, capsys, tmp_path):
+        assert main(["profile", str(tmp_path / "nope.json")]) == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_profile_command_unparseable_file(self, capsys, tmp_path):
+        bad = tmp_path / "bad.trace.json"
+        bad.write_text("not json")
+        assert main(["profile", str(bad)]) == 2
+        assert "cannot parse" in capsys.readouterr().err
+
+    def test_bench_run_profile_emits_trace_artifacts(self, capsys, tmp_path):
+        suite = tmp_path / "suite"
+        suite.mkdir()
+        (suite / "bench_mini.py").write_text(TestBenchCommands.FIXTURE)
+        results = tmp_path / "results"
+        assert main(["bench", "run", "--bench-dir", str(suite),
+                     "--results", str(results), "--profile", "--json",
+                     "--no-trajectory"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["trace"] == str(results / "BENCH_shard_1of1.trace.jsonl")
+        assert "bench_function" in payload["profile"]["spans"]
+
+    def test_bench_compare_diagnostics_go_to_stderr(self, capsys, tmp_path):
+        """Gate failure: exit 1, table on stdout, diagnostics on stderr only."""
+        suite = tmp_path / "suite"
+        suite.mkdir()
+        (suite / "bench_gated.py").write_text(
+            "from repro.bench import BenchSpec, Gate, write_json\n"
+            "BENCHMARK = BenchSpec(figure='gated', title='Gated', cost=1.0,\n"
+            "    perf_artifacts=('BENCH_gated.json',),\n"
+            "    gates=(Gate(artifact='BENCH_gated.json', metric='speed',\n"
+            "                direction='higher', tolerance_pct=10.0),))\n"
+            "def bench_gated(benchmark):\n"
+            "    write_json('gated', {'speed': 100.0})\n"
+        )
+        results = tmp_path / "results"
+        baselines = tmp_path / "baselines"
+        assert main(["bench", "run", "--bench-dir", str(suite),
+                     "--results", str(results), "--no-trajectory"]) == 0
+        assert main(["bench", "compare", "--bench-dir", str(suite),
+                     "--results", str(results), "--baselines", str(baselines),
+                     "--update"]) == 0
+        # fake a regression: halve the recorded metric
+        gated = results / "BENCH_gated.json"
+        payload = json.loads(gated.read_text())
+        payload["speed"] = 10.0
+        gated.write_text(json.dumps(payload))
+        capsys.readouterr()
+        assert main(["--log-level", "error", "bench", "compare",
+                     "--bench-dir", str(suite), "--results", str(results),
+                     "--baselines", str(baselines)]) == 1
+        captured = capsys.readouterr()
+        assert "regression" in captured.out  # status column in the table
+        assert "FAILED" not in captured.out  # diagnostics never on stdout
