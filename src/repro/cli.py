@@ -464,6 +464,16 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
         "large values feed compiled/GPU backends better)",
     )
     parser.add_argument(
+        "--fused-tile-lines",
+        type=int,
+        default=8192,
+        metavar="LINES",
+        help="tile size of the fused encode+metrics path: chunk groups "
+        "larger than this are encoded tile by tile with metrics accumulated "
+        "in the same pass, bounding peak memory (results stay bit-identical; "
+        "0 disables tiling; default: 8192)",
+    )
+    parser.add_argument(
         "--trace-dir",
         default=None,
         metavar="DIR",
@@ -504,6 +514,7 @@ def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         trace_cache_budget=args.trace_cache_budget,
         array_backend=args.array_backend,
         superbatch_size=args.superbatch,
+        fused_tile_lines=args.fused_tile_lines if args.fused_tile_lines > 0 else None,
     )
 
 

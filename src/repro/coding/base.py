@@ -27,7 +27,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -109,6 +109,15 @@ class WriteEncoder(ABC):
 
     #: Scheme identifier used by the registry, reports and benches.
     name: str = "encoder"
+
+    #: Whether the evaluation layer may drive this encoder through the fused
+    #: tiled encode+metrics path (``repro.evaluation.runner
+    #: .encode_metrics_batch``).  Opting in asserts that encoding is strictly
+    #: *per line* -- encoding any subset of a batch yields exactly the rows a
+    #: full-batch encode would -- which is what makes tile-wise encoding
+    #: bit-identical to a single super-batch encode.  Encoders with cross-line
+    #: state must leave this ``False`` to keep the materialising path.
+    supports_fused_metrics: bool = False
 
     def __init__(self, energy_model: EnergyModel = DEFAULT_ENERGY_MODEL):
         self.energy_model = energy_model
@@ -253,11 +262,44 @@ def select_states_per_block(
     return gathered[..., 0]
 
 
+def _per_candidate_energy_cells(
+    candidate: np.ndarray,
+    stored_states: np.ndarray,
+    weights: np.ndarray,
+    active_cells: int,
+) -> np.ndarray:
+    """Per-cell differential-write energy of ONE candidate (``(n, cells)``).
+
+    Cells at or past ``active_cells`` cost 0 (the WLC auxiliary region).
+    Dispatches to the active backend's fused ``diff_energy_cells`` kernel
+    when available; the numpy fallback computes the identical elementwise
+    values (gather x 1.0/0.0 mask), so both are bit-identical.
+    """
+    from ..compression.backend import get_backend, kernel_timer
+
+    backend = get_backend()
+    kernel = backend.compiled.get("diff_energy_cells")
+    if (
+        kernel is not None
+        and candidate.dtype == np.uint8
+        and stored_states.dtype == np.uint8
+        and candidate.flags.c_contiguous
+        and stored_states.flags.c_contiguous
+    ):
+        with kernel_timer(backend.name, "diff_energy_cells"):
+            return kernel(candidate, stored_states, weights, active_cells)
+    per_cell = weights[candidate] * (candidate != stored_states)
+    if active_cells < candidate.shape[1]:
+        per_cell[:, active_cells:] = 0.0
+    return per_cell
+
+
 def block_energy_costs(
     candidate_states: np.ndarray,
     stored_states: np.ndarray,
     energy_model: EnergyModel,
     block_cells: int,
+    active_cells: Optional[int] = None,
 ) -> np.ndarray:
     """Differential-write energy of every block under every candidate.
 
@@ -271,22 +313,71 @@ def block_energy_costs(
         Cell energy model.
     block_cells:
         Number of cells per encoding block.
+    active_cells:
+        Cells per row that carry coset-encoded data; cells at or past this
+        index contribute zero cost (WLC's reclaimed auxiliary region).
+        Defaults to every cell.
 
     Returns
     -------
     numpy.ndarray
         ``(k, n, blocks)`` float array of per-block write energies.
+
+    Notes
+    -----
+    The candidate axis is processed one candidate at a time, so the float64
+    per-cell temporary is ``(n, cells)`` instead of ``(k, n, cells)`` --
+    peak memory per sweep drops by ``1/k`` with bit-identical results: each
+    output element reduces the same ``block_cells`` contiguous floats with
+    the same numpy ``.sum`` regardless of how the candidate axis is walked.
     """
     k, n, cells = candidate_states.shape
-    changed = candidate_states != stored_states[None, :, :]
-    per_cell = energy_model.write_energy_per_state[candidate_states] * changed
-    return per_cell.reshape(k, n, cells // block_cells, block_cells).sum(axis=-1)
+    active = cells if active_cells is None else active_cells
+    weights = energy_model.write_energy_per_state
+    costs = np.empty((k, n, cells // block_cells), dtype=np.float64)
+    for index in range(k):
+        per_cell = _per_candidate_energy_cells(
+            candidate_states[index], stored_states, weights, active
+        )
+        costs[index] = per_cell.reshape(n, cells // block_cells, block_cells).sum(axis=-1)
+    return costs
 
 
 def block_flip_costs(
-    candidate_states: np.ndarray, stored_states: np.ndarray, block_cells: int
+    candidate_states: np.ndarray,
+    stored_states: np.ndarray,
+    block_cells: int,
+    active_cells: Optional[int] = None,
 ) -> np.ndarray:
-    """Number of rewritten cells per block under every candidate (endurance cost)."""
+    """Number of rewritten cells per block under every candidate (endurance cost).
+
+    Like :func:`block_energy_costs` this walks the candidate axis one
+    candidate at a time (bounding the temporary at ``(n, cells)``) and
+    dispatches to the backend's ``flip_blocks`` kernel when one is
+    available; counts are exact integers, so any evaluation order is
+    bit-identical.
+    """
+    from ..compression.backend import get_backend, kernel_timer
+
     k, n, cells = candidate_states.shape
-    changed = candidate_states != stored_states[None, :, :]
-    return changed.reshape(k, n, cells // block_cells, block_cells).sum(axis=-1)
+    active = cells if active_cells is None else active_cells
+    backend = get_backend()
+    kernel = backend.compiled.get("flip_blocks")
+    flips = np.empty((k, n, cells // block_cells), dtype=np.int64)
+    for index in range(k):
+        candidate = candidate_states[index]
+        if (
+            kernel is not None
+            and candidate.dtype == np.uint8
+            and stored_states.dtype == np.uint8
+            and candidate.flags.c_contiguous
+            and stored_states.flags.c_contiguous
+        ):
+            with kernel_timer(backend.name, "flip_blocks"):
+                flips[index] = kernel(candidate, stored_states, block_cells, active)
+        else:
+            changed = candidate != stored_states
+            if active < cells:
+                changed[:, active:] = False
+            flips[index] = changed.reshape(n, cells // block_cells, block_cells).sum(axis=-1)
+    return flips

@@ -41,7 +41,7 @@ from ..core.symbols import (
     symbols_to_words,
     words_to_symbols,
 )
-from .base import WriteEncoder
+from .base import WriteEncoder, block_energy_costs, block_flip_costs
 
 #: Flag-cell state marking a compressed (encoded) line.
 FLAG_COMPRESSED_STATE = 0
@@ -51,6 +51,11 @@ FLAG_RAW_STATE = 1
 
 class WLCWordEncoderBase(WriteEncoder):
     """Base class of the word-level compressed coset encoders."""
+
+    # Compressibility, candidate selection and the raw fallback are all
+    # decided per line, so tiled fused-metrics evaluation is bit-identical
+    # to a batch encode (covers WLCRC and the WLC+cosets variants).
+    supports_fused_metrics = True
 
     def __init__(
         self,
@@ -151,16 +156,33 @@ class WLCWordEncoderBase(WriteEncoder):
         word_symbols = symbols.reshape(n, WORDS_PER_LINE, SYMBOLS_PER_WORD)
         stored_words = stored_data.reshape(n, WORDS_PER_LINE, SYMBOLS_PER_WORD)
         candidate_states = self.candidates[:, word_symbols]  # (k, n, 8, 32)
-        changed = candidate_states != stored_words[None]
-        weights = self.energy_model.write_energy_per_state
-        per_cell_cost = weights[candidate_states] * changed
-        per_cell_flip = changed.astype(np.float64)
-        # Auxiliary-region cells are not coset-encoded; exclude them from the choice.
-        per_cell_cost[..., self.data_region_cells:] = 0.0
-        per_cell_flip[..., self.data_region_cells:] = 0.0
-        shape = per_cell_cost.shape[:3] + (self.blocks_per_word, self.block_cells)
-        block_costs = per_cell_cost.reshape(shape).sum(axis=-1)
-        block_flips = per_cell_flip.reshape(shape).sum(axis=-1)
+        # Per-block costs/flips via the shared per-candidate sweep helpers:
+        # words become independent rows of a (k, n*8, 32) view, the auxiliary
+        # region is excluded through active_cells, and the candidate axis is
+        # walked one candidate at a time -- bounding the float temporary at
+        # one candidate's worth.  The per-cell values and the per-block
+        # reductions are elementwise/layout-identical to the historical
+        # inline expressions, so results are bit-identical; flips are exact
+        # 0/1 sums, so the int64 count cast to float64 matches the float sum.
+        k = candidate_states.shape[0]
+        shape = (k, n, WORDS_PER_LINE, self.blocks_per_word)
+        flat_candidates = candidate_states.reshape(k, n * WORDS_PER_LINE, SYMBOLS_PER_WORD)
+        flat_stored = np.ascontiguousarray(
+            stored_words.reshape(n * WORDS_PER_LINE, SYMBOLS_PER_WORD)
+        )
+        block_costs = block_energy_costs(
+            flat_candidates,
+            flat_stored,
+            self.energy_model,
+            self.block_cells,
+            active_cells=self.data_region_cells,
+        ).reshape(shape)
+        block_flips = block_flip_costs(
+            flat_candidates,
+            flat_stored,
+            self.block_cells,
+            active_cells=self.data_region_cells,
+        ).astype(np.float64).reshape(shape)
 
         stored_aux_values = self._stored_aux_values(stored_words)
         choice, aux_values = self._select_candidates(block_costs, block_flips, stored_aux_values)

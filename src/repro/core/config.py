@@ -93,6 +93,16 @@ class EvaluationConfig:
     #: coalescing (one ``encode_batch`` call per chunk, the historical
     #: behaviour).
     superbatch_size: Optional[int] = None
+    #: Tile size (in lines) of the fused encode+metrics path.  When a chunk
+    #: group is larger than this, encoders that opt in
+    #: (``WriteEncoder.supports_fused_metrics``) are driven tile by tile --
+    #: each tile is encoded, its per-chunk-window metrics accumulated, and
+    #: its states discarded before the next tile -- so peak memory is bounded
+    #: by the tile instead of the super-batch while results stay bit-identical
+    #: (tiles align to chunk windows and encoding is per line).  ``None`` or
+    #: a non-positive value disables tiling (the materialising reference
+    #: path).  The value is rounded up to whole chunks.
+    fused_tile_lines: Optional[int] = 8192
 
     def with_trace_length(self, trace_length: int) -> "EvaluationConfig":
         """Copy of this config with a different trace length."""

@@ -106,9 +106,40 @@ class DisturbanceModel:
             Float array of shape ``(...,)`` with the expected error count of
             each line.
         """
+        return self.expected_errors_per_cell(stored_states, changed).sum(axis=-1)
+
+    def expected_errors_per_cell(
+        self, stored_states: np.ndarray, changed: np.ndarray
+    ) -> np.ndarray:
+        """Per-cell expected disturbance errors (the summand of
+        :meth:`expected_errors`).
+
+        Routed through the active array backend's ``disturb_cells`` kernel
+        when one is available: the kernel fuses the neighbour test, the
+        vulnerability mask and the rate gather into a single pass, and is
+        elementwise-exact, so every backend produces bit-identical cells.
+        The order-sensitive float reduction stays in the caller's numpy
+        ``.sum``, shared by all paths.
+        """
+        stored_states = np.asarray(stored_states)
+        changed = np.asarray(changed, dtype=bool)
+        if stored_states.shape != changed.shape:
+            raise ValueError("stored_states and changed must have the same shape")
+        from ..compression.backend import get_backend, kernel_timer
+
+        backend = get_backend()
+        kernel = backend.compiled.get("disturb_cells")
+        if (
+            kernel is not None
+            and stored_states.ndim == 2
+            and stored_states.dtype == np.uint8
+            and stored_states.flags.c_contiguous
+            and changed.flags.c_contiguous
+        ):
+            with kernel_timer(backend.name, "disturb_cells"):
+                return kernel(stored_states, changed, self.rate_per_state)
         vulnerable = self.vulnerable_mask(stored_states, changed)
-        per_cell = self.rate_per_state[np.asarray(stored_states)] * vulnerable
-        return per_cell.sum(axis=-1)
+        return self.rate_per_state[stored_states] * vulnerable
 
     def sample_errors(
         self,

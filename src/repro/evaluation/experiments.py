@@ -84,6 +84,11 @@ class ExperimentConfig:
     #: many lines (see :class:`repro.core.config.EvaluationConfig`).  Results
     #: are bit-identical for any value, so the caches ignore it too.
     superbatch_size: Optional[int] = None
+    #: Tile size (in lines) of the fused encode+metrics path (see
+    #: :class:`repro.core.config.EvaluationConfig`).  Bit-identical to the
+    #: materialising path, so the caches ignore it -- it only bounds peak
+    #: memory when super-batched chunk groups outgrow one tile.
+    fused_tile_lines: Optional[int] = 8192
 
     @property
     def evaluation(self) -> EvaluationConfig:
@@ -94,6 +99,7 @@ class ExperimentConfig:
             seed=self.seed,
             array_backend=self.array_backend,
             superbatch_size=self.superbatch_size,
+            fused_tile_lines=self.fused_tile_lines,
         )
 
 

@@ -156,6 +156,9 @@ class _Shard:
     stop: int = 0
     array_backend: Optional[str] = None
     obs_ctx: Optional[TaskContext] = None
+    #: ``config.fused_tile_lines`` of the owning unit -- lets the worker
+    #: route an over-tile-sized group through the fused encode+metrics path.
+    tile_lines: Optional[int] = None
 
 
 def _evaluate_shard(
@@ -196,6 +199,7 @@ def _evaluate_shard(
                         shard.streams,
                         shard.chunk_size,
                         shard.disturbance_model,
+                        tile_lines=shard.tile_lines,
                     )
                 )
     return shard.unit_index, shard.chunk_index, metrics, collector.payload()
@@ -370,6 +374,7 @@ class ParallelRunner:
                         stop=stop,
                         array_backend=unit.config.array_backend,
                         obs_ctx=obs_ctx,
+                        tile_lines=unit.config.fused_tile_lines,
                     )
                 else:
                     yield _Shard(
@@ -382,6 +387,7 @@ class ParallelRunner:
                         chunk=unit.trace[start:stop],
                         array_backend=unit.config.array_backend,
                         obs_ctx=obs_ctx,
+                        tile_lines=unit.config.fused_tile_lines,
                     )
 
     def map(self, units: Sequence[WorkUnit]) -> List[WriteMetrics]:
@@ -506,6 +512,7 @@ class ParallelRunner:
                             chunk=group,
                             array_backend=unit.config.array_backend,
                             obs_ctx=obs_ctx,
+                            tile_lines=unit.config.fused_tile_lines,
                         )
 
                     for chunk_index, chunk in enumerate(unit.trace.chunks(chunk_size)):

@@ -22,17 +22,18 @@ exact serial path.
 
 from __future__ import annotations
 
+import tracemalloc
 from contextlib import nullcontext
 from typing import Dict, Iterator, List, Mapping, Optional, Sequence
 
 import numpy as np
 
 from ..coding.base import EncodedBatch, WriteEncoder
-from ..compression.backend import use_array_backend
+from ..compression.backend import get_backend, kernel_timer, use_array_backend
 from ..core.config import DEFAULT_EVALUATION_CONFIG, EvaluationConfig
 from ..core.disturbance import DEFAULT_DISTURBANCE_MODEL, DisturbanceModel
 from ..core.metrics import WriteMetrics
-from ..obs import count, span
+from ..obs import count, gauge, is_active, peak_rss_bytes, span
 from ..workloads.trace import WriteTrace
 
 
@@ -57,10 +58,22 @@ def metrics_from_encoded(
     changed = encoded.changed
     energy = encoder.energy_model.cell_write_energy(encoded.states, changed)
     aux = encoded.aux_mask
-    data_energy = float(np.where(aux, 0.0, energy).sum())
-    aux_energy = float(np.where(aux, energy, 0.0).sum())
-    updated_data = float(np.where(aux, False, changed).sum())
-    updated_aux = float(np.where(aux, changed, False).sum())
+    # One masked-multiply pass replaces the historical pair of np.where
+    # full-array scans.  Bit-identical: ``energy * aux`` equals
+    # ``np.where(aux, energy, 0.0)`` elementwise (bool -> 1.0/0.0, energies
+    # are finite and non-negative), and ``energy - energy*aux`` equals
+    # ``np.where(aux, 0.0, energy)`` elementwise (e - e == +0.0 exactly);
+    # identical elementwise values in identically shaped C-order arrays sum
+    # through the same pairwise tree to the same bits.
+    aux_cells = energy * aux
+    aux_energy = float(aux_cells.sum())
+    np.subtract(energy, aux_cells, out=aux_cells)
+    data_energy = float(aux_cells.sum())
+    # Cell counts are exact integers, so any summation grouping matches the
+    # historical np.where(...).sum() values bit for bit.
+    changed_aux = changed & aux
+    updated_aux = float(changed_aux.sum())
+    updated_data = float((changed & ~aux).sum())
     if rng is None:
         disturbance = float(
             disturbance_model.expected_errors(encoded.old_states, changed).sum()
@@ -105,12 +118,93 @@ def array_backend_scope(config: EvaluationConfig):
     return use_array_backend(config.array_backend)
 
 
+def fused_tile_size(tile_lines: Optional[int], chunk_size: int) -> Optional[int]:
+    """Normalise a ``fused_tile_lines`` request to whole chunk windows.
+
+    Returns ``None`` when tiling is disabled (``None`` or non-positive);
+    otherwise the requested line count rounded *up* to a multiple of
+    ``chunk_size``, so every chunk window -- and therefore every per-chunk
+    RNG stream -- lies entirely inside one tile.
+    """
+    if tile_lines is None or tile_lines <= 0:
+        return None
+    return max(1, -(-tile_lines // chunk_size)) * chunk_size
+
+
+def _record_peak_memory() -> None:
+    """Gauge this process's peak memory (no-op unless observing).
+
+    ``peak_rss_bytes`` max-merges across worker processes into the run-wide
+    peak; the tracemalloc gauge only exists when the caller (e.g. the
+    streaming-ingest bench) already traces allocations.
+    """
+    if not is_active():
+        return
+    rss = peak_rss_bytes()
+    if rss is not None:
+        gauge("peak_rss_bytes", rss)
+    if tracemalloc.is_tracing():
+        _, peak = tracemalloc.get_traced_memory()
+        gauge("tracemalloc_peak_bytes", float(peak))
+
+
+def encode_metrics_batch(
+    encoder: WriteEncoder,
+    group: WriteTrace,
+    streams: Sequence[Optional[np.random.SeedSequence]],
+    chunk_size: int,
+    disturbance_model: DisturbanceModel = DEFAULT_DISTURBANCE_MODEL,
+    tile_lines: int = 8192,
+) -> Iterator[WriteMetrics]:
+    """Fused encode+metrics: walk ``group`` in tiles, never materialising it.
+
+    The tiled candidate-evaluation path: each tile of ``tile_lines`` lines
+    (rounded up to whole chunk windows) is encoded on its own, its
+    per-chunk-window metrics are accumulated in the same pass, and its
+    states are dropped before the next tile is touched -- so peak memory is
+    bounded by the tile size while the full-batch ``EncodedBatch`` (and the
+    per-candidate sweep temporaries inside the encoders, already bounded to
+    one candidate by :func:`repro.coding.base.block_energy_costs`) never
+    exist at super-batch scale.
+
+    Bit-identity with the materialising path follows from three facts: the
+    opted-in encoders (``WriteEncoder.supports_fused_metrics``) encode
+    strictly per line, so a tile's rows equal the same rows of a full-batch
+    encode; tiles are aligned to chunk windows, so window ``i`` still spans
+    one contiguous same-shape slice and draws from ``streams[i]`` exactly as
+    before; and the metric reduction is the shared
+    :func:`metrics_from_encoded` either way.
+    """
+    tile = fused_tile_size(tile_lines, chunk_size)
+    if tile is None:
+        raise ValueError("encode_metrics_batch needs a positive tile_lines")
+    backend_name = get_backend().name
+    n_tiles = -(-len(group) // tile) if len(group) else 0
+    with span(
+        "encode_metrics_batch", scheme=encoder.name, lines=len(group), tiles=n_tiles
+    ):
+        for index, stream in enumerate(streams):
+            start = index * chunk_size
+            if start % tile == 0:
+                tile_stop = min(len(group), start + tile)
+                with kernel_timer(backend_name, "fused_tile"):
+                    tile_trace = group[start:tile_stop]
+                    encoded = encoder.encode_batch(tile_trace.new, tile_trace.old)
+                count("lines_encoded", len(encoded), scheme=encoder.name)
+            local = start % tile
+            window = encoded.window(local, min(len(encoded), local + chunk_size))
+            rng = np.random.default_rng(stream) if stream is not None else None
+            yield metrics_from_encoded(window, encoder, disturbance_model, rng)
+    _record_peak_memory()
+
+
 def evaluate_chunk_group(
     encoder: WriteEncoder,
     group: WriteTrace,
     streams: Sequence[Optional[np.random.SeedSequence]],
     chunk_size: int,
     disturbance_model: DisturbanceModel = DEFAULT_DISTURBANCE_MODEL,
+    tile_lines: Optional[int] = None,
 ) -> Iterator[WriteMetrics]:
     """Encode a coalesced chunk group once; yield per-chunk-window metrics.
 
@@ -123,7 +217,25 @@ def evaluate_chunk_group(
     window's arrays have the same shape and layout a standalone chunk's
     would, so every float accumulates in the same order.  That is what keeps
     super-batched results bit-identical to the per-chunk path.
+
+    When ``tile_lines`` is set, the group is larger than one tile, and the
+    encoder opts in via ``supports_fused_metrics``, the call is routed
+    through the fused tiled path (:func:`encode_metrics_batch`) instead --
+    metrics are bit-identical, only the peak memory changes.  The
+    materialising path below stays both the fallback (encoders without the
+    flag, tiling disabled, group already tile-sized) and the reference
+    oracle the fused property tests compare against.
     """
+    tile = fused_tile_size(tile_lines, chunk_size)
+    if (
+        tile is not None
+        and encoder.supports_fused_metrics
+        and len(group) > tile
+    ):
+        yield from encode_metrics_batch(
+            encoder, group, streams, chunk_size, disturbance_model, tile
+        )
+        return
     with span("encode_batch", scheme=encoder.name, lines=len(group)):
         encoded = encoder.encode_batch(group.new, group.old)
     count("lines_encoded", len(group), scheme=encoder.name)
@@ -132,6 +244,7 @@ def evaluate_chunk_group(
         window = encoded.window(start, min(len(encoded), start + chunk_size))
         rng = np.random.default_rng(stream) if stream is not None else None
         yield metrics_from_encoded(window, encoder, disturbance_model, rng)
+    _record_peak_memory()
 
 
 def chunk_stream(
@@ -195,7 +308,12 @@ def evaluate_trace(
                 for offset in range(len(buffer))
             ]
             for metrics in evaluate_chunk_group(
-                encoder, group, streams, config.chunk_size, disturbance_model
+                encoder,
+                group,
+                streams,
+                config.chunk_size,
+                disturbance_model,
+                tile_lines=config.fused_tile_lines,
             ):
                 total.merge(metrics)
 

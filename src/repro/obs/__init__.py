@@ -14,9 +14,11 @@ from .core import (
     active_session,
     collect,
     count,
+    gauge,
     is_active,
     observation,
     observe,
+    peak_rss_bytes,
     span,
     task_context,
     timer,
@@ -40,10 +42,12 @@ __all__ = [
     "active_session",
     "collect",
     "count",
+    "gauge",
     "is_active",
     "merge_jsonl_to_chrome",
     "observation",
     "observe",
+    "peak_rss_bytes",
     "profile_summary",
     "read_chrome_trace",
     "read_jsonl",

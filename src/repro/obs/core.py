@@ -16,6 +16,10 @@ Three primitives:
 ``count(name, value=1, **labels)`` / ``observe(name, value, **labels)``
     Counters and min/max/total histograms in the session's
     :class:`MetricsRegistry`, keyed by name plus sorted labels.
+``gauge(name, value, **labels)``
+    High-water-mark gauges: recording keeps the maximum value seen, and
+    merging across workers keeps the maximum again, so a per-process peak
+    (e.g. ``peak_rss_bytes``) aggregates to the fleet-wide peak.
 ``timer(name, **labels)``
     A context manager recording a region's duration into a histogram (used
     for the per-backend kernel timings, where one span per kernel call would
@@ -52,9 +56,11 @@ __all__ = [
     "active_session",
     "collect",
     "count",
+    "gauge",
     "is_active",
     "observation",
     "observe",
+    "peak_rss_bytes",
     "span",
     "task_context",
     "timer",
@@ -156,8 +162,22 @@ class MetricsRegistry:
                 entry["min"] = min(entry["min"], value)
                 entry["max"] = max(entry["max"], value)
 
+    def gauge(self, name: str, value: float, **labels: Any) -> None:
+        """Record a high-water-mark gauge (keeps the maximum value seen)."""
+        key = self.key(name, labels)
+        with self._lock:
+            entry = self._values.get(key)
+            if entry is None:
+                self._values[key] = {"type": "gauge", "value": value}
+            else:
+                entry["value"] = max(entry["value"], value)
+
     def merge(self, snapshot: Dict[str, Dict[str, Any]]) -> None:
-        """Fold another registry's :meth:`snapshot` into this one."""
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        Counters add, histograms pool, gauges max-merge -- a worker's peak
+        memory gauge therefore surfaces as the maximum across processes.
+        """
         with self._lock:
             for key, other in snapshot.items():
                 entry = self._values.get(key)
@@ -165,6 +185,8 @@ class MetricsRegistry:
                     self._values[key] = dict(other)
                 elif other.get("type") == "counter":
                     entry["value"] += other["value"]
+                elif other.get("type") == "gauge":
+                    entry["value"] = max(entry["value"], other["value"])
                 else:
                     entry["count"] += other["count"]
                     entry["total"] += other["total"]
@@ -369,6 +391,39 @@ def observe(name: str, value: float, **labels: Any) -> None:
     session = _SESSION
     if session is not None:
         session.metrics.observe(name, value, **labels)
+
+
+def gauge(name: str, value: float, **labels: Any) -> None:
+    """Record a high-water-mark gauge (no-op without a session).
+
+    Gauges keep the maximum value seen and max-merge across processes, so
+    recording a per-process peak from every worker yields the run's peak.
+    """
+    session = _SESSION
+    if session is not None:
+        session.metrics.gauge(name, value, **labels)
+
+
+def peak_rss_bytes() -> Optional[float]:
+    """This process's peak resident-set size in bytes (high-water mark).
+
+    Reads ``VmHWM`` from ``/proc/self/status`` (Linux); falls back to
+    ``resource.getrusage`` (``ru_maxrss`` is kilobytes on Linux) and returns
+    ``None`` on platforms where neither source exists.
+    """
+    try:
+        with open("/proc/self/status", "r", encoding="ascii", errors="replace") as fh:
+            for line in fh:
+                if line.startswith("VmHWM:"):
+                    return float(line.split()[1]) * 1024.0
+    except OSError:
+        pass
+    try:
+        import resource
+
+        return float(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss) * 1024.0
+    except Exception:  # pragma: no cover - exotic platforms only
+        return None
 
 
 @contextmanager

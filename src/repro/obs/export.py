@@ -257,7 +257,7 @@ def profile_summary(
     flat_metrics: Dict[str, Any] = {}
     for key in sorted(metrics):
         entry = metrics[key]
-        if entry.get("type") == "counter":
+        if entry.get("type") in ("counter", "gauge"):
             flat_metrics[key] = entry["value"]
         else:
             flat_metrics[key] = {

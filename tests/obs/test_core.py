@@ -97,6 +97,26 @@ class TestMetricsRegistry:
         }
         assert snapshot["only_b"]["count"] == 1
 
+    def test_gauge_keeps_max(self):
+        registry = MetricsRegistry()
+        registry.gauge("peak_rss_bytes", 100.0)
+        registry.gauge("peak_rss_bytes", 50.0)
+        registry.gauge("peak_rss_bytes", 250.0)
+        assert registry.snapshot()["peak_rss_bytes"] == {
+            "type": "gauge",
+            "value": 250.0,
+        }
+
+    def test_gauge_merge_is_max_across_processes(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.gauge("peak_rss_bytes", 300.0)
+        b.gauge("peak_rss_bytes", 900.0)
+        b.gauge("only_b", 1.0)
+        a.merge(b.snapshot())
+        snapshot = a.snapshot()
+        assert snapshot["peak_rss_bytes"] == {"type": "gauge", "value": 900.0}
+        assert snapshot["only_b"]["value"] == 1.0
+
     def test_merge_into_empty_copies(self):
         a = MetricsRegistry()
         b = MetricsRegistry()
@@ -269,3 +289,24 @@ class TestCollect:
             absorb(None)  # same-process tasks ship None
         assert any(r.pid == 999 for r in session.spans)
         assert session.metrics.snapshot()["lines"]["value"] == 5
+
+
+class TestPeakMemory:
+    def test_gauge_primitive_requires_session(self):
+        from repro.obs import gauge
+
+        gauge("peak_rss_bytes", 123.0)  # no session: must be a silent no-op
+        with observation("gauges") as session:
+            gauge("peak_rss_bytes", 10.0, role="worker")
+            gauge("peak_rss_bytes", 40.0, role="worker")
+        entry = session.metrics.snapshot()["peak_rss_bytes{role=worker}"]
+        assert entry == {"type": "gauge", "value": 40.0}
+
+    def test_peak_rss_bytes_reports_plausible_value(self):
+        from repro.obs import peak_rss_bytes
+
+        peak = peak_rss_bytes()
+        if peak is None:
+            pytest.skip("no VmHWM or resource.getrusage on this platform")
+        # A live CPython process has peaked above 1 MiB and below 1 TiB.
+        assert 1 << 20 < peak < 1 << 40
