@@ -190,6 +190,7 @@ def run_shard(
     registry: Optional[Mapping[str, DiscoveredBench]] = None,
     profile: bool = False,
     trace_out: Optional[Path] = None,
+    results_store: Optional[Path] = None,
 ) -> ShardReport:
     """Run shard ``(index, count)`` of the benchmark registry in this process.
 
@@ -198,6 +199,10 @@ def run_shard(
     run so one CI job reports every failure -- but the report's ``failures``
     list is non-empty and no manifest is written.  ``jobs`` sets the worker
     count of the shared evaluation pool for every figure of the shard.
+    ``results_store`` points the figure drivers at a content-addressed
+    :class:`~repro.serve.results.ResultStore` directory (``--results-dir``):
+    a repeat of the same shard under the same config then performs zero
+    ``encode_batch`` calls and regenerates byte-identical artifacts.
 
     ``profile=True`` runs the shard under an observation session: the span
     log lands next to the record as ``BENCH_shard_KofN.trace.jsonl`` (a
@@ -217,6 +222,8 @@ def run_shard(
         overrides[harness.RESULTS_DIR_ENV] = str(results_dir)
     if jobs is not None:
         overrides[harness.JOBS_ENV] = str(jobs)
+    if results_store is not None:
+        overrides[harness.RESULTS_STORE_ENV] = str(results_store)
     saved = {key: os.environ.get(key) for key in overrides}
     tmp_root: Optional[Path] = None
     try:

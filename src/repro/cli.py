@@ -261,6 +261,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "every figure of the shard (1 = serial, 0 or -1 = all cores)",
     )
     bench_run.add_argument(
+        "--results-dir",
+        default=None,
+        metavar="DIR",
+        help="content-addressed result store shared by the figure drivers: "
+        "a repeated identical run performs zero encode calls and "
+        "regenerates byte-identical artifacts (also REPRO_BENCH_RESULTS_STORE)",
+    )
+    bench_run.add_argument(
         "--trajectory-dir",
         default=None,
         metavar="DIR",
@@ -361,6 +369,171 @@ def _build_parser() -> argparse.ArgumentParser:
         help="trace file: a .trace.jsonl span log or a Chrome trace-event .json",
     )
     profile.add_argument("--json", action="store_true", help="emit JSON")
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the evaluation service: an HTTP/JSON front-end with a "
+        "content-addressed result store (see docs/serving.md)",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)"
+    )
+    serve.add_argument(
+        "--port",
+        type=_nonnegative_int,
+        default=8787,
+        help="TCP port; 0 picks an ephemeral port, printed on stdout "
+        "(default: 8787)",
+    )
+    serve.add_argument(
+        "--results-dir",
+        required=True,
+        metavar="DIR",
+        help="result-store directory (created if missing); also hosts trace "
+        "uploads under traces/",
+    )
+    serve.add_argument(
+        "--results-budget",
+        type=_size_argument,
+        default=None,
+        metavar="SIZE",
+        help="byte budget of the result store; least-recently-used records "
+        "are evicted past it (bytes or K/M/G/T suffix)",
+    )
+    serve.add_argument(
+        "--jobs",
+        type=_jobs_argument,
+        default=1,
+        help="worker processes of the evaluation pool requests drain into "
+        "(1 = serial, 0 or -1 = all cores)",
+    )
+    serve.add_argument(
+        "--backend",
+        choices=["process", "thread"],
+        default="process",
+        help="worker-pool backend of the evaluation pool (default: process)",
+    )
+    serve.add_argument(
+        "--trace-dir",
+        default=None,
+        metavar="DIR",
+        help="trace-corpus directory: enables {'corpus': name} trace "
+        "references and caches generated traces across requests",
+    )
+    serve.add_argument(
+        "--queue-size",
+        type=_positive_int,
+        default=64,
+        metavar="N",
+        help="bound of the evaluation queue; requests past it get 503 "
+        "(default: 64)",
+    )
+
+    submit = subparsers.add_parser(
+        "submit",
+        help="submit one evaluation request to a running 'repro serve'",
+    )
+    submit.add_argument(
+        "--url",
+        default="http://127.0.0.1:8787",
+        help="server base URL (default: http://127.0.0.1:8787)",
+    )
+    submit.add_argument("--scheme", default="wlcrc-16", help="scheme name (see 'list')")
+    source = submit.add_mutually_exclusive_group()
+    source.add_argument(
+        "--benchmark",
+        default=None,
+        help="evaluate a generated benchmark trace "
+        f"(one of: {', '.join(ALL_BENCHMARKS)}; the default, as 'gcc')",
+    )
+    source.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="upload this .wtrc trace first, then evaluate it by digest",
+    )
+    source.add_argument(
+        "--trace-digest",
+        default=None,
+        metavar="DIGEST",
+        help="evaluate a previously uploaded trace by its content digest",
+    )
+    source.add_argument(
+        "--corpus-name",
+        default=None,
+        metavar="NAME",
+        help="evaluate a trace of the server's --trace-dir corpus by name",
+    )
+    submit.add_argument(
+        "--trace-length",
+        type=_positive_int,
+        default=20_000,
+        help="write requests of a generated --benchmark trace (default: 20000)",
+    )
+    submit.add_argument(
+        "--seed",
+        type=_nonnegative_int,
+        default=2018,
+        help="trace-generation seed of a --benchmark trace (default: 2018)",
+    )
+    submit.add_argument(
+        "--chunk-size",
+        type=_positive_int,
+        default=2048,
+        help="evaluation chunk size (output-affecting; default: 2048)",
+    )
+    submit.add_argument(
+        "--sample-disturbance",
+        action="store_true",
+        help="Monte-Carlo sample disturbance errors instead of the "
+        "deterministic expected-value count",
+    )
+    submit.add_argument(
+        "--timeout",
+        type=float,
+        default=600.0,
+        metavar="SECONDS",
+        help="client-side request timeout (default: 600)",
+    )
+    submit.add_argument("--json", action="store_true", help="emit the raw JSON response")
+
+    docs = subparsers.add_parser(
+        "docs",
+        help="generate and check the docs/ tree (CLI reference, link checker)",
+    )
+    docs_commands = docs.add_subparsers(dest="docs_command", required=True)
+    docs_cli = docs_commands.add_parser(
+        "cli",
+        help="emit the generated CLI reference (docs/cli.md) from the "
+        "argparse tree",
+    )
+    docs_cli.add_argument(
+        "--write",
+        action="store_true",
+        help="write docs/cli.md in place instead of printing to stdout",
+    )
+    docs_cli.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 if docs/cli.md is stale (CI's regenerate-and-diff)",
+    )
+    docs_cli.add_argument(
+        "--docs-dir",
+        default="docs",
+        metavar="DIR",
+        help="docs directory holding cli.md (default: docs)",
+    )
+    docs_check = docs_commands.add_parser(
+        "check",
+        help="validate the docs tree: relative links and anchors resolve, "
+        "and the generated CLI reference is current",
+    )
+    docs_check.add_argument(
+        "--docs-dir",
+        default="docs",
+        metavar="DIR",
+        help="docs directory to check (default: docs)",
+    )
     return parser
 
 
@@ -488,6 +661,15 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
         "used cached traces are evicted past it (bytes or K/M/G/T suffix)",
     )
     parser.add_argument(
+        "--results-dir",
+        default=None,
+        metavar="DIR",
+        help="content-addressed result-store directory: evaluation results "
+        "are memoised there keyed by (trace content, scheme, config), so "
+        "repeated identical runs skip recomputation; store hits are "
+        "bit-identical to fresh computation (see docs/serving.md)",
+    )
+    parser.add_argument(
         "--profile",
         action="store_true",
         help="trace the run and print a span/metric profile summary to "
@@ -515,6 +697,7 @@ def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         array_backend=args.array_backend,
         superbatch_size=args.superbatch,
         fused_tile_lines=args.fused_tile_lines if args.fused_tile_lines > 0 else None,
+        results_dir=args.results_dir,
     )
 
 
@@ -912,6 +1095,7 @@ def _cmd_bench_run(args: argparse.Namespace) -> int:
             registry=registry,
             profile=args.profile,
             trace_out=Path(args.trace_out) if args.trace_out else None,
+            results_store=Path(args.results_dir) if args.results_dir else None,
         )
     except (ReproError, OSError) as exc:
         return _fail(str(exc))
@@ -1134,6 +1318,7 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
                 config.evaluation,
                 n_jobs=config.n_jobs,
                 backend=config.backend,
+                results_store=config.results_store(),
             )
     finally:
         cleanup()
@@ -1166,6 +1351,166 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+# ---------------------------------------------------------------------- #
+# Serve / submit
+# ---------------------------------------------------------------------- #
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .serve import ResultStore
+    from .serve.service import EvaluationService
+
+    store = ResultStore(Path(args.results_dir), max_bytes=args.results_budget)
+    service = EvaluationService(
+        store,
+        n_jobs=args.jobs,
+        backend=args.backend,
+        trace_dir=Path(args.trace_dir) if args.trace_dir else None,
+        queue_size=args.queue_size,
+    )
+
+    async def _serve() -> None:
+        await service.start(args.host, args.port)
+        # The bound address goes to stdout (machine-parseable, like every
+        # other stdout line of this CLI) so scripts using --port 0 can read
+        # the ephemeral port; diagnostics stay on stderr.
+        print(f"http://{args.host}:{service.port}", flush=True)
+        _LOG.info(
+            "serving on %s:%s (jobs=%s backend=%s store=%s)",
+            args.host, service.port, args.jobs, args.backend, store.root,
+        )
+        try:
+            await service.serve_forever()
+        finally:
+            await service.stop()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        _LOG.info("interrupted; shutting down")
+    except OSError as exc:
+        return _fail(f"cannot serve on {args.host}:{args.port}: {exc}")
+    finally:
+        from .evaluation.parallel import shutdown_shared_runners
+
+        shutdown_shared_runners()
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from .serve.service import submit_request
+
+    trace_ref: Dict[str, object]
+    if args.trace is not None:
+        path = Path(args.trace)
+        if not path.is_file():
+            return _fail(f"trace file not found: {path}")
+        if path.suffix != ".wtrc":
+            return _fail(
+                f"only .wtrc traces upload directly: {path} "
+                "(convert first with 'repro trace convert')"
+            )
+        try:
+            status, response = submit_request(
+                args.url, "/traces", body=path.read_bytes(), timeout=args.timeout
+            )
+        except (OSError, ValueError) as exc:
+            return _fail(f"cannot reach {args.url}: {exc}")
+        if status != 200:
+            return _fail(f"upload failed ({status}): {response}")
+        trace_ref = {"digest": response["digest"]}
+    elif args.trace_digest is not None:
+        trace_ref = {"digest": args.trace_digest}
+    elif args.corpus_name is not None:
+        trace_ref = {"corpus": args.corpus_name}
+    else:
+        trace_ref = {
+            "profile": args.benchmark or "gcc",
+            "length": args.trace_length,
+            "seed": args.seed,
+        }
+    payload = {
+        "scheme": args.scheme,
+        "trace": trace_ref,
+        "config": {
+            "chunk_size": args.chunk_size,
+            "seed": args.seed,
+            "sample_disturbance": args.sample_disturbance,
+        },
+    }
+    try:
+        status, response = submit_request(
+            args.url, "/evaluate", payload=payload, timeout=args.timeout
+        )
+    except (OSError, ValueError) as exc:
+        return _fail(f"cannot reach {args.url}: {exc}")
+    if status != 200:
+        return _fail(
+            f"evaluation failed ({status} {response.get('error', '?')}): "
+            f"{response.get('message', response)}"
+        )
+    if args.json:
+        print(json.dumps(response, indent=2, sort_keys=True))
+    else:
+        rows = {
+            args.scheme: {
+                "cached": response["cached"],
+                "requests": response["requests"],
+                **{k: round(v, 6) for k, v in response["summary"].items()},
+            }
+        }
+        print(format_series_table(rows, title="Evaluation", row_header="scheme"))
+        _LOG.info("result key %s (%.3fs)", response["key"], response["elapsed_s"])
+    return 0
+
+
+# ---------------------------------------------------------------------- #
+# Docs
+# ---------------------------------------------------------------------- #
+def _cmd_docs(args: argparse.Namespace) -> int:
+    from .docsgen import check_links, generate_cli_reference
+
+    docs_dir = Path(args.docs_dir)
+    reference = generate_cli_reference()
+    cli_page = docs_dir / "cli.md"
+    if args.docs_command == "cli":
+        if args.check:
+            current = cli_page.read_text() if cli_page.is_file() else None
+            if current != reference:
+                return _fail(
+                    f"{cli_page} is stale; regenerate with "
+                    "'repro docs cli --write'"
+                )
+            print(f"{cli_page} is current")
+            return 0
+        if args.write:
+            docs_dir.mkdir(parents=True, exist_ok=True)
+            cli_page.write_text(reference)
+            print(str(cli_page))
+            return 0
+        print(reference, end="")
+        return 0
+    # docs check: link integrity over docs/ + README, and cli.md freshness.
+    if not docs_dir.is_dir():
+        return _fail(f"docs directory not found: {docs_dir}")
+    pages = sorted(docs_dir.glob("*.md"))
+    readme = docs_dir.parent / "README.md"
+    if readme.is_file():
+        pages.append(readme)
+    problems = check_links(pages)
+    if cli_page.is_file():
+        if cli_page.read_text() != reference:
+            problems.append(f"{cli_page}: stale (run 'repro docs cli --write')")
+    else:
+        problems.append(f"{cli_page}: missing (run 'repro docs cli --write')")
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if problems:
+        return 1
+    print(f"docs ok: {len(pages)} pages checked")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point of the ``wlcrc-repro`` console script."""
     parser = _build_parser()
@@ -1195,6 +1540,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.command == "profile":
         return _cmd_profile(args)
+
+    if args.command == "serve":
+        return _cmd_serve(args)
+
+    if args.command == "submit":
+        return _cmd_submit(args)
+
+    if args.command == "docs":
+        return _cmd_docs(args)
 
     experiment_name = args.experiment if args.command == "run" else args.command
     error = _check_array_backend(args.array_backend)

@@ -1,0 +1,228 @@
+"""Generated CLI reference and the docs-tree checker.
+
+``docs/cli.md`` is *generated* from the argparse tree (``repro docs cli``)
+rather than hand-written, so it cannot drift from the real flags -- the exact
+failure mode this PR cleaned out of the README.  Generation walks the parser
+actions directly instead of ``format_help()``: help formatting wraps to the
+terminal width (``COLUMNS``), which would make a regenerate-and-diff CI check
+flap; the action walk is deterministic byte-for-byte.
+
+``check_links`` is the zero-dependency link checker CI runs over ``docs/``:
+relative links must resolve on disk and same-file anchors must match a
+heading.  External ``http(s)`` links are skipped -- CI must not depend on
+third-party uptime.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple
+
+#: Subcommand groups collapsed into one section: the per-experiment aliases
+#: all share ``run``'s options, so documenting each would repeat one option
+#: table 16 times.
+_HEADER = (
+    "# CLI reference\n"
+    "\n"
+    "This page is generated from the argparse tree by `repro docs cli`;\n"
+    "regenerate with `repro docs cli --write` (CI fails if it is stale).\n"
+)
+
+
+def _option_signature(action: argparse.Action) -> str:
+    if action.option_strings:
+        signature = ", ".join(action.option_strings)
+        if action.nargs != 0 and not isinstance(
+            action, (argparse._StoreTrueAction, argparse._StoreFalseAction)
+        ):
+            metavar = action.metavar or action.dest.upper()
+            signature += f" {metavar}"
+        return signature
+    return action.metavar or action.dest
+
+
+def _option_rows(parser: argparse.ArgumentParser) -> List[Tuple[str, str]]:
+    rows: List[Tuple[str, str]] = []
+    for action in parser._actions:
+        if isinstance(action, (argparse._HelpAction, argparse._SubParsersAction)):
+            continue
+        help_text = " ".join((action.help or "").split())
+        details = []
+        if action.choices is not None:
+            details.append("one of: " + ", ".join(str(c) for c in action.choices))
+        if (
+            action.default is not None
+            and action.default is not argparse.SUPPRESS
+            and action.default is not False
+            and action.default != ""
+        ):
+            details.append(f"default: {action.default}")
+        if action.required:
+            details.append("required")
+        if details:
+            help_text = (help_text + " " if help_text else "") + f"({'; '.join(details)})"
+        rows.append((_option_signature(action), help_text))
+    return rows
+
+
+def _subparsers_of(
+    parser: argparse.ArgumentParser,
+) -> Dict[str, argparse.ArgumentParser]:
+    for action in parser._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            # ``choices`` maps aliases to shared parser objects; keep the
+            # first name each parser appears under.
+            seen: Dict[int, str] = {}
+            ordered: Dict[str, argparse.ArgumentParser] = {}
+            for name, sub in action.choices.items():
+                if id(sub) not in seen:
+                    seen[id(sub)] = name
+                    ordered[name] = sub
+            return ordered
+    return {}
+
+
+def _emit_command(
+    lines: List[str],
+    invocation: str,
+    parser: argparse.ArgumentParser,
+    depth: int,
+) -> None:
+    lines.append(f"{'#' * depth} `{invocation}`")
+    lines.append("")
+    description = " ".join((parser.description or "").split())
+    if description:
+        lines.append(description)
+        lines.append("")
+    rows = _option_rows(parser)
+    if rows:
+        lines.append("| option | description |")
+        lines.append("| --- | --- |")
+        for signature, help_text in rows:
+            lines.append(f"| `{signature}` | {help_text or '—'} |")
+        lines.append("")
+    for name, sub in _subparsers_of(parser).items():
+        _emit_command(lines, f"{invocation} {name}", sub, min(depth + 1, 6))
+
+
+def generate_cli_reference(
+    parser: Optional[argparse.ArgumentParser] = None,
+    collapse: Optional[Iterable[str]] = None,
+    collapse_title: str = "experiment commands",
+) -> str:
+    """The full markdown CLI reference for ``parser`` (default: the repro CLI).
+
+    ``collapse`` names sibling top-level subcommands that share one option
+    set (the per-experiment aliases); they are documented as a single group
+    section instead of one near-identical section each.
+    """
+    if parser is None:
+        from .cli import EXPERIMENTS, _build_parser
+
+        parser = _build_parser()
+        collapse = sorted(EXPERIMENTS) if collapse is None else collapse
+    collapse = set(collapse or ())
+    lines: List[str] = [_HEADER]
+    prog = parser.prog
+    description = " ".join((parser.description or "").split())
+    if description:
+        lines.append(description)
+        lines.append("")
+    top_rows = _option_rows(parser)
+    if top_rows:
+        lines.append("## Global options")
+        lines.append("")
+        lines.append("| option | description |")
+        lines.append("| --- | --- |")
+        for signature, help_text in top_rows:
+            lines.append(f"| `{signature}` | {help_text or '—'} |")
+        lines.append("")
+    collapsed_example: Optional[argparse.ArgumentParser] = None
+    for name, sub in _subparsers_of(parser).items():
+        if name in collapse:
+            if collapsed_example is None:
+                collapsed_example = sub
+            continue
+        _emit_command(lines, f"{prog} {name}", sub, 2)
+    if collapsed_example is not None:
+        lines.append(f"## {collapse_title}")
+        lines.append("")
+        lines.append(
+            "One direct alias per experiment -- equivalent to `"
+            f"{prog} run <experiment>` -- all sharing the option set below:"
+        )
+        lines.append("")
+        lines.append(
+            ", ".join(f"`{prog} {name}`" for name in sorted(collapse))
+        )
+        lines.append("")
+        rows = _option_rows(collapsed_example)
+        if rows:
+            lines.append("| option | description |")
+            lines.append("| --- | --- |")
+            for signature, help_text in rows:
+                lines.append(f"| `{signature}` | {help_text or '—'} |")
+            lines.append("")
+    return "\n".join(lines).rstrip() + "\n"
+
+
+# ---------------------------------------------------------------------- #
+# Link checking
+# ---------------------------------------------------------------------- #
+_LINK_RE = re.compile(r"(?<!\!)\[(?P<text>[^\]]*)\]\((?P<target>[^)\s]+)\)")
+_HEADING_RE = re.compile(r"^#{1,6}\s+(?P<title>.+?)\s*$", re.MULTILINE)
+_CODE_FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def _anchor_of(title: str) -> str:
+    """GitHub-style heading slug (lowercase, spaces to dashes, punctuation
+    dropped -- backticks included)."""
+    slug = title.strip().lower()
+    slug = re.sub(r"[`*_]", "", slug)
+    slug = re.sub(r"[^\w\- ]", "", slug)
+    return slug.replace(" ", "-")
+
+
+def _anchors_of(text: str) -> set:
+    return {_anchor_of(match.group("title")) for match in _HEADING_RE.finditer(text)}
+
+
+def check_links(paths: Iterable[Path]) -> List[str]:
+    """Validate every relative markdown link in ``paths``.
+
+    Returns human-readable problem strings (empty = clean).  Checks: the
+    linked file exists relative to the linking file, and a ``#fragment``
+    against the *target* file's headings (same-file for bare ``#anchor``
+    links).  ``http(s)``/``mailto`` links are not fetched.
+    """
+    problems: List[str] = []
+    paths = list(paths)
+    for path in paths:
+        try:
+            text = path.read_text()
+        except OSError as exc:
+            problems.append(f"{path}: unreadable ({exc})")
+            continue
+        searchable = _CODE_FENCE_RE.sub("", text)
+        for match in _LINK_RE.finditer(searchable):
+            target = match.group("target")
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            base, _, fragment = target.partition("#")
+            if base:
+                resolved = (path.parent / base).resolve()
+                if not resolved.exists():
+                    problems.append(f"{path}: broken link -> {target}")
+                    continue
+            else:
+                resolved = path.resolve()
+            if fragment and resolved.suffix == ".md":
+                try:
+                    anchors = _anchors_of(Path(resolved).read_text())
+                except OSError:
+                    continue
+                if _anchor_of(fragment) not in anchors:
+                    problems.append(f"{path}: broken anchor -> {target}")
+    return problems

@@ -14,7 +14,7 @@ line runs are unnecessary for the statistics to converge (see EXPERIMENTS.md).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Mapping, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -32,6 +32,9 @@ from ..workloads.profiles import ALL_BENCHMARKS, HMI_BENCHMARKS, LMI_BENCHMARKS
 from ..workloads.trace import WriteTrace
 from .parallel import WorkUnit, shared_runner
 from .sweeps import compression_coverage, energy_level_sweep, granularity_sweep
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (serve layers above this)
+    from ..serve.results import ResultStore
 
 #: Granularities of the Figure 1 motivation study.
 FIGURE1_GRANULARITIES = (8, 16, 32, 64, 128, 256, 512)
@@ -89,6 +92,22 @@ class ExperimentConfig:
     #: materialising path, so the caches ignore it -- it only bounds peak
     #: memory when super-batched chunk groups outgrow one tile.
     fused_tile_lines: Optional[int] = 8192
+    #: Optional result-store directory (see :class:`repro.serve.results
+    #: .ResultStore`).  When set, every driver fan-out consults the
+    #: content-addressed result cache before dispatching and writes misses
+    #: back, so repeated figure runs -- and CI shards sharing the directory
+    #: -- stop recomputing.  Store hits are bit-identical to fresh
+    #: computation, so the in-process experiment caches ignore this knob
+    #: like they ignore ``n_jobs``.
+    results_dir: Optional[str] = None
+
+    def results_store(self) -> Optional["ResultStore"]:
+        """The configured result store, or ``None`` when memoisation is off."""
+        if self.results_dir is None:
+            return None
+        from ..serve.results import ResultStore
+
+        return ResultStore(self.results_dir)
 
     @property
     def evaluation(self) -> EvaluationConfig:
@@ -117,6 +136,16 @@ def _cached(key: Tuple, builder: Callable[[], object]) -> object:
     if key not in _CACHE:
         _CACHE[key] = builder()
     return _CACHE[key]
+
+
+def _runner(config: ExperimentConfig):
+    """The shared runner for ``config``, with its result store (re)bound.
+
+    Every driver fan-out acquires the pool through this helper, so the
+    content-addressed result cache is consulted exactly when the caller's
+    config asks for it -- and never leaks into callers that do not.
+    """
+    return shared_runner(config.n_jobs, config.backend, config.results_store())
 
 
 # ---------------------------------------------------------------------- #
@@ -163,7 +192,7 @@ def _aggregate(traces: Mapping[str, WriteTrace], encoder, config: ExperimentConf
     units = [
         WorkUnit("total", encoder, trace, config.evaluation) for trace in traces.values()
     ]
-    return shared_runner(config.n_jobs, config.backend).run(units).get("total", WriteMetrics())
+    return _runner(config).run(units).get("total", WriteMetrics())
 
 
 def _energy_breakdown(metrics: WriteMetrics) -> Dict[str, float]:
@@ -197,7 +226,7 @@ def figure1(
         FIGURE1_GRANULARITIES,
         traces,
         config.evaluation,
-        runner=shared_runner(config.n_jobs, config.backend),
+        runner=_runner(config),
     )
     return {granularity: _energy_breakdown(metrics) for granularity, metrics in sweep.items()}
 
@@ -216,7 +245,7 @@ def _coset_comparison(
             encoder = factory(g, DEFAULT_ENERGY_MODEL)
             for trace in traces.values():
                 units.append(WorkUnit((label, g), encoder, trace, config.evaluation))
-    reduced = shared_runner(config.n_jobs, config.backend).run(units)
+    reduced = _runner(config).run(units)
     results: Dict[str, Dict[int, Dict[str, float]]] = {}
     for label in factories:
         results[label] = {
@@ -254,7 +283,7 @@ def figure4(config: ExperimentConfig = DEFAULT_EXPERIMENT_CONFIG) -> Dict[str, D
     return _cached(
         key,
         lambda: compression_coverage(
-            benchmark_traces(config), runner=shared_runner(config.n_jobs, config.backend)
+            benchmark_traces(config), runner=_runner(config)
         ),
     )  # type: ignore[return-value]
 
@@ -307,7 +336,7 @@ def evaluate_all_schemes(
             for scheme_name in schemes
             for bench, trace in traces.items()
         ]
-        per_unit = shared_runner(config.n_jobs, config.backend).run(units)
+        per_unit = _runner(config).run(units)
         return {
             scheme_name: {
                 bench: per_unit[(scheme_name, bench)] for bench in traces
@@ -377,7 +406,7 @@ def section8d_multiobjective(
             for bench, trace in traces.items()
             for role, encoder in roles.items()
         ]
-        per_unit = shared_runner(config.n_jobs, config.backend).run(units)
+        per_unit = _runner(config).run(units)
         rows: Dict[str, Dict[str, float]] = {}
         totals = {role: WriteMetrics() for role in roles}
         for bench in traces:
@@ -428,7 +457,7 @@ def _wlc_granularity_metrics(
                 encoder = factory(g, DEFAULT_ENERGY_MODEL)
                 for trace in traces.values():
                     units.append(WorkUnit((label, g), encoder, trace, config.evaluation))
-        reduced = shared_runner(config.n_jobs, config.backend).run(units)
+        reduced = _runner(config).run(units)
         return {
             label: {
                 g: reduced.get((label, g), WriteMetrics()) for g in GRANULARITIES_WLC
@@ -487,7 +516,7 @@ def figure14(config: ExperimentConfig = DEFAULT_EXPERIMENT_CONFIG) -> Dict[str, 
             baseline_factory=lambda em: make_scheme("baseline", em),
             traces=traces,
             config=config.evaluation,
-            runner=shared_runner(config.n_jobs, config.backend),
+            runner=_runner(config),
         )
         return {
             f"S3={36 + s3:.0f}pJ / S4={36 + s4:.0f}pJ": values

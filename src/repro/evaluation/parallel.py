@@ -58,6 +58,7 @@ from contextlib import nullcontext
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import (
+    TYPE_CHECKING,
     Any,
     Callable,
     Dict,
@@ -89,6 +90,9 @@ from .runner import (
     evaluate_chunk_group,
     n_chunks_of,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (serve layers above this)
+    from ..serve.results import ResultStore
 
 
 def resolve_n_jobs(n_jobs: Optional[int]) -> int:
@@ -276,10 +280,20 @@ class ParallelRunner:
         producing iterator and the reducer at any moment -- the backpressure
         that bounds memory by ``window x chunk_size`` lines no matter how
         long the stream is.  Defaults to ``4 x n_jobs``.
+    results_store:
+        Optional :class:`~repro.serve.results.ResultStore` memoising
+        per-unit metrics.  When set, :meth:`map` consults it before
+        dispatching: units whose key hits return the stored metrics without
+        touching the pool (zero ``encode_batch`` calls), misses evaluate
+        normally -- with their original unit index, so RNG streams are
+        unchanged -- and are written back.  Mutable; :func:`shared_runner`
+        re-binds it on every acquisition so a store never leaks from one
+        driver into the next.
 
     Results are bit-identical for every ``n_jobs`` value *and* every
     transport -- see the module docstring for how seeding and reduction order
-    guarantee this.
+    guarantee this.  Store hits are bit-identical too: records round-trip
+    the raw metric accumulators through JSON ``repr`` exactly.
     """
 
     def __init__(
@@ -290,6 +304,7 @@ class ParallelRunner:
         persistent: bool = False,
         window: Optional[int] = None,
         backend: str = "process",
+        results_store: Optional["ResultStore"] = None,
     ):
         self.n_jobs = resolve_n_jobs(n_jobs)
         self.executor_chunksize = executor_chunksize
@@ -305,6 +320,7 @@ class ParallelRunner:
         if window is not None and window < 1:
             raise ConfigurationError(f"window must be a positive integer: {window}")
         self.window = window
+        self.results_store = results_store
         self._executor: Optional[Executor] = None
         self._exporter: Optional[TraceExporter] = None
         self._enter_depth = 0
@@ -349,10 +365,17 @@ class ParallelRunner:
         units: Sequence[WorkUnit],
         descriptors: Optional[Sequence[Optional[TraceDescriptor]]] = None,
         obs_ctx: Optional[TaskContext] = None,
+        rng_indices: Optional[Sequence[int]] = None,
     ) -> Iterator[_Shard]:
+        # ``rng_indices`` decouples a unit's RNG identity from its position
+        # in this call: when the result store serves some units from cache,
+        # the misses still seed their disturbance streams from the index
+        # they hold in the *full* unit list, keeping sampled results
+        # bit-identical to an uncached run.
         for unit_index, unit in enumerate(units):
             n_chunks = n_chunks_of(unit.trace, unit.config)
-            streams = chunk_streams(unit.config, n_chunks, unit_index)
+            rng_index = rng_indices[unit_index] if rng_indices is not None else unit_index
+            streams = chunk_streams(unit.config, n_chunks, rng_index)
             descriptor = descriptors[unit_index] if descriptors else None
             chunk_size = unit.config.chunk_size
             group_chunks = chunk_group_size(unit.config)
@@ -404,10 +427,49 @@ class ParallelRunner:
         traces then travel pickled per chunk instead of zero-copy, which is
         correct but slower -- keep streaming sources in their own call when
         that matters).
+
+        With a :attr:`results_store` attached, units whose key hits the
+        store return memoised metrics without dispatching (streaming units
+        are never memoised -- their key would cost a full extra pass); the
+        misses evaluate under their original unit index and are written
+        back, so a partially cached call is still bit-identical to a fresh
+        one.
         """
         units = list(units)
+        store = self.results_store
+        if store is None:
+            return self._map_compute(units, None)
+        results: List[Optional[WriteMetrics]] = [None] * len(units)
+        misses: List[Tuple[int, WorkUnit, Any]] = []
+        for index, unit in enumerate(units):
+            key = store.unit_key(unit, index)
+            cached = store.get(key) if key is not None else None
+            if cached is not None:
+                results[index] = cached
+            else:
+                misses.append((index, unit, key))
+        if misses:
+            computed = self._map_compute(
+                [unit for _, unit, _ in misses],
+                [index for index, _, _ in misses],
+            )
+            for (index, _, key), metrics in zip(misses, computed):
+                results[index] = metrics
+                if key is not None:
+                    store.put(key, metrics)
+        return results
+
+    def _map_compute(
+        self, units: List[WorkUnit], rng_indices: Optional[List[int]]
+    ) -> List[WriteMetrics]:
+        """Evaluate ``units`` for real (no store consultation).
+
+        ``rng_indices`` carries each unit's index in the caller's full unit
+        list (``None`` means positions); disturbance-sampling streams are
+        seeded from it so cache-partial calls reproduce the uncached run.
+        """
         if any(not isinstance(unit.trace, WriteTrace) for unit in units):
-            return self._map_streaming(units)
+            return self._map_streaming(units, rng_indices)
         per_unit = [WriteMetrics() for _ in units]
         exporter = None
         map_span = span(
@@ -433,7 +495,7 @@ class ParallelRunner:
             ):
                 exporter = self._acquire_exporter()
                 descriptors = [exporter.export(unit.trace) for unit in units]
-            shards = list(self._shards(units, descriptors, obs_ctx))
+            shards = list(self._shards(units, descriptors, obs_ctx, rng_indices))
             for unit_index, _, group_metrics, payload in self._execute(
                 _evaluate_shard, shards
             ):
@@ -468,7 +530,11 @@ class ParallelRunner:
             return self._exporter
         return TraceExporter(self.transport)
 
-    def _map_streaming(self, units: Sequence[WorkUnit]) -> List[WriteMetrics]:
+    def _map_streaming(
+        self,
+        units: Sequence[WorkUnit],
+        rng_indices: Optional[Sequence[int]] = None,
+    ) -> List[WriteMetrics]:
         """Evaluate units whose chunks are produced on the fly.
 
         Shards are generated lazily -- unit by unit, chunk by chunk, in
@@ -488,6 +554,11 @@ class ParallelRunner:
 
             def shards() -> Iterator[_Shard]:
                 for unit_index, unit in enumerate(units):
+                    rng_index = (
+                        rng_indices[unit_index]
+                        if rng_indices is not None
+                        else unit_index
+                    )
                     chunk_size = unit.config.chunk_size
                     group_chunks = chunk_group_size(unit.config)
                     buffer: List[WriteTrace] = []
@@ -504,7 +575,7 @@ class ParallelRunner:
                             disturbance_model=unit.disturbance_model,
                             streams=tuple(
                                 chunk_stream(
-                                    unit.config, unit_index, first_index + offset
+                                    unit.config, rng_index, first_index + offset
                                 )
                                 for offset in range(len(buffer))
                             ),
@@ -713,7 +784,11 @@ class ParallelRunner:
 _SHARED_RUNNERS: Dict[Tuple[int, str], ParallelRunner] = {}
 
 
-def shared_runner(n_jobs: int = 1, backend: str = "process") -> ParallelRunner:
+def shared_runner(
+    n_jobs: int = 1,
+    backend: str = "process",
+    results_store: Optional["ResultStore"] = None,
+) -> ParallelRunner:
     """The process-wide persistent runner for ``n_jobs`` workers.
 
     Experiment drivers and sweep helpers route their fan-outs through this
@@ -721,6 +796,11 @@ def shared_runner(n_jobs: int = 1, backend: str = "process") -> ParallelRunner:
     across every ``run()`` call of the session, instead of paying pool
     start-up per sweep.  Pools are torn down at interpreter exit (or
     explicitly via :func:`shutdown_shared_runners`).
+
+    ``results_store`` is re-bound on *every* acquisition (including to
+    ``None``): the pool is shared session state, the memoisation policy is
+    per caller, and a store left attached by one driver must not silently
+    serve or capture another driver's results.
     """
     jobs = resolve_n_jobs(n_jobs)
     key = (jobs, backend)
@@ -728,6 +808,7 @@ def shared_runner(n_jobs: int = 1, backend: str = "process") -> ParallelRunner:
     if runner is None:
         runner = ParallelRunner(jobs, persistent=True, backend=backend)
         _SHARED_RUNNERS[key] = runner
+    runner.results_store = results_store
     return runner
 
 

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import tracemalloc
 from contextlib import nullcontext
-from typing import Dict, Iterator, List, Mapping, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, Iterator, List, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -35,6 +35,9 @@ from ..core.disturbance import DEFAULT_DISTURBANCE_MODEL, DisturbanceModel
 from ..core.metrics import WriteMetrics
 from ..obs import count, gauge, is_active, peak_rss_bytes, span
 from ..workloads.trace import WriteTrace
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (serve layers above this)
+    from ..serve.results import ResultStore
 
 
 def metrics_from_encoded(
@@ -337,6 +340,7 @@ def evaluate_schemes(
     n_jobs: int = 1,
     runner: Optional["ParallelRunner"] = None,
     backend: str = "process",
+    results_store: Optional["ResultStore"] = None,
 ) -> Dict[str, WriteMetrics]:
     """Evaluate several schemes on the same trace; keyed by scheme name.
 
@@ -344,7 +348,10 @@ def evaluate_schemes(
     the historical behaviour.  Passing ``runner`` reuses an existing (e.g.
     persistent) :class:`~repro.evaluation.parallel.ParallelRunner` instead of
     building a throwaway pool; otherwise ``backend`` selects the throwaway
-    pool's executor kind (results are bit-identical either way).
+    pool's executor kind (results are bit-identical either way).  A
+    ``results_store`` memoises per-unit metrics across calls and processes
+    (store hits are bit-identical to fresh computation); when given it is
+    bound to whichever runner executes the call.
     """
     from .parallel import ParallelRunner, WorkUnit
 
@@ -352,7 +359,10 @@ def evaluate_schemes(
         WorkUnit(encoder.name, encoder, trace, config, disturbance_model)
         for encoder in encoders
     ]
-    per_unit = (runner or ParallelRunner(n_jobs, backend=backend)).map(units)
+    engine = runner or ParallelRunner(n_jobs, backend=backend)
+    if results_store is not None:
+        engine.results_store = results_store
+    per_unit = engine.map(units)
     return {encoder.name: metrics for encoder, metrics in zip(encoders, per_unit)}
 
 
@@ -364,6 +374,7 @@ def evaluate_benchmarks(
     n_jobs: int = 1,
     runner: Optional["ParallelRunner"] = None,
     backend: str = "process",
+    results_store: Optional["ResultStore"] = None,
 ) -> Dict[str, WriteMetrics]:
     """Evaluate one scheme across a set of per-benchmark traces."""
     from .parallel import ParallelRunner, WorkUnit
@@ -372,7 +383,10 @@ def evaluate_benchmarks(
         WorkUnit(name, encoder, trace, config, disturbance_model)
         for name, trace in traces.items()
     ]
-    return (runner or ParallelRunner(n_jobs, backend=backend)).run(units)
+    engine = runner or ParallelRunner(n_jobs, backend=backend)
+    if results_store is not None:
+        engine.results_store = results_store
+    return engine.run(units)
 
 
 def average_metrics(per_benchmark: Mapping[str, WriteMetrics]) -> WriteMetrics:

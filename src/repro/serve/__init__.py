@@ -1,0 +1,40 @@
+"""Evaluation-as-a-service: result memoisation and the HTTP front-end.
+
+Two pieces, layered strictly *above* the evaluation engine:
+
+* :mod:`repro.serve.results` -- :class:`ResultStore`, a content-addressed
+  on-disk cache of evaluation metrics keyed by
+  ``(trace content, scheme + params, output-affecting config,
+  GENERATOR_VERSION)``.  The experiment drivers, ``repro bench run`` and the
+  server all consult the same store (``--results-dir``), so identical
+  requests cost one JSON read instead of an encode pass.
+* :mod:`repro.serve.service` -- ``repro serve``, a zero-dependency asyncio
+  HTTP/JSON front-end draining a bounded job queue into the shared worker
+  pools, plus the ``repro submit`` client.
+
+See ``docs/serving.md`` for the wire protocol and the cache-key rules.
+"""
+
+from .results import (
+    RESULT_STORE_VERSION,
+    ResultKey,
+    ResultStore,
+    ResultStoreError,
+    metrics_from_payload,
+    metrics_to_payload,
+    result_cache_key,
+    scheme_cache_key,
+    trace_content_digest,
+)
+
+__all__ = [
+    "RESULT_STORE_VERSION",
+    "ResultKey",
+    "ResultStore",
+    "ResultStoreError",
+    "metrics_from_payload",
+    "metrics_to_payload",
+    "result_cache_key",
+    "scheme_cache_key",
+    "trace_content_digest",
+]

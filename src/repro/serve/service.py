@@ -1,0 +1,507 @@
+"""``repro serve``: an asyncio HTTP/JSON front-end over the evaluation engine.
+
+The server is deliberately zero-dependency -- a hand-rolled HTTP/1.1 layer on
+:func:`asyncio.start_server` -- because the repo bakes in no web framework.
+The protocol is small and documented in ``docs/serving.md``:
+
+* ``GET  /healthz``   liveness plus basic capability info;
+* ``GET  /metrics``   result-store hit/miss counters, queue occupancy and --
+  when an observation session is active -- the obs registry snapshot;
+* ``POST /evaluate``  one evaluation request: a scheme name, a trace
+  reference (uploaded digest, corpus name, or generator specification) and
+  the output-affecting config knobs;
+* ``POST /traces``    a raw ``.wtrc`` upload; the response names the content
+  digest later ``/evaluate`` calls reference.
+
+Concurrency model: request handlers never block the event loop.  ``POST
+/evaluate`` parses and validates, then enqueues the request on a *bounded*
+:class:`asyncio.Queue` (overflow answers ``503 queue_full`` immediately --
+back-pressure, not unbounded buffering).  A single drain task pops requests
+and runs the blocking work -- trace resolution, store lookup, evaluation on
+the :func:`~repro.evaluation.parallel.shared_runner` pool -- inside
+``loop.run_in_executor``, so the loop stays responsive for health checks
+while a long evaluation runs.  Identical concurrently-pending requests are
+coalesced onto one future, so a thundering herd of equal requests costs one
+evaluation.
+
+Every result is memoised in the service's :class:`~repro.serve.results
+.ResultStore`; repeated requests are O(one JSON read) and bit-identical to
+the fresh computation, because the store round-trips the raw metric
+accumulators exactly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple
+
+from ..coding.registry import available_schemes, make_scheme
+from ..core.config import EvaluationConfig
+from ..core.errors import ReproError
+from ..evaluation.parallel import WorkUnit, shared_runner
+from ..obs import active_session, count, span
+from ..traces.store import TRACE_SUFFIX, TraceCorpus, load_trace, save_trace
+from ..workloads.generator import generate_benchmark_trace
+from ..workloads.trace import WriteTrace
+from .results import ResultStore, metrics_to_payload, trace_content_digest
+
+#: Largest request body accepted (covers multi-100k-line trace uploads while
+#: bounding a misbehaving client's memory impact).
+MAX_BODY_BYTES = 256 * 1024 * 1024
+
+#: Default bound of the evaluation job queue.
+DEFAULT_QUEUE_SIZE = 64
+
+_JSON_HEADERS = "Content-Type: application/json\r\nConnection: close\r\n"
+
+
+class ServiceError(ReproError):
+    """A request is unserviceable; carries the HTTP status and error code."""
+
+    def __init__(self, status: int, code: str, message: str):
+        super().__init__(message)
+        self.status = status
+        self.code = code
+
+
+def _summary_payload(metrics) -> Dict[str, float]:
+    """The paper's per-request averages, derived from the raw accumulators."""
+    return {
+        "avg_energy_pj": metrics.avg_energy_pj,
+        "avg_updated_cells": metrics.avg_updated_cells,
+        "avg_disturbance_errors": metrics.avg_disturbance_errors,
+        "compressed_fraction": metrics.compressed_fraction,
+    }
+
+
+class EvaluationService:
+    """The HTTP front-end; owns the store, the job queue and the drain task.
+
+    Parameters
+    ----------
+    store:
+        The :class:`ResultStore` memoising results (and hosting trace
+        uploads under ``<store root>/traces/``).
+    n_jobs, backend:
+        Worker count and pool backend of the evaluation engine; requests
+        drain onto :func:`shared_runner(n_jobs, backend)
+        <repro.evaluation.parallel.shared_runner>`.
+    trace_dir:
+        Optional :class:`~repro.traces.store.TraceCorpus` directory.
+        Enables ``{"corpus": name}`` trace references and caches generated
+        traces on disk across requests.
+    queue_size:
+        Bound of the evaluation queue; an enqueue past it answers ``503``.
+    """
+
+    def __init__(
+        self,
+        store: ResultStore,
+        n_jobs: int = 1,
+        backend: str = "process",
+        trace_dir: Optional[Path] = None,
+        queue_size: int = DEFAULT_QUEUE_SIZE,
+    ):
+        self.store = store
+        self.n_jobs = n_jobs
+        self.backend = backend
+        self.trace_dir = Path(trace_dir) if trace_dir is not None else None
+        self.queue_size = queue_size
+        self.port: Optional[int] = None
+        self.requests = 0
+        self.evaluations = 0
+        self.rejected = 0
+        self.started_at = time.time()
+        self._queue: Optional[asyncio.Queue] = None
+        self._inflight: Dict[str, asyncio.Future] = {}
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._drain_task: Optional[asyncio.Task] = None
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        """Bind and start serving; ``port=0`` picks an ephemeral port."""
+        self._queue = asyncio.Queue(maxsize=self.queue_size)
+        self._drain_task = asyncio.create_task(self._drain())
+        self._server = await asyncio.start_server(self._handle, host, port)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "start() first"
+        await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._drain_task is not None:
+            self._drain_task.cancel()
+            try:
+                await self._drain_task
+            except asyncio.CancelledError:
+                pass
+            self._drain_task = None
+
+    # ------------------------------------------------------------------ #
+    # HTTP layer
+    # ------------------------------------------------------------------ #
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            status, payload = await self._respond(reader)
+        except ServiceError as exc:
+            status, payload = exc.status, {"error": exc.code, "message": str(exc)}
+        except Exception as exc:  # noqa: BLE001 - a handler bug must not kill the server
+            status, payload = 500, {"error": "internal", "message": str(exc)}
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        reason = {200: "OK", 400: "Bad Request", 404: "Not Found",
+                  405: "Method Not Allowed", 413: "Payload Too Large",
+                  503: "Service Unavailable"}.get(status, "Error")
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n{_JSON_HEADERS}"
+            f"Content-Length: {len(body)}\r\n\r\n"
+        )
+        try:
+            writer.write(head.encode("ascii") + body)
+            await writer.drain()
+        except (ConnectionError, BrokenPipeError):  # pragma: no cover - client gone
+            pass
+        finally:
+            writer.close()
+
+    async def _respond(self, reader: asyncio.StreamReader) -> Tuple[int, Dict]:
+        method, path, body = await self._read_request(reader)
+        self.requests += 1
+        count("serve_requests", method=method, path=path)
+        if path == "/healthz" and method == "GET":
+            return 200, self._healthz()
+        if path == "/metrics" and method == "GET":
+            return 200, self._metrics()
+        if path == "/evaluate" and method == "POST":
+            return await self._evaluate_endpoint(body)
+        if path == "/traces" and method == "POST":
+            return await self._upload_endpoint(body)
+        if path in ("/healthz", "/metrics", "/evaluate", "/traces"):
+            raise ServiceError(405, "method_not_allowed", f"{method} {path}")
+        raise ServiceError(404, "not_found", f"no route for {path}")
+
+    @staticmethod
+    async def _read_request(
+        reader: asyncio.StreamReader,
+    ) -> Tuple[str, str, bytes]:
+        request_line = await reader.readline()
+        parts = request_line.decode("latin-1").split()
+        if len(parts) < 2:
+            raise ServiceError(400, "bad_request", "malformed request line")
+        method, path = parts[0].upper(), parts[1].split("?", 1)[0]
+        content_length = 0
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    content_length = int(value.strip())
+                except ValueError:
+                    raise ServiceError(400, "bad_request", "bad Content-Length")
+        if content_length > MAX_BODY_BYTES:
+            raise ServiceError(
+                413, "body_too_large", f"body exceeds {MAX_BODY_BYTES} bytes"
+            )
+        body = await reader.readexactly(content_length) if content_length else b""
+        return method, path, body
+
+    # ------------------------------------------------------------------ #
+    # Endpoints
+    # ------------------------------------------------------------------ #
+    def _healthz(self) -> Dict[str, Any]:
+        return {
+            "status": "ok",
+            "schemes": len(available_schemes()),
+            "uptime_s": round(time.time() - self.started_at, 3),
+            "jobs": self.n_jobs,
+            "backend": self.backend,
+        }
+
+    def _metrics(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "store": {
+                "hits": self.store.hits,
+                "misses": self.store.misses,
+                "entries": len(self.store),
+            },
+            "queue": {
+                "depth": self._queue.qsize() if self._queue is not None else 0,
+                "capacity": self.queue_size,
+                "rejected": self.rejected,
+            },
+            "requests": self.requests,
+            "evaluations": self.evaluations,
+        }
+        session = active_session()
+        if session is not None:
+            payload["obs"] = session.metrics.snapshot()
+        return payload
+
+    async def _evaluate_endpoint(self, body: bytes) -> Tuple[int, Dict]:
+        request = self._parse_json(body)
+        # Coalesce identical concurrently-pending requests onto one future.
+        dedup_key = json.dumps(request, sort_keys=True)
+        future = self._inflight.get(dedup_key)
+        if future is None:
+            assert self._queue is not None, "start() first"
+            loop = asyncio.get_running_loop()
+            future = loop.create_future()
+            try:
+                self._queue.put_nowait((request, future))
+            except asyncio.QueueFull:
+                self.rejected += 1
+                count("serve_rejected")
+                raise ServiceError(
+                    503, "queue_full", f"evaluation queue at capacity {self.queue_size}"
+                )
+            self._inflight[dedup_key] = future
+            future.add_done_callback(lambda _: self._inflight.pop(dedup_key, None))
+        response = await asyncio.shield(future)
+        return 200, response
+
+    async def _upload_endpoint(self, body: bytes) -> Tuple[int, Dict]:
+        if not body:
+            raise ServiceError(400, "bad_request", "empty trace upload")
+        loop = asyncio.get_running_loop()
+        return 200, await loop.run_in_executor(None, self._store_upload, body)
+
+    @staticmethod
+    def _parse_json(body: bytes) -> Dict[str, Any]:
+        try:
+            request = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ServiceError(400, "bad_json", f"request body is not JSON: {exc}")
+        if not isinstance(request, dict):
+            raise ServiceError(400, "bad_request", "request body must be a JSON object")
+        return request
+
+    # ------------------------------------------------------------------ #
+    # Blocking work (runs in the executor, never on the loop)
+    # ------------------------------------------------------------------ #
+    async def _drain(self) -> None:
+        """The single queue-drain task: evaluations run one at a time, in
+        arrival order, each inside the default executor so the loop stays
+        free.  Parallelism lives *inside* an evaluation (the shared pool),
+        not across requests -- deliberately, so one store and one pool are
+        never contended."""
+        assert self._queue is not None
+        loop = asyncio.get_running_loop()
+        while True:
+            request, future = await self._queue.get()
+            try:
+                result = await loop.run_in_executor(None, self._evaluate, request)
+            except ServiceError as exc:
+                if not future.done():
+                    future.set_exception(exc)
+            except Exception as exc:  # noqa: BLE001 - report, don't kill the drain
+                if not future.done():
+                    future.set_exception(
+                        ServiceError(500, "evaluation_failed", str(exc))
+                    )
+            else:
+                if not future.done():
+                    future.set_result(result)
+            finally:
+                self._queue.task_done()
+
+    def _evaluate(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        with span("serve_evaluate"):
+            encoder = self._resolve_scheme(request)
+            config = self._resolve_config(request)
+            trace = self._resolve_trace(request)
+            key = self.store.key_for(encoder, trace, config)
+            started = time.perf_counter()
+            metrics = self.store.get(key)
+            cached = metrics is not None
+            if metrics is None:
+                runner = shared_runner(self.n_jobs, self.backend)
+                metrics = runner.map(
+                    [WorkUnit(key="serve", encoder=encoder, trace=trace, config=config)]
+                )[0]
+                self.store.put(key, metrics)
+                self.evaluations += 1
+            return {
+                "cached": cached,
+                "key": key.digest,
+                "scheme": encoder.name,
+                "trace_digest": key.payload["trace"],
+                "requests": metrics.requests,
+                "metrics": metrics_to_payload(metrics),
+                "summary": _summary_payload(metrics),
+                "elapsed_s": round(time.perf_counter() - started, 6),
+            }
+
+    def _resolve_scheme(self, request: Dict[str, Any]):
+        name = request.get("scheme")
+        if not isinstance(name, str):
+            raise ServiceError(400, "bad_request", "request needs a scheme name")
+        try:
+            return make_scheme(name)
+        except (ReproError, KeyError, ValueError) as exc:
+            raise ServiceError(404, "unknown_scheme", str(exc))
+
+    @staticmethod
+    def _resolve_config(request: Dict[str, Any]) -> EvaluationConfig:
+        config = request.get("config", {})
+        if not isinstance(config, dict):
+            raise ServiceError(400, "bad_request", "config must be a JSON object")
+        known = {"chunk_size", "seed", "sample_disturbance"}
+        unknown = set(config) - known
+        if unknown:
+            raise ServiceError(
+                400,
+                "bad_request",
+                f"unknown config fields {sorted(unknown)} (accepted: {sorted(known)})",
+            )
+        try:
+            return EvaluationConfig(
+                chunk_size=int(config.get("chunk_size", 2048)),
+                seed=int(config.get("seed", 2018)),
+                sample_disturbance=bool(config.get("sample_disturbance", False)),
+            )
+        except (TypeError, ValueError) as exc:
+            raise ServiceError(400, "bad_request", f"bad config value: {exc}")
+
+    def _resolve_trace(self, request: Dict[str, Any]) -> WriteTrace:
+        ref = request.get("trace")
+        if not isinstance(ref, dict):
+            raise ServiceError(
+                400,
+                "bad_request",
+                "request needs a trace reference: {'digest': ...},"
+                " {'corpus': ...} or {'profile': ..., 'length': ..., 'seed': ...}",
+            )
+        if "digest" in ref:
+            path = self.uploads_dir() / f"{ref['digest']}{TRACE_SUFFIX}"
+            if not path.exists():
+                raise ServiceError(
+                    404, "unknown_trace", f"no uploaded trace {ref['digest']!r}"
+                )
+            return load_trace(path)
+        if "corpus" in ref:
+            if self.trace_dir is None:
+                raise ServiceError(
+                    400, "bad_request", "server started without --trace-dir"
+                )
+            corpus = TraceCorpus(self.trace_dir)
+            name = str(ref["corpus"])
+            if name not in corpus:
+                raise ServiceError(404, "unknown_trace", f"corpus has no trace {name!r}")
+            return corpus.load(name)
+        if "profile" in ref:
+            profile = str(ref["profile"])
+            try:
+                length = int(ref.get("length", 20_000))
+                seed = int(ref.get("seed", 2018))
+            except (TypeError, ValueError) as exc:
+                raise ServiceError(400, "bad_request", f"bad trace spec: {exc}")
+            try:
+                if self.trace_dir is not None:
+                    return TraceCorpus(self.trace_dir).get_or_generate(
+                        profile, length, seed
+                    )
+                return generate_benchmark_trace(profile, length, seed=seed)
+            except (ReproError, KeyError, ValueError) as exc:
+                raise ServiceError(404, "unknown_trace", str(exc))
+        raise ServiceError(
+            400, "bad_request", "trace reference needs 'digest', 'corpus' or 'profile'"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Uploads
+    # ------------------------------------------------------------------ #
+    def uploads_dir(self) -> Path:
+        return self.store.root / "traces"
+
+    def _store_upload(self, body: bytes) -> Dict[str, Any]:
+        """Persist an uploaded ``.wtrc`` body content-addressed by digest."""
+        uploads = self.uploads_dir()
+        uploads.mkdir(parents=True, exist_ok=True)
+        tmp = uploads / f".upload.{os.getpid()}.{id(body):x}{TRACE_SUFFIX}"
+        try:
+            tmp.write_bytes(body)
+            try:
+                trace = load_trace(tmp, mmap=False)
+            except ReproError as exc:
+                raise ServiceError(400, "bad_trace", f"not a valid .wtrc file: {exc}")
+            digest = trace_content_digest(trace)
+            final = uploads / f"{digest}{TRACE_SUFFIX}"
+            if final.exists():
+                tmp.unlink()
+            else:
+                os.replace(tmp, final)
+            count("serve_uploads")
+            return {"digest": digest, "n_lines": len(trace)}
+        finally:
+            if tmp.exists():
+                try:
+                    tmp.unlink()
+                except OSError:  # pragma: no cover - raced
+                    pass
+
+
+# ---------------------------------------------------------------------- #
+# Client
+# ---------------------------------------------------------------------- #
+def submit_request(
+    url: str,
+    path: str,
+    payload: Optional[Dict[str, Any]] = None,
+    body: Optional[bytes] = None,
+    timeout: float = 600.0,
+) -> Tuple[int, Dict[str, Any]]:
+    """One HTTP call against a running server (the ``repro submit`` client).
+
+    ``payload`` posts JSON; ``body`` posts raw bytes (trace uploads); neither
+    issues a GET.  Returns ``(status, decoded JSON)`` -- error responses are
+    returned, not raised, so the CLI can surface the server's error code.
+    """
+    import urllib.error
+    import urllib.request
+
+    if payload is not None and body is not None:
+        raise ValueError("pass payload or body, not both")
+    data = json.dumps(payload).encode("utf-8") if payload is not None else body
+    request = urllib.request.Request(
+        url.rstrip("/") + path,
+        data=data,
+        method="GET" if data is None else "POST",
+        headers={
+            "Content-Type": (
+                "application/json" if payload is not None else "application/octet-stream"
+            )
+        },
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, json.loads(response.read().decode("utf-8"))
+    except urllib.error.HTTPError as exc:
+        try:
+            detail = json.loads(exc.read().decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            detail = {"error": "http_error", "message": str(exc)}
+        return exc.code, detail
+
+
+def save_upload_body(trace: WriteTrace) -> bytes:
+    """Serialise a trace to the bytes ``POST /traces`` expects."""
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / f"upload{TRACE_SUFFIX}"
+        save_trace(trace, path)
+        return path.read_bytes()
