@@ -281,6 +281,14 @@ def _build_parser() -> argparse.ArgumentParser:
         help="do not copy BENCH_*.json out of the results directory",
     )
     bench_run.add_argument(
+        "--inject-faults",
+        default=None,
+        metavar="PLAN",
+        help="deterministic chaos testing: execute this fault plan while "
+        "the shard runs, e.g. 'worker-crash@task:3'; recovered artifacts "
+        "stay byte-identical (see docs/robustness.md)",
+    )
+    bench_run.add_argument(
         "--profile",
         action="store_true",
         help="run the shard under an observation session: writes "
@@ -426,7 +434,24 @@ def _build_parser() -> argparse.ArgumentParser:
         default=64,
         metavar="N",
         help="bound of the evaluation queue; requests past it get 503 "
-        "(default: 64)",
+        "with a Retry-After hint (default: 64)",
+    )
+    serve.add_argument(
+        "--drain-workers",
+        type=_positive_int,
+        default=1,
+        metavar="M",
+        help="supervised drain workers popping the evaluation queue; each "
+        "is restarted if it crashes (default: 1 -- one evaluation at a "
+        "time, so the store and worker pool are never contended)",
+    )
+    serve.add_argument(
+        "--inject-faults",
+        default=None,
+        metavar="PLAN",
+        help="deterministic chaos testing of the service, e.g. "
+        "'worker-crash@drain:1,conn-drop@evaluate:2' "
+        "(see docs/robustness.md; also the REPRO_FAULTS env var)",
     )
 
     submit = subparsers.add_parser(
@@ -494,6 +519,30 @@ def _build_parser() -> argparse.ArgumentParser:
         default=600.0,
         metavar="SECONDS",
         help="client-side request timeout (default: 600)",
+    )
+    submit.add_argument(
+        "--retries",
+        type=_nonnegative_int,
+        default=0,
+        metavar="N",
+        help="extra attempts after a transient failure (503, connection "
+        "refused/dropped), spaced by exponential backoff and honouring the "
+        "server's Retry-After header (default: 0)",
+    )
+    submit.add_argument(
+        "--retry-backoff",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="base of the jittered exponential retry backoff (default: 0.5)",
+    )
+    submit.add_argument(
+        "--deadline-ms",
+        type=_positive_int,
+        default=None,
+        metavar="MS",
+        help="server-side deadline of the evaluation request: the server "
+        "answers 504 if the result is not ready within it",
     )
     submit.add_argument("--json", action="store_true", help="emit the raw JSON response")
 
@@ -670,6 +719,24 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
         "bit-identical to fresh computation (see docs/serving.md)",
     )
     parser.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-task watchdog of the parallel engine: a worker task "
+        "exceeding it is presumed hung, the pool is rebuilt and only the "
+        "lost work resubmitted (results stay bit-identical; default: off)",
+    )
+    parser.add_argument(
+        "--inject-faults",
+        default=None,
+        metavar="PLAN",
+        help="deterministic chaos testing: a comma-separated fault plan like "
+        "'worker-crash@task:3,worker-hang@task:5:2s' executed at the named "
+        "injection sites; recovered runs stay bit-identical "
+        "(see docs/robustness.md; also the REPRO_FAULTS env var)",
+    )
+    parser.add_argument(
         "--profile",
         action="store_true",
         help="trace the run and print a span/metric profile summary to "
@@ -698,6 +765,7 @@ def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         superbatch_size=args.superbatch,
         fused_tile_lines=args.fused_tile_lines if args.fused_tile_lines > 0 else None,
         results_dir=args.results_dir,
+        task_timeout=args.task_timeout,
     )
 
 
@@ -1319,6 +1387,7 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
                 n_jobs=config.n_jobs,
                 backend=config.backend,
                 results_store=config.results_store(),
+                task_timeout=config.task_timeout,
             )
     finally:
         cleanup()
@@ -1367,6 +1436,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         backend=args.backend,
         trace_dir=Path(args.trace_dir) if args.trace_dir else None,
         queue_size=args.queue_size,
+        drain_workers=args.drain_workers,
     )
 
     async def _serve() -> None:
@@ -1412,10 +1482,19 @@ def _cmd_submit(args: argparse.Namespace) -> int:
             )
         try:
             status, response = submit_request(
-                args.url, "/traces", body=path.read_bytes(), timeout=args.timeout
+                args.url,
+                "/traces",
+                body=path.read_bytes(),
+                timeout=args.timeout,
+                retries=args.retries,
+                backoff_s=args.retry_backoff,
             )
         except (OSError, ValueError) as exc:
             return _fail(f"cannot reach {args.url}: {exc}")
+        if status == 0:
+            return _fail(
+                f"cannot reach {args.url}: {response.get('message', response)}"
+            )
         if status != 200:
             return _fail(f"upload failed ({status}): {response}")
         trace_ref = {"digest": response["digest"]}
@@ -1438,12 +1517,21 @@ def _cmd_submit(args: argparse.Namespace) -> int:
             "sample_disturbance": args.sample_disturbance,
         },
     }
+    if args.deadline_ms is not None:
+        payload["deadline_ms"] = args.deadline_ms
     try:
         status, response = submit_request(
-            args.url, "/evaluate", payload=payload, timeout=args.timeout
+            args.url,
+            "/evaluate",
+            payload=payload,
+            timeout=args.timeout,
+            retries=args.retries,
+            backoff_s=args.retry_backoff,
         )
     except (OSError, ValueError) as exc:
         return _fail(f"cannot reach {args.url}: {exc}")
+    if status == 0:
+        return _fail(f"cannot reach {args.url}: {response.get('message', response)}")
     if status != 200:
         return _fail(
             f"evaluation failed ({status} {response.get('error', '?')}): "
@@ -1516,6 +1604,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = _build_parser()
     args = parser.parse_args(argv)
     _setup_logging(args.log_level)
+
+    if getattr(args, "inject_faults", None):
+        from . import faults
+
+        try:
+            faults.install(args.inject_faults)
+        except faults.FaultPlanError as exc:
+            return _fail(str(exc))
 
     if args.command == "list":
         print("experiments:")

@@ -100,6 +100,11 @@ class ExperimentConfig:
     #: computation, so the in-process experiment caches ignore this knob
     #: like they ignore ``n_jobs``.
     results_dir: Optional[str] = None
+    #: Per-task watchdog (seconds) of the parallel engine: a worker task
+    #: exceeding it is presumed hung and its pool is rebuilt (see
+    #: :class:`~repro.evaluation.parallel.ParallelRunner`).  Recovery is
+    #: bit-identical, so the experiment caches ignore this knob too.
+    task_timeout: Optional[float] = None
 
     def results_store(self) -> Optional["ResultStore"]:
         """The configured result store, or ``None`` when memoisation is off."""
@@ -145,7 +150,9 @@ def _runner(config: ExperimentConfig):
     content-addressed result cache is consulted exactly when the caller's
     config asks for it -- and never leaks into callers that do not.
     """
-    return shared_runner(config.n_jobs, config.backend, config.results_store())
+    return shared_runner(
+        config.n_jobs, config.backend, config.results_store(), config.task_timeout
+    )
 
 
 # ---------------------------------------------------------------------- #

@@ -51,12 +51,16 @@ Two scalability features ride on top of the executor:
 from __future__ import annotations
 
 import atexit
+import logging
 import os
+import random
+import time
 from collections import deque
-from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import Executor, Future, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from contextlib import nullcontext
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import (
     TYPE_CHECKING,
     Any,
@@ -80,6 +84,9 @@ from ..core.disturbance import DEFAULT_DISTURBANCE_MODEL, DisturbanceModel
 from ..compression.backend import use_array_backend
 from ..core.errors import ConfigurationError
 from ..core.metrics import WriteMetrics
+from ..faults import FaultAction, TransientError
+from ..faults import execute as _execute_fault
+from ..faults import take as _take_fault
 from ..obs import ObsPayload, TaskContext, absorb, collect, count, observe, span, task_context
 from ..traces.transport import TraceDescriptor, TraceExporter, attach_trace
 from ..workloads.trace import ChunkSource, WriteTrace
@@ -93,6 +100,8 @@ from .runner import (
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (serve layers above this)
     from ..serve.results import ResultStore
+
+logger = logging.getLogger(__name__)
 
 
 def resolve_n_jobs(n_jobs: Optional[int]) -> int:
@@ -163,6 +172,12 @@ class _Shard:
     #: ``config.fused_tile_lines`` of the owning unit -- lets the worker
     #: route an over-tile-sized group through the fused encode+metrics path.
     tile_lines: Optional[int] = None
+    #: Fired fault directive riding on this dispatch (chaos testing only).
+    #: Attached by the parent at shard-generation time -- dispatch order is
+    #: deterministic, worker scheduling is not -- and stripped whenever the
+    #: shard is resubmitted, so each planned fault fires exactly once and the
+    #: recovery attempt runs clean.
+    inject: Optional[FaultAction] = None
 
 
 def _evaluate_shard(
@@ -180,6 +195,8 @@ def _evaluate_shard(
     which case the parent absorbs it in the same submission order as the
     metrics, keeping the span/metric aggregation deterministic too.
     """
+    if shard.inject is not None:
+        _execute_fault(shard.inject)
     with collect(shard.obs_ctx) as collector:
         with span(
             "evaluate_shard",
@@ -207,6 +224,47 @@ def _evaluate_shard(
                     )
                 )
     return shard.unit_index, shard.chunk_index, metrics, collector.payload()
+
+
+def _arm_shard(shard: _Shard) -> _Shard:
+    """Attach a fired fault directive to ``shard``, if the plan says so.
+
+    Consulted once per generated shard, in the parent's deterministic
+    generation order: the ``task`` site counts every shard, the ``attach``
+    site additionally counts shards that will resolve a transport descriptor.
+    No-ops (and costs one function call) when no fault plan is active.
+    """
+    action = _take_fault("task")
+    if action is None and shard.descriptor is not None:
+        action = _take_fault("attach")
+    if action is None:
+        return shard
+    return replace(shard, inject=action)
+
+
+def _strip_inject(item: Any) -> Any:
+    """A copy of ``item`` without its fault directive (for resubmission)."""
+    if isinstance(item, _Shard) and item.inject is not None:
+        return replace(item, inject=None)
+    return item
+
+
+def _terminate_executor(executor: Executor) -> None:
+    """Tear a (possibly broken or hung) pool down without blocking.
+
+    A plain ``shutdown(wait=True)`` would block behind a hung worker, so the
+    process backend's workers are terminated first; thread workers cannot be
+    killed, so a hung thread is simply abandoned (its eventual result is
+    discarded -- tasks are pure, so that is safe).
+    """
+    processes = getattr(executor, "_processes", None)
+    if processes:
+        for process in list(processes.values()):
+            try:
+                process.terminate()
+            except Exception:  # pragma: no cover - already-dead workers
+                pass
+    executor.shutdown(wait=False, cancel_futures=True)
 
 
 @dataclass(frozen=True)
@@ -245,9 +303,11 @@ class ParallelRunner:
         Worker processes.  ``1`` (default) runs the exact serial path in the
         current process; ``None``, ``0`` or ``-1`` use every available core.
     executor_chunksize:
-        Tasks handed to each worker per round-trip (``chunksize`` of
-        :meth:`~concurrent.futures.Executor.map`).  Defaults to a heuristic
-        that keeps roughly four batches in flight per worker.
+        Historical ``Executor.map`` batching knob, accepted for backward
+        compatibility and ignored: the self-healing engine dispatches tasks
+        as individual futures so lost work can be resubmitted precisely.
+        Shards are chunk *groups* (super-batches), so per-task dispatch
+        overhead is already amortised.
     backend:
         ``"process"`` (default) fans shards out over a
         :class:`~concurrent.futures.ProcessPoolExecutor`; ``"thread"`` uses a
@@ -289,6 +349,32 @@ class ParallelRunner:
         unchanged -- and are written back.  Mutable; :func:`shared_runner`
         re-binds it on every acquisition so a store never leaks from one
         driver into the next.
+    task_timeout:
+        Per-task watchdog in seconds (``None``, the default, disables it).
+        When the oldest in-flight task exceeds the timeout the pool is
+        presumed hung: it is rebuilt and the lost work resubmitted, exactly
+        like a broken pool.
+    task_retries:
+        Attempts beyond the first granted to a task failing with a
+        :class:`~repro.faults.TransientError` before the error propagates.
+    max_pool_rebuilds:
+        Consecutive pool deaths (broken pool or watchdog timeout) tolerated
+        before the runner degrades to in-process serial execution for the
+        rest of the call instead of failing it.  Any successfully reduced
+        task resets the count.
+    retry_backoff_s:
+        Base of the jittered exponential backoff slept before each pool
+        rebuild (``base * 2**(n-1)``, +-50% jitter).
+
+    **Self-healing.**  Worker failures do not abort a run: a broken process
+    pool (e.g. an OOM-killed worker) or a watchdog timeout rebuilds the pool
+    and resubmits only the tasks whose results have not been reduced yet; a
+    task failing with a :class:`~repro.faults.TransientError` is retried on
+    its own.  Because the reduction consumes results strictly in submission
+    order and every task is a pure function of its shard, recovered runs
+    are bit-identical to clean runs -- recovery is visible only as
+    ``pool_rebuilds``/``tasks_retried``/``task_timeouts`` observability
+    counters (and a logged warning when the runner degrades to serial).
 
     Results are bit-identical for every ``n_jobs`` value *and* every
     transport -- see the module docstring for how seeding and reduction order
@@ -305,6 +391,10 @@ class ParallelRunner:
         window: Optional[int] = None,
         backend: str = "process",
         results_store: Optional["ResultStore"] = None,
+        task_timeout: Optional[float] = None,
+        task_retries: int = 2,
+        max_pool_rebuilds: int = 3,
+        retry_backoff_s: float = 0.1,
     ):
         self.n_jobs = resolve_n_jobs(n_jobs)
         self.executor_chunksize = executor_chunksize
@@ -321,6 +411,18 @@ class ParallelRunner:
             raise ConfigurationError(f"window must be a positive integer: {window}")
         self.window = window
         self.results_store = results_store
+        if task_timeout is not None and not task_timeout > 0:
+            raise ConfigurationError(f"task_timeout must be positive: {task_timeout}")
+        self.task_timeout = task_timeout
+        if task_retries < 0:
+            raise ConfigurationError(f"task_retries must be >= 0: {task_retries}")
+        self.task_retries = task_retries
+        if max_pool_rebuilds < 0:
+            raise ConfigurationError(
+                f"max_pool_rebuilds must be >= 0: {max_pool_rebuilds}"
+            )
+        self.max_pool_rebuilds = max_pool_rebuilds
+        self.retry_backoff_s = retry_backoff_s
         self._executor: Optional[Executor] = None
         self._exporter: Optional[TraceExporter] = None
         self._enter_depth = 0
@@ -385,7 +487,7 @@ class ParallelRunner:
                 start = first * chunk_size
                 stop = min(len(unit.trace), (first + len(members)) * chunk_size)
                 if descriptor is not None:
-                    yield _Shard(
+                    shard = _Shard(
                         unit_index=unit_index,
                         chunk_index=first,
                         encoder=unit.encoder,
@@ -400,7 +502,7 @@ class ParallelRunner:
                         tile_lines=unit.config.fused_tile_lines,
                     )
                 else:
-                    yield _Shard(
+                    shard = _Shard(
                         unit_index=unit_index,
                         chunk_index=first,
                         encoder=unit.encoder,
@@ -412,6 +514,7 @@ class ParallelRunner:
                         obs_ctx=obs_ctx,
                         tile_lines=unit.config.fused_tile_lines,
                     )
+                yield _arm_shard(shard)
 
     def map(self, units: Sequence[WorkUnit]) -> List[WriteMetrics]:
         """Evaluate every unit and return one :class:`WriteMetrics` per unit.
@@ -568,7 +671,7 @@ class ParallelRunner:
                         group = (
                             buffer[0] if len(buffer) == 1 else WriteTrace.concat(buffer)
                         )
-                        return _Shard(
+                        return _arm_shard(_Shard(
                             unit_index=unit_index,
                             chunk_index=first_index,
                             encoder=unit.encoder,
@@ -584,7 +687,7 @@ class ParallelRunner:
                             array_backend=unit.config.array_backend,
                             obs_ctx=obs_ctx,
                             tile_lines=unit.config.fused_tile_lines,
-                        )
+                        ))
 
                     for chunk_index, chunk in enumerate(unit.trace.chunks(chunk_size)):
                         if not buffer:
@@ -697,85 +800,181 @@ class ParallelRunner:
     def _execute(self, worker: Callable[[Any], Any], items: Sequence[Any]) -> Iterator[Any]:
         """Run ``worker`` over ``items`` serially or on the worker pool.
 
-        Always yields results in input order (``Executor.map`` preserves it),
-        which the metric reduction relies on for float determinism -- on both
-        backends.  A persistent runner reuses one lazily created pool across
-        calls; a one-shot runner builds and tears the pool down per call, as
-        before.
+        Always yields results in input order, which the metric reduction
+        relies on for float determinism -- on both backends.  A persistent
+        runner reuses one lazily created pool across calls; a one-shot
+        runner builds and tears the pool down per call, as before.  Worker
+        failures self-heal (see the class docstring).
         """
         if self.n_jobs == 1 or len(items) <= 1:
             for item in items:
-                yield worker(item)
+                yield self._run_serial_item(worker, item)
             return
-        max_workers = self.n_jobs if self.persistent else min(self.n_jobs, len(items))
-        chunksize = self.executor_chunksize or max(
-            1, len(items) // (min(self.n_jobs, len(items)) * 4)
-        )
-        if self.persistent:
-            if self._executor is None:
-                self._executor = self._make_executor(max_workers)
-            try:
-                yield from self._executor.map(worker, items, chunksize=chunksize)
-            except BrokenProcessPool:
-                # Discard the dead pool so the next call gets a fresh one;
-                # otherwise one OOM-killed worker would poison this runner
-                # (and, via shared_runner, the whole session) forever.
-                self.close()
-                raise
-            return
-        with self._make_executor(max_workers) as executor:
-            yield from executor.map(worker, items, chunksize=chunksize)
+        yield from self._run_resilient(worker, iter(items), window=len(items))
 
     def _execute_windowed(
         self, worker: Callable[[Any], Any], items: Iterable[Any]
     ) -> Iterator[Any]:
         """Run ``worker`` over a lazily produced stream with backpressure.
 
-        Unlike :meth:`_execute` (which materialises its items and lets
-        ``Executor.map`` submit everything upfront), this pulls from ``items``
-        only while fewer than :attr:`window` tasks are in flight and yields
-        results in submission order -- the producer, the pool and the reducer
-        stay within a bounded number of chunks of each other no matter how
-        long the stream is.  ``n_jobs=1`` consumes the stream inline, one
-        item at a time.
+        Unlike :meth:`_execute` (which materialises its items and submits
+        everything upfront), this pulls from ``items`` only while fewer than
+        :attr:`window` tasks are in flight and yields results in submission
+        order -- the producer, the pool and the reducer stay within a bounded
+        number of chunks of each other no matter how long the stream is.
+        ``n_jobs=1`` consumes the stream inline, one item at a time.
         """
         if self.n_jobs == 1:
             for item in items:
-                yield worker(item)
+                yield self._run_serial_item(worker, item)
             return
-        window = self.window or 4 * self.n_jobs
-        if self.persistent:
-            if self._executor is None:
-                self._executor = self._make_executor(self.n_jobs)
-            try:
-                yield from self._windowed(self._executor, worker, items, window)
-            except BrokenProcessPool:
-                self.close()
-                raise
-            return
-        with self._make_executor(self.n_jobs) as executor:
-            yield from self._windowed(executor, worker, items, window)
+        yield from self._run_resilient(
+            worker, iter(items), window=self.window or 4 * self.n_jobs
+        )
 
-    @staticmethod
-    def _windowed(
-        executor: Executor,
-        worker: Callable[[Any], Any],
-        items: Iterable[Any],
-        window: int,
+    def _run_serial_item(self, worker: Callable[[Any], Any], item: Any) -> Any:
+        """Execute one task inline, retrying bounded transient failures."""
+        attempts = 0
+        while True:
+            try:
+                return worker(item)
+            except TransientError:
+                attempts += 1
+                if attempts > self.task_retries:
+                    raise
+                count("tasks_retried")
+                item = _strip_inject(item)
+
+    def _run_resilient(
+        self, worker: Callable[[Any], Any], items: Iterator[Any], window: int
     ) -> Iterator[Any]:
-        pending: "deque" = deque()
+        """The pooled execution engine: windowed dispatch that self-heals.
+
+        Tasks are submitted individually (at most ``window`` in flight) and
+        results are consumed strictly from the *oldest* outstanding future,
+        so yields happen in submission order whatever the completion order --
+        the invariant every reduction above this relies on.  Waiting only on
+        the head is also what makes recovery deterministic: when the head
+        fails (broken pool, watchdog timeout, transient task error) nothing
+        newer has been reduced yet, so rebuilding the pool and resubmitting
+        the outstanding items -- in their original order, directives
+        stripped -- replays the exact same reduction.  After
+        :attr:`max_pool_rebuilds` *consecutive* pool deaths the engine
+        degrades to inline serial execution of everything left instead of
+        failing the run.
+        """
+        pending: "deque[List[Any]]" = deque()  # [item, future] in submit order
+        exhausted = False
+        consecutive_rebuilds = 0
+        executor: Optional[Executor] = None
+
+        def pool() -> Executor:
+            nonlocal executor
+            if self.persistent:
+                if self._executor is None:
+                    self._executor = self._make_executor(self.n_jobs)
+                return self._executor
+            if executor is None:
+                executor = self._make_executor(self.n_jobs)
+            return executor
+
+        def discard_pool() -> None:
+            nonlocal executor
+            if self.persistent:
+                if self._executor is not None:
+                    _terminate_executor(self._executor)
+                    self._executor = None
+            elif executor is not None:
+                _terminate_executor(executor)
+                executor = None
+
+        def rebuild_and_resubmit(reason: str) -> bool:
+            """Heal a dead pool; False once the rebuild budget is spent."""
+            nonlocal consecutive_rebuilds
+            consecutive_rebuilds += 1
+            discard_pool()
+            if consecutive_rebuilds > self.max_pool_rebuilds:
+                return False
+            count("pool_rebuilds")
+            count("tasks_retried", len(pending))
+            logger.warning(
+                "worker pool died (%s); rebuild %d/%d, resubmitting %d task(s)",
+                reason,
+                consecutive_rebuilds,
+                self.max_pool_rebuilds,
+                len(pending),
+            )
+            backoff = self.retry_backoff_s * 2 ** (consecutive_rebuilds - 1)
+            time.sleep(backoff * (0.5 + random.random()))
+            for entry in pending:
+                entry[0] = _strip_inject(entry[0])
+                entry[1] = pool().submit(worker, entry[0])
+            return True
+
+        try:
+            while True:
+                while not exhausted and len(pending) < window:
+                    try:
+                        item = next(items)
+                    except StopIteration:
+                        exhausted = True
+                        break
+                    pending.append([item, pool().submit(worker, item)])
+                    observe("window_occupancy", len(pending))
+                if not pending:
+                    return
+                if not exhausted and len(pending) >= window:
+                    # The producer is ahead of the drain: the blocking wait
+                    # below is the backpressure that bounds streaming memory.
+                    count("backpressure_stalls")
+                head = pending[0]
+                future: Future = head[1]
+                try:
+                    result = future.result(timeout=self.task_timeout)
+                except FuturesTimeoutError:
+                    count("task_timeouts")
+                    if not rebuild_and_resubmit(
+                        f"task exceeded task_timeout={self.task_timeout:g}s"
+                    ):
+                        break
+                except BrokenProcessPool:
+                    if not rebuild_and_resubmit("broken process pool"):
+                        break
+                except TransientError:
+                    # Only this task failed; retry it alone (bounded), still
+                    # waiting on it first so the yield order is unchanged.
+                    if len(head) < 3:
+                        head.append(0)
+                    head[2] += 1
+                    if head[2] > self.task_retries:
+                        raise
+                    count("tasks_retried")
+                    head[0] = _strip_inject(head[0])
+                    head[1] = pool().submit(worker, head[0])
+                else:
+                    consecutive_rebuilds = 0
+                    pending.popleft()
+                    yield result
+        finally:
+            if not self.persistent and executor is not None:
+                executor.shutdown(wait=True, cancel_futures=True)
+
+        # Rebuild budget exhausted: degrade to serial for everything left
+        # rather than failing the run.  Outstanding futures were discarded
+        # with the pool; their items re-run inline (directives stripped), in
+        # order, so the reduction is still bit-identical.
+        count("pool_degraded")
+        logger.warning(
+            "worker pool died %d consecutive times; degrading to serial "
+            "execution for the remaining %d+ task(s)",
+            consecutive_rebuilds,
+            len(pending),
+        )
+        for entry in pending:
+            yield self._run_serial_item(worker, _strip_inject(entry[0]))
+        pending.clear()
         for item in items:
-            if len(pending) >= window:
-                # The producer is ahead of the drain: block until the oldest
-                # in-flight task completes (the backpressure that bounds
-                # streaming memory).
-                count("backpressure_stalls")
-                while len(pending) >= window:
-                    yield pending.popleft().result()
-            pending.append(executor.submit(worker, item))
-            observe("window_occupancy", len(pending))
-        while pending:
-            yield pending.popleft().result()
+            yield self._run_serial_item(worker, item)
 
 
 # ---------------------------------------------------------------------- #
@@ -788,6 +987,7 @@ def shared_runner(
     n_jobs: int = 1,
     backend: str = "process",
     results_store: Optional["ResultStore"] = None,
+    task_timeout: Optional[float] = None,
 ) -> ParallelRunner:
     """The process-wide persistent runner for ``n_jobs`` workers.
 
@@ -797,10 +997,10 @@ def shared_runner(
     start-up per sweep.  Pools are torn down at interpreter exit (or
     explicitly via :func:`shutdown_shared_runners`).
 
-    ``results_store`` is re-bound on *every* acquisition (including to
-    ``None``): the pool is shared session state, the memoisation policy is
-    per caller, and a store left attached by one driver must not silently
-    serve or capture another driver's results.
+    ``results_store`` and ``task_timeout`` are re-bound on *every*
+    acquisition (including to ``None``): the pool is shared session state,
+    but the memoisation and watchdog policies are per caller, and a value
+    left attached by one driver must not silently apply to the next.
     """
     jobs = resolve_n_jobs(n_jobs)
     key = (jobs, backend)
@@ -809,6 +1009,7 @@ def shared_runner(
         runner = ParallelRunner(jobs, persistent=True, backend=backend)
         _SHARED_RUNNERS[key] = runner
     runner.results_store = results_store
+    runner.task_timeout = task_timeout
     return runner
 
 

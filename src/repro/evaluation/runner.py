@@ -341,6 +341,7 @@ def evaluate_schemes(
     runner: Optional["ParallelRunner"] = None,
     backend: str = "process",
     results_store: Optional["ResultStore"] = None,
+    task_timeout: Optional[float] = None,
 ) -> Dict[str, WriteMetrics]:
     """Evaluate several schemes on the same trace; keyed by scheme name.
 
@@ -362,6 +363,8 @@ def evaluate_schemes(
     engine = runner or ParallelRunner(n_jobs, backend=backend)
     if results_store is not None:
         engine.results_store = results_store
+    if task_timeout is not None:
+        engine.task_timeout = task_timeout
     per_unit = engine.map(units)
     return {encoder.name: metrics for encoder, metrics in zip(encoders, per_unit)}
 
@@ -375,6 +378,7 @@ def evaluate_benchmarks(
     runner: Optional["ParallelRunner"] = None,
     backend: str = "process",
     results_store: Optional["ResultStore"] = None,
+    task_timeout: Optional[float] = None,
 ) -> Dict[str, WriteMetrics]:
     """Evaluate one scheme across a set of per-benchmark traces."""
     from .parallel import ParallelRunner, WorkUnit
@@ -386,6 +390,8 @@ def evaluate_benchmarks(
     engine = runner or ParallelRunner(n_jobs, backend=backend)
     if results_store is not None:
         engine.results_store = results_store
+    if task_timeout is not None:
+        engine.task_timeout = task_timeout
     return engine.run(units)
 
 

@@ -48,6 +48,7 @@ from __future__ import annotations
 import contextlib
 import hashlib
 import json
+import logging
 import os
 from dataclasses import dataclass
 from pathlib import Path
@@ -58,9 +59,13 @@ from ..core.config import EvaluationConfig
 from ..core.disturbance import DEFAULT_DISTURBANCE_MODEL, DisturbanceModel
 from ..core.errors import ReproError
 from ..core.metrics import WriteMetrics
+from ..faults import corrupt_file as _corrupt_file
+from ..faults import take as _take_fault
 from ..obs import count
 from ..traces.store import _atomic_write
 from ..workloads.trace import WriteTrace
+
+logger = logging.getLogger(__name__)
 
 try:  # POSIX advisory locking for concurrent store writers (CI shards)
     import fcntl as _fcntl
@@ -229,6 +234,7 @@ class ResultStore:
         self.max_bytes = max_bytes
         self.hits = 0
         self.misses = 0
+        self.corrupted = 0
 
     # ------------------------------------------------------------------ #
     # Paths and locking
@@ -240,8 +246,40 @@ class ResultStore:
     def results_dir(self) -> Path:
         return self.root / "results"
 
+    def corrupt_dir(self) -> Path:
+        """Where quarantined (unparseable) records are moved for diagnosis."""
+        return self.root / "corrupt"
+
     def _record_path(self, digest: str) -> Path:
         return self.results_dir() / f"{digest}.json"
+
+    def _quarantine(self, digest: str, path: Path, reason: str) -> None:
+        """Move an unparseable record aside and drop it from the index.
+
+        Counts as a miss (the caller re-evaluates and rewrites the entry),
+        but unlike a plain miss the event is loud -- ``result_store_corrupt``
+        counter, warning log -- and the damaged bytes are preserved under
+        :meth:`corrupt_dir` instead of being re-read (and re-failed) on
+        every subsequent request.
+        """
+        target = self.corrupt_dir() / path.name
+        try:
+            self.corrupt_dir().mkdir(parents=True, exist_ok=True)
+            os.replace(path, target)
+        except OSError:  # pragma: no cover - raced with gc/another reader
+            with contextlib.suppress(OSError):
+                path.unlink()
+        logger.warning(
+            "quarantined corrupt result record %s -> %s (%s)", path, target, reason
+        )
+        self.corrupted += 1
+        self.misses += 1
+        count("result_store_corrupt")
+        count("result_store", result="miss")
+        with self._index_lock():
+            entries = self._read_index()
+            if entries.pop(digest, None) is not None:
+                self._write_index(entries)
 
     @contextlib.contextmanager
     def _index_lock(self):
@@ -316,25 +354,36 @@ class ResultStore:
 
         A hit advances the record's atime (the LRU recency signal) and
         verifies the stored key payload against the requested one, so a
-        digest collision or a corrupted record degrades to a miss rather
-        than serving wrong numbers.
+        digest collision serves a miss rather than wrong numbers.  A record
+        that exists but cannot be parsed is *quarantined* -- moved to
+        ``<root>/corrupt/`` and dropped from the index, with a
+        ``result_store_corrupt`` counter and a logged warning -- instead of
+        silently missing forever: the next evaluation rewrites the entry,
+        and the damaged bytes stay on disk for diagnosis.
         """
         path = self._record_path(key.digest)
+        action = _take_fault("get")
+        if action is not None and action.kind == "store-corrupt":
+            _corrupt_file(path)
         try:
             record = json.loads(path.read_text())
-        except (OSError, json.JSONDecodeError):
+        except OSError:
             self.misses += 1
             count("result_store", result="miss")
             return None
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            self._quarantine(key.digest, path, f"invalid JSON: {exc}")
+            return None
         if record.get("key") != key.payload:
+            # A different key's record under this digest: a collision (or a
+            # hand-edited payload), not corruption -- serve a plain miss.
             self.misses += 1
             count("result_store", result="miss")
             return None
         try:
             metrics = metrics_from_payload(record.get("metrics", {}))
-        except ResultStoreError:
-            self.misses += 1
-            count("result_store", result="miss")
+        except ResultStoreError as exc:
+            self._quarantine(key.digest, path, str(exc))
             return None
         try:
             stat = path.stat()
@@ -361,6 +410,9 @@ class ResultStore:
         _atomic_write(
             path, "w", lambda fh: json.dump(record, fh, indent=2, sort_keys=True)
         )
+        action = _take_fault("put")
+        if action is not None and action.kind == "store-corrupt":
+            _corrupt_file(path)
         entry = {
             "file": str(path.relative_to(self.root)),
             "bytes": path.stat().st_size,
@@ -445,5 +497,5 @@ class ResultStore:
         return sum(1 for _ in self.results_dir().glob("*.json"))
 
     def stats(self) -> Dict[str, int]:
-        """Hit/miss counters of this store instance (process-local)."""
-        return {"hits": self.hits, "misses": self.misses}
+        """Hit/miss/corruption counters of this store instance (process-local)."""
+        return {"hits": self.hits, "misses": self.misses, "corrupted": self.corrupted}

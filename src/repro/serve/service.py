@@ -15,14 +15,24 @@ The protocol is small and documented in ``docs/serving.md``:
 
 Concurrency model: request handlers never block the event loop.  ``POST
 /evaluate`` parses and validates, then enqueues the request on a *bounded*
-:class:`asyncio.Queue` (overflow answers ``503 queue_full`` immediately --
-back-pressure, not unbounded buffering).  A single drain task pops requests
-and runs the blocking work -- trace resolution, store lookup, evaluation on
-the :func:`~repro.evaluation.parallel.shared_runner` pool -- inside
+:class:`asyncio.Queue` (overflow answers ``503 queue_full`` with a
+``Retry-After`` hint -- back-pressure, not unbounded buffering).  A
+*supervised pool* of drain workers pops requests and runs the blocking work
+-- trace resolution, store lookup, evaluation on the
+:func:`~repro.evaluation.parallel.shared_runner` pool -- inside
 ``loop.run_in_executor``, so the loop stays responsive for health checks
-while a long evaluation runs.  Identical concurrently-pending requests are
-coalesced onto one future, so a thundering herd of equal requests costs one
-evaluation.
+while a long evaluation runs.  A drain worker that crashes is restarted by
+its supervisor (counted as ``drain_restarts``); the request it was holding
+is answered ``503 drain_crashed`` so its client can retry instead of
+hanging.  Identical concurrently-pending requests are coalesced onto one
+future, so a thundering herd of equal requests costs one evaluation.
+
+Robustness contract (see ``docs/robustness.md``): clients may bound waiting
+with a ``deadline_ms`` request field (expiry answers ``504``); every ``503``
+carries ``Retry-After``; :func:`submit_request` can retry with exponential
+backoff honouring it; and :meth:`EvaluationService.stop` drains gracefully
+-- queued requests are flushed with ``503 shutting_down`` and the in-flight
+evaluation finishes before the socket closes.
 
 Every result is memoised in the service's :class:`~repro.serve.results
 .ResultStore`; repeated requests are O(one JSON read) and bit-identical to
@@ -34,15 +44,20 @@ from __future__ import annotations
 
 import asyncio
 import json
+import logging
 import os
+import random
 import time
 from pathlib import Path
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..coding.registry import available_schemes, make_scheme
 from ..core.config import EvaluationConfig
 from ..core.errors import ReproError
 from ..evaluation.parallel import WorkUnit, shared_runner
+from ..faults import execute as _execute_fault
+from ..faults import injected_counts as _injected_counts
+from ..faults import take as _take_fault
 from ..obs import active_session, count, span
 from ..traces.store import TRACE_SUFFIX, TraceCorpus, load_trace, save_trace
 from ..workloads.generator import generate_benchmark_trace
@@ -56,16 +71,36 @@ MAX_BODY_BYTES = 256 * 1024 * 1024
 #: Default bound of the evaluation job queue.
 DEFAULT_QUEUE_SIZE = 64
 
+#: Default size of the supervised drain-worker pool.
+DEFAULT_DRAIN_WORKERS = 1
+
+#: ``Retry-After`` seconds suggested with back-pressure 503s.
+RETRY_AFTER_S = 1
+
 _JSON_HEADERS = "Content-Type: application/json\r\nConnection: close\r\n"
+
+logger = logging.getLogger(__name__)
 
 
 class ServiceError(ReproError):
-    """A request is unserviceable; carries the HTTP status and error code."""
+    """A request is unserviceable; carries the HTTP status and error code.
 
-    def __init__(self, status: int, code: str, message: str):
+    ``retry_after`` (seconds) is rendered as a ``Retry-After`` response
+    header: the server's explicit "this is transient, come back" signal,
+    honoured by :func:`submit_request`'s retry loop.
+    """
+
+    def __init__(
+        self, status: int, code: str, message: str, retry_after: Optional[int] = None
+    ):
         super().__init__(message)
         self.status = status
         self.code = code
+        self.retry_after = retry_after
+
+
+class _DropConnection(Exception):
+    """Internal: close the client's socket without any response (chaos)."""
 
 
 def _summary_payload(metrics) -> Dict[str, float]:
@@ -96,6 +131,11 @@ class EvaluationService:
         traces on disk across requests.
     queue_size:
         Bound of the evaluation queue; an enqueue past it answers ``503``.
+    drain_workers:
+        Size of the supervised drain pool.  The default of 1 keeps the
+        historical one-evaluation-at-a-time behaviour (one store, one pool,
+        never contended); more workers overlap store lookups and trace
+        resolution of concurrent distinct requests.
     """
 
     def __init__(
@@ -105,29 +145,41 @@ class EvaluationService:
         backend: str = "process",
         trace_dir: Optional[Path] = None,
         queue_size: int = DEFAULT_QUEUE_SIZE,
+        drain_workers: int = DEFAULT_DRAIN_WORKERS,
     ):
         self.store = store
         self.n_jobs = n_jobs
         self.backend = backend
         self.trace_dir = Path(trace_dir) if trace_dir is not None else None
         self.queue_size = queue_size
+        if drain_workers < 1:
+            raise ReproError(f"drain_workers must be >= 1: {drain_workers}")
+        self.drain_workers = drain_workers
         self.port: Optional[int] = None
         self.requests = 0
         self.evaluations = 0
         self.rejected = 0
+        self.expired = 0
+        self.drain_restarts = 0
         self.started_at = time.time()
+        self._evaluating = 0
+        self._stopping = False
         self._queue: Optional[asyncio.Queue] = None
         self._inflight: Dict[str, asyncio.Future] = {}
         self._server: Optional[asyncio.AbstractServer] = None
-        self._drain_task: Optional[asyncio.Task] = None
+        self._drain_tasks: List[asyncio.Task] = []
 
     # ------------------------------------------------------------------ #
     # Lifecycle
     # ------------------------------------------------------------------ #
     async def start(self, host: str = "127.0.0.1", port: int = 0) -> None:
         """Bind and start serving; ``port=0`` picks an ephemeral port."""
+        self._stopping = False
         self._queue = asyncio.Queue(maxsize=self.queue_size)
-        self._drain_task = asyncio.create_task(self._drain())
+        self._drain_tasks = [
+            asyncio.create_task(self._supervise_drain(worker_id))
+            for worker_id in range(self.drain_workers)
+        ]
         self._server = await asyncio.start_server(self._handle, host, port)
         self.port = self._server.sockets[0].getsockname()[1]
 
@@ -136,17 +188,56 @@ class EvaluationService:
         await self._server.serve_forever()
 
     async def stop(self) -> None:
+        """Shut down gracefully: refuse, flush, finish, then close.
+
+        New connections stop being accepted first; every *queued* request is
+        answered ``503 shutting_down`` (with ``Retry-After``, so a retrying
+        client lands on the restarted server); the evaluations already
+        in-flight on drain workers run to completion and answer normally;
+        only then are the drain workers cancelled.  A client is therefore
+        never left hanging on an accepted request across a restart.
+        """
+        self._stopping = True
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
-        if self._drain_task is not None:
-            self._drain_task.cancel()
+        if self._queue is not None:
+            while True:
+                try:
+                    request, future, _deadline = self._queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+                self._fail_future(
+                    future,
+                    ServiceError(
+                        503,
+                        "shutting_down",
+                        "server is shutting down",
+                        retry_after=RETRY_AFTER_S,
+                    ),
+                )
+                self._queue.task_done()
+            # Wait for the in-flight evaluations (requests already popped by
+            # drain workers) to finish and answer.
+            await self._queue.join()
+        for task in self._drain_tasks:
+            task.cancel()
+        for task in self._drain_tasks:
             try:
-                await self._drain_task
+                await task
             except asyncio.CancelledError:
                 pass
-            self._drain_task = None
+        self._drain_tasks = []
+
+    @staticmethod
+    def _fail_future(future: asyncio.Future, exc: ServiceError) -> None:
+        if not future.done():
+            future.set_exception(exc)
+            # Mark the exception retrieved even if every awaiter already
+            # timed out or dropped, so no "exception was never retrieved"
+            # noise reaches the log.
+            future.add_done_callback(lambda f: f.exception())
 
     # ------------------------------------------------------------------ #
     # HTTP layer
@@ -154,18 +245,26 @@ class EvaluationService:
     async def _handle(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        extra_headers = ""
         try:
             status, payload = await self._respond(reader)
+        except _DropConnection:
+            # Injected connection drop: hang up without any response bytes,
+            # exactly like a crashed proxy would.
+            writer.close()
+            return
         except ServiceError as exc:
             status, payload = exc.status, {"error": exc.code, "message": str(exc)}
+            if exc.retry_after is not None:
+                extra_headers = f"Retry-After: {int(exc.retry_after)}\r\n"
         except Exception as exc:  # noqa: BLE001 - a handler bug must not kill the server
             status, payload = 500, {"error": "internal", "message": str(exc)}
         body = json.dumps(payload, sort_keys=True).encode("utf-8")
         reason = {200: "OK", 400: "Bad Request", 404: "Not Found",
                   405: "Method Not Allowed", 413: "Payload Too Large",
-                  503: "Service Unavailable"}.get(status, "Error")
+                  503: "Service Unavailable", 504: "Gateway Timeout"}.get(status, "Error")
         head = (
-            f"HTTP/1.1 {status} {reason}\r\n{_JSON_HEADERS}"
+            f"HTTP/1.1 {status} {reason}\r\n{_JSON_HEADERS}{extra_headers}"
             f"Content-Length: {len(body)}\r\n\r\n"
         )
         try:
@@ -185,6 +284,9 @@ class EvaluationService:
         if path == "/metrics" and method == "GET":
             return 200, self._metrics()
         if path == "/evaluate" and method == "POST":
+            action = _take_fault("evaluate")
+            if action is not None and action.kind == "conn-drop":
+                raise _DropConnection()
             return await self._evaluate_endpoint(body)
         if path == "/traces" and method == "POST":
             return await self._upload_endpoint(body)
@@ -236,6 +338,7 @@ class EvaluationService:
             "store": {
                 "hits": self.store.hits,
                 "misses": self.store.misses,
+                "corrupted": self.store.corrupted,
                 "entries": len(self.store),
             },
             "queue": {
@@ -243,9 +346,20 @@ class EvaluationService:
                 "capacity": self.queue_size,
                 "rejected": self.rejected,
             },
+            "inflight": len(self._inflight),
+            "drain": {
+                "workers": self.drain_workers,
+                "alive": sum(1 for task in self._drain_tasks if not task.done()),
+                "busy": self._evaluating,
+                "restarts": self.drain_restarts,
+            },
             "requests": self.requests,
+            "requests_expired": self.expired,
             "evaluations": self.evaluations,
         }
+        faults = _injected_counts()
+        if faults:
+            payload["faults_injected"] = faults
         session = active_session()
         if session is not None:
             payload["obs"] = session.metrics.snapshot()
@@ -253,25 +367,67 @@ class EvaluationService:
 
     async def _evaluate_endpoint(self, body: bytes) -> Tuple[int, Dict]:
         request = self._parse_json(body)
+        deadline_s = self._parse_deadline(request)
+        loop = asyncio.get_running_loop()
         # Coalesce identical concurrently-pending requests onto one future.
+        # deadline_ms is popped by _parse_deadline first: it bounds *this
+        # client's* wait, not the evaluation's identity, so requests that
+        # differ only in deadline still coalesce.
         dedup_key = json.dumps(request, sort_keys=True)
         future = self._inflight.get(dedup_key)
         if future is None:
             assert self._queue is not None, "start() first"
-            loop = asyncio.get_running_loop()
+            if self._stopping:
+                raise ServiceError(
+                    503,
+                    "shutting_down",
+                    "server is shutting down",
+                    retry_after=RETRY_AFTER_S,
+                )
             future = loop.create_future()
+            deadline = None if deadline_s is None else loop.time() + deadline_s
             try:
-                self._queue.put_nowait((request, future))
+                self._queue.put_nowait((request, future, deadline))
             except asyncio.QueueFull:
                 self.rejected += 1
                 count("serve_rejected")
                 raise ServiceError(
-                    503, "queue_full", f"evaluation queue at capacity {self.queue_size}"
+                    503,
+                    "queue_full",
+                    f"evaluation queue at capacity {self.queue_size}",
+                    retry_after=RETRY_AFTER_S,
                 )
             self._inflight[dedup_key] = future
             future.add_done_callback(lambda _: self._inflight.pop(dedup_key, None))
-        response = await asyncio.shield(future)
-        return 200, response
+        if deadline_s is None:
+            return 200, await asyncio.shield(future)
+        try:
+            # shield: a coalesced future may have other, later-deadline
+            # waiters (and the evaluation result is still worth memoising),
+            # so this client giving up must not cancel the work.
+            return 200, await asyncio.wait_for(asyncio.shield(future), deadline_s)
+        except asyncio.TimeoutError:
+            self.expired += 1
+            count("requests_expired", where="endpoint")
+            raise ServiceError(
+                504,
+                "deadline_exceeded",
+                f"deadline_ms={deadline_s * 1000:g} elapsed before the result",
+            )
+
+    @staticmethod
+    def _parse_deadline(request: Dict[str, Any]) -> Optional[float]:
+        """Pop and validate ``deadline_ms``; seconds, or ``None`` if absent."""
+        raw = request.pop("deadline_ms", None)
+        if raw is None:
+            return None
+        try:
+            deadline_ms = float(raw)
+        except (TypeError, ValueError):
+            raise ServiceError(400, "bad_request", f"bad deadline_ms: {raw!r}")
+        if deadline_ms <= 0:
+            raise ServiceError(400, "bad_request", "deadline_ms must be > 0")
+        return deadline_ms / 1000.0
 
     async def _upload_endpoint(self, body: bytes) -> Tuple[int, Dict]:
         if not body:
@@ -292,30 +448,81 @@ class EvaluationService:
     # ------------------------------------------------------------------ #
     # Blocking work (runs in the executor, never on the loop)
     # ------------------------------------------------------------------ #
-    async def _drain(self) -> None:
-        """The single queue-drain task: evaluations run one at a time, in
-        arrival order, each inside the default executor so the loop stays
-        free.  Parallelism lives *inside* an evaluation (the shared pool),
-        not across requests -- deliberately, so one store and one pool are
-        never contended."""
+    async def _supervise_drain(self, worker_id: int) -> None:
+        """Keep drain worker ``worker_id`` alive: restart it whenever it
+        crashes (counted as ``drain_restarts``), with a small jittered
+        backoff so a deterministically crashing worker cannot spin the
+        loop.  Only cancellation (server shutdown) ends the supervision."""
+        while True:
+            try:
+                await self._drain_worker(worker_id)
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:  # noqa: BLE001 - supervise, don't die
+                self.drain_restarts += 1
+                count("drain_restarts")
+                logger.warning(
+                    "drain worker %d crashed (%s: %s); restarting",
+                    worker_id,
+                    type(exc).__name__,
+                    exc,
+                )
+                await asyncio.sleep(0.05 * (0.5 + random.random()))
+
+    async def _drain_worker(self, worker_id: int) -> None:
+        """One queue-drain worker: evaluations run in arrival order, each
+        inside the default executor so the loop stays free.  With the
+        default single worker, parallelism lives *inside* an evaluation
+        (the shared pool), not across requests -- deliberately, so one
+        store and one pool are never contended."""
         assert self._queue is not None
         loop = asyncio.get_running_loop()
         while True:
-            request, future = await self._queue.get()
+            request, future, deadline = await self._queue.get()
+            action = _take_fault("drain")
+            if action is not None:
+                # Injected drain crash: answer the held request with a
+                # retryable 503 -- a real crash-with-request-in-hand must
+                # not wedge the client -- then die for the supervisor.
+                self._fail_future(
+                    future,
+                    ServiceError(
+                        503,
+                        "drain_crashed",
+                        "drain worker crashed while holding this request",
+                        retry_after=RETRY_AFTER_S,
+                    ),
+                )
+                self._queue.task_done()
+                _execute_fault(action)
+            if deadline is not None and loop.time() >= deadline:
+                # Expired while queued: answering 504 without evaluating
+                # keeps a backed-up queue from burning pool time on results
+                # nobody is waiting for.
+                self.expired += 1
+                count("requests_expired", where="queue")
+                self._fail_future(
+                    future,
+                    ServiceError(
+                        504, "deadline_exceeded", "deadline elapsed while queued"
+                    ),
+                )
+                self._queue.task_done()
+                continue
+            self._evaluating += 1
             try:
                 result = await loop.run_in_executor(None, self._evaluate, request)
             except ServiceError as exc:
-                if not future.done():
-                    future.set_exception(exc)
+                self._fail_future(future, exc)
             except Exception as exc:  # noqa: BLE001 - report, don't kill the drain
-                if not future.done():
-                    future.set_exception(
-                        ServiceError(500, "evaluation_failed", str(exc))
-                    )
+                self._fail_future(
+                    future, ServiceError(500, "evaluation_failed", str(exc))
+                )
             else:
                 if not future.done():
                     future.set_result(result)
             finally:
+                self._evaluating -= 1
                 self._queue.task_done()
 
     def _evaluate(self, request: Dict[str, Any]) -> Dict[str, Any]:
@@ -463,12 +670,22 @@ def submit_request(
     payload: Optional[Dict[str, Any]] = None,
     body: Optional[bytes] = None,
     timeout: float = 600.0,
+    retries: int = 0,
+    backoff_s: float = 0.5,
 ) -> Tuple[int, Dict[str, Any]]:
     """One HTTP call against a running server (the ``repro submit`` client).
 
     ``payload`` posts JSON; ``body`` posts raw bytes (trace uploads); neither
     issues a GET.  Returns ``(status, decoded JSON)`` -- error responses are
     returned, not raised, so the CLI can surface the server's error code.
+
+    ``retries`` grants additional attempts after *transient* failures: a
+    ``503`` response, a connection error (refused, reset, dropped
+    mid-response -- a restarting or chaos-injected server).  The wait
+    between attempts is a jittered exponential backoff
+    (``backoff_s * 2**attempt``), overridden by the server's ``Retry-After``
+    header when one was sent.  Non-transient statuses (400s, 500, 504)
+    return immediately: retrying cannot change them.
     """
     import urllib.error
     import urllib.request
@@ -476,25 +693,50 @@ def submit_request(
     if payload is not None and body is not None:
         raise ValueError("pass payload or body, not both")
     data = json.dumps(payload).encode("utf-8") if payload is not None else body
-    request = urllib.request.Request(
-        url.rstrip("/") + path,
-        data=data,
-        method="GET" if data is None else "POST",
-        headers={
-            "Content-Type": (
-                "application/json" if payload is not None else "application/octet-stream"
-            )
-        },
-    )
-    try:
-        with urllib.request.urlopen(request, timeout=timeout) as response:
-            return response.status, json.loads(response.read().decode("utf-8"))
-    except urllib.error.HTTPError as exc:
+    attempt = 0
+    while True:
+        request = urllib.request.Request(
+            url.rstrip("/") + path,
+            data=data,
+            method="GET" if data is None else "POST",
+            headers={
+                "Content-Type": (
+                    "application/json"
+                    if payload is not None
+                    else "application/octet-stream"
+                )
+            },
+        )
+        retry_after: Optional[float] = None
         try:
-            detail = json.loads(exc.read().decode("utf-8"))
-        except (ValueError, UnicodeDecodeError):
-            detail = {"error": "http_error", "message": str(exc)}
-        return exc.code, detail
+            with urllib.request.urlopen(request, timeout=timeout) as response:
+                return response.status, json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            try:
+                detail = json.loads(exc.read().decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
+                detail = {"error": "http_error", "message": str(exc)}
+            if exc.code != 503 or attempt >= retries:
+                return exc.code, detail
+            header = exc.headers.get("Retry-After") if exc.headers else None
+            if header is not None:
+                try:
+                    retry_after = float(header)
+                except ValueError:
+                    retry_after = None
+        except (urllib.error.URLError, ConnectionError, json.JSONDecodeError) as exc:
+            # Connection refused/reset or a response cut mid-body: the
+            # server is restarting or the connection was chaos-dropped.
+            if attempt >= retries:
+                if isinstance(exc, json.JSONDecodeError):
+                    return 0, {"error": "bad_response", "message": str(exc)}
+                return 0, {"error": "unreachable", "message": str(exc)}
+        count("submit_retries")
+        wait = retry_after
+        if wait is None:
+            wait = backoff_s * 2**attempt * (0.5 + random.random())
+        time.sleep(wait)
+        attempt += 1
 
 
 def save_upload_body(trace: WriteTrace) -> bytes:

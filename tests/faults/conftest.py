@@ -1,0 +1,19 @@
+"""Fixtures for the fault-injection tests.
+
+The injector is process-global state (that is the point: one plan governs a
+whole run), so every test here gets a clean slate before and after, and the
+``REPRO_FAULTS`` environment variable is masked so an ambient plan on the
+developer's machine cannot leak into assertions.
+"""
+
+import pytest
+
+from repro import faults
+
+
+@pytest.fixture(autouse=True)
+def clean_injector(monkeypatch):
+    monkeypatch.delenv(faults.FAULTS_ENV, raising=False)
+    faults.clear()
+    yield
+    faults.clear()

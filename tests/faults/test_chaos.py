@@ -1,0 +1,190 @@
+"""Chaos property suite: fault-injected runs recover *bit-identically*.
+
+Every test here runs the same workload twice -- once clean and serial (the
+reference), once under an installed fault plan on some ``n_jobs x backend``
+combination -- and asserts exact ``WriteMetrics`` equality.  The engine's
+recovery machinery (pool rebuild + resubmission, per-task transient retry,
+the ``task_timeout`` watchdog) must be invisible in the results: submission
+-order reduction and per-(unit, chunk) RNG streams survive any number of
+restarts.
+
+The test also asserts the fault really *fired* (``injected_counts``), so a
+green run cannot mean "the chaos never happened".
+"""
+
+import pytest
+
+from repro import faults
+from repro.coding import make_scheme
+from repro.core.config import EvaluationConfig
+from repro.evaluation.parallel import ParallelRunner, WorkUnit
+from repro.evaluation.runner import evaluate_schemes
+from repro.serve.results import ResultStore
+
+#: chunk_size 32 on a 128-line trace -> four shards per unit, so ordinals
+#: beyond 1 exist on every matrix point and crash mid-run, not at the edges.
+CONFIG = EvaluationConfig(chunk_size=32)
+MC_CONFIG = EvaluationConfig(chunk_size=32, sample_disturbance=True, seed=3)
+
+#: The full recovery matrix the issue demands.
+MATRIX = [(1, "process"), (1, "thread"), (4, "process"), (4, "thread")]
+
+
+def _units(trace, config=CONFIG):
+    return [
+        WorkUnit(name, make_scheme(name), trace, config)
+        for name in ("baseline", "wlcrc-16", "fnw")
+    ]
+
+
+@pytest.fixture(scope="module")
+def reference(gcc_trace):
+    """Clean serial results every chaos run must reproduce exactly."""
+    trace = gcc_trace[:128]
+    return {
+        "plain": ParallelRunner(n_jobs=1).run(_units(trace)),
+        "mc": ParallelRunner(n_jobs=1).run(_units(trace, MC_CONFIG)),
+    }
+
+
+def _chaos_run(trace, plan, n_jobs, backend, config=CONFIG, **runner_kwargs):
+    faults.install(plan)
+    runner = ParallelRunner(
+        n_jobs=n_jobs, backend=backend, retry_backoff_s=0.001, **runner_kwargs
+    )
+    return runner.run(_units(trace, config))
+
+
+@pytest.mark.parametrize("n_jobs, backend", MATRIX)
+class TestCrashRecovery:
+    def test_worker_crash_is_bit_identical(self, gcc_trace, reference, n_jobs, backend):
+        result = _chaos_run(gcc_trace[:128], "worker-crash@task:2", n_jobs, backend)
+        assert faults.injected_counts() == {"task": 1}
+        assert result == reference["plain"]
+
+    def test_crash_preserves_sampled_rng_streams(
+        self, gcc_trace, reference, n_jobs, backend
+    ):
+        """Monte-Carlo disturbance draws must survive a mid-run restart."""
+        result = _chaos_run(
+            gcc_trace[:128], "worker-crash@task:3", n_jobs, backend, config=MC_CONFIG
+        )
+        assert faults.injected_counts() == {"task": 1}
+        assert result == reference["mc"]
+
+    def test_two_crashes_in_one_run(self, gcc_trace, reference, n_jobs, backend):
+        result = _chaos_run(
+            gcc_trace[:128], "worker-crash@task:1,worker-crash@task:4", n_jobs, backend
+        )
+        assert faults.injected_counts() == {"task": 2}
+        assert faults.active_injector().pending() == ()
+        assert result == reference["plain"]
+
+
+@pytest.mark.parametrize("n_jobs, backend", MATRIX)
+def test_hang_watchdog_recovers_bit_identical(gcc_trace, reference, n_jobs, backend):
+    """A stalled worker trips the ``task_timeout`` watchdog; results match.
+
+    Serially there is no watchdog -- the injected 0.4s stall just elapses
+    inline -- which is exactly the contract: fault plans may slow a run
+    down, never change its output.
+    """
+    result = _chaos_run(
+        gcc_trace[:128],
+        "worker-hang@task:2:0.4s",
+        n_jobs,
+        backend,
+        task_timeout=0.15,
+    )
+    assert faults.injected_counts() == {"task": 1}
+    assert result == reference["plain"]
+
+
+def test_attach_failure_is_retried(gcc_trace, reference):
+    """A transient zero-copy attach error costs a retry, not the run."""
+    result = _chaos_run(
+        gcc_trace[:128], "attach-fail@attach:1", 4, "process", transport="shm"
+    )
+    assert faults.injected_counts() == {"attach": 1}
+    assert result == reference["plain"]
+
+
+def test_evaluate_schemes_end_to_end_under_chaos(gcc_trace):
+    """The public helper recovers too (the CLI path minus argument parsing)."""
+    encoders = [make_scheme("baseline"), make_scheme("wlcrc-16")]
+    trace = gcc_trace[:128]
+    clean = evaluate_schemes(encoders, trace, CONFIG)
+    faults.install("worker-crash@task:2")
+    injected = evaluate_schemes(encoders, trace, CONFIG, n_jobs=4)
+    assert faults.injected_counts() == {"task": 1}
+    assert injected == clean
+
+
+class TestStoreCorruptionChaos:
+    def test_corrupt_put_heals_on_recomputation(self, tmp_path, gcc_trace, reference):
+        """A record corrupted at write time is quarantined at read time and
+        the recomputed replacement is bit-identical."""
+        trace = gcc_trace[:128]
+        store = ResultStore(tmp_path / "store")
+        faults.install("store-corrupt@put:1")
+        writer = ParallelRunner(n_jobs=1)
+        writer.results_store = store
+        assert writer.run(_units(trace)) == reference["plain"]
+        assert faults.injected_counts() == {"put": 1}
+        faults.clear()
+        # First re-read quarantines the scribbled record (a miss), the other
+        # two entries hit; the rerun still reproduces the reference exactly.
+        reader = ParallelRunner(n_jobs=1)
+        reader.results_store = store
+        assert reader.run(_units(trace)) == reference["plain"]
+        assert store.stats()["corrupted"] == 1
+        assert list(store.corrupt_dir().iterdir())
+        # The healed entry serves hits again.
+        assert store.stats()["hits"] >= 2
+
+    def test_corrupt_get_quarantines_and_recovers(self, tmp_path, gcc_trace, reference):
+        trace = gcc_trace[:128]
+        store = ResultStore(tmp_path / "store")
+        writer = ParallelRunner(n_jobs=1)
+        writer.results_store = store
+        writer.run(_units(trace))
+        faults.install("store-corrupt@get:1")
+        reader = ParallelRunner(n_jobs=1)
+        reader.results_store = store
+        assert reader.run(_units(trace)) == reference["plain"]
+        assert faults.injected_counts() == {"get": 1}
+        assert store.stats()["corrupted"] == 1
+
+
+class TestDegradationAndLimits:
+    def test_unfired_specs_change_nothing(self, gcc_trace, reference):
+        """An ordinal past the run's task count simply never fires."""
+        result = _chaos_run(gcc_trace[:128], "worker-crash@task:999", 4, "process")
+        assert faults.injected_counts() == {}
+        assert faults.active_injector().pending() != ()
+        assert result == reference["plain"]
+
+    def test_serial_degradation_still_completes(self, gcc_trace, reference):
+        """With a zero rebuild budget the engine degrades to serial inline
+        execution -- slower, never wrong."""
+        result = _chaos_run(
+            gcc_trace[:128],
+            "worker-crash@task:2",
+            4,
+            "process",
+            max_pool_rebuilds=0,
+        )
+        assert faults.injected_counts() == {"task": 1}
+        assert result == reference["plain"]
+
+    def test_transient_retries_are_bounded(self, gcc_trace):
+        """A task that keeps failing transiently exhausts ``task_retries``
+        and surfaces the underlying error instead of looping forever."""
+        from repro.faults import InjectedWorkerCrash
+
+        def always_crash(value):
+            raise InjectedWorkerCrash("unrecoverable by retry")
+
+        runner = ParallelRunner(n_jobs=1, task_retries=1)
+        with pytest.raises(InjectedWorkerCrash):
+            runner.starmap(always_crash, [(1,)])

@@ -1,0 +1,178 @@
+"""Fault tolerance of the serve layer: drain supervision, deadlines, retries.
+
+Like ``tests/serve/test_service.py`` these run a real server on an ephemeral
+socket and speak actual HTTP, so the 503/504 mapping, ``Retry-After``
+propagation and the supervisor's restart path are exercised end to end.
+"""
+
+import asyncio
+import threading
+import time
+
+import pytest
+
+from repro import faults
+from repro.evaluation.parallel import shutdown_shared_runners
+from repro.serve.results import ResultStore
+from repro.serve.service import (
+    RETRY_AFTER_S,
+    EvaluationService,
+    ServiceError,
+    submit_request,
+)
+
+REQUEST = {
+    "scheme": "wlcrc-16",
+    "trace": {"profile": "gcc", "length": 150, "seed": 9},
+    "config": {"chunk_size": 64},
+}
+
+
+@pytest.fixture()
+def server(tmp_path):
+    store = ResultStore(tmp_path / "store")
+    service = EvaluationService(
+        store, n_jobs=1, backend="process", trace_dir=tmp_path / "corpus", queue_size=8
+    )
+    loop = asyncio.new_event_loop()
+    thread = threading.Thread(target=loop.run_forever, daemon=True)
+    thread.start()
+    asyncio.run_coroutine_threadsafe(service.start(), loop).result(timeout=30)
+    try:
+        yield service, f"http://127.0.0.1:{service.port}"
+    finally:
+        asyncio.run_coroutine_threadsafe(service.stop(), loop).result(timeout=30)
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(timeout=30)
+        loop.close()
+        shutdown_shared_runners()
+
+
+class TestDrainSupervision:
+    def test_drain_crash_answers_503_and_restarts(self, server):
+        service, url = server
+        faults.install("worker-crash@drain:1")
+        status, payload = submit_request(url, "/evaluate", payload=REQUEST)
+        assert (status, payload["error"]) == (503, "drain_crashed")
+        assert faults.injected_counts() == {"drain": 1}
+        # The supervisor restarts the worker; the retried request is served
+        # normally by the fresh drain.
+        deadline = time.monotonic() + 10
+        while service.drain_restarts == 0 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert service.drain_restarts == 1
+        status, payload = submit_request(url, "/evaluate", payload=REQUEST)
+        assert status == 200 and payload["cached"] is False
+        status, metrics = submit_request(url, "/metrics")
+        assert status == 200
+        assert metrics["drain"]["restarts"] == 1
+        assert metrics["drain"]["alive"] == service.drain_workers
+        assert metrics["faults_injected"] == {"drain": 1}
+
+    def test_client_retry_rides_through_the_crash(self, server):
+        """`repro submit --retries` turns the injected crash into one 200."""
+        service, url = server
+        faults.install("worker-crash@drain:1")
+        status, payload = submit_request(
+            url, "/evaluate", payload=REQUEST, retries=3, backoff_s=0.01
+        )
+        assert status == 200
+        assert payload["metrics"]["requests"] == 150
+        assert service.drain_restarts == 1
+
+
+class TestConnectionDrop:
+    def test_drop_without_retries_reports_unreachable(self, server):
+        _, url = server
+        faults.install("conn-drop@evaluate:1")
+        status, payload = submit_request(url, "/evaluate", payload=REQUEST)
+        assert status == 0
+        assert payload["error"] in ("unreachable", "bad_response")
+
+    def test_drop_is_absorbed_by_client_retry(self, server):
+        _, url = server
+        faults.install("conn-drop@evaluate:1")
+        status, payload = submit_request(
+            url, "/evaluate", payload=REQUEST, retries=2, backoff_s=0.01
+        )
+        assert status == 200
+        assert faults.injected_counts() == {"evaluate": 1}
+
+
+class TestDeadlines:
+    def test_tiny_deadline_expires_as_504(self, server):
+        service, url = server
+        request = {**REQUEST, "deadline_ms": 1}
+        status, payload = submit_request(url, "/evaluate", payload=request)
+        assert (status, payload["error"]) == (504, "deadline_exceeded")
+        assert service.expired >= 1
+        status, metrics = submit_request(url, "/metrics")
+        assert metrics["requests_expired"] >= 1
+
+    def test_generous_deadline_answers_normally(self, server):
+        _, url = server
+        request = {**REQUEST, "deadline_ms": 60_000}
+        status, payload = submit_request(url, "/evaluate", payload=request)
+        assert status == 200
+        # The deadline is client plumbing, not part of the work: it must not
+        # have leaked into the result key.
+        status, second = submit_request(url, "/evaluate", payload=REQUEST)
+        assert second["cached"] is True and second["key"] == payload["key"]
+
+    @pytest.mark.parametrize("deadline", [0, -3, "soon"])
+    def test_invalid_deadline_is_rejected(self, server, deadline):
+        _, url = server
+        request = {**REQUEST, "deadline_ms": deadline}
+        status, payload = submit_request(url, "/evaluate", payload=request)
+        assert (status, payload["error"]) == (400, "bad_request")
+
+
+class TestGracefulShutdown:
+    def test_stop_flushes_queued_requests_with_retryable_503(self, tmp_path):
+        """Queued-but-unstarted requests are answered, never abandoned."""
+
+        async def scenario():
+            store = ResultStore(tmp_path / "store")
+            service = EvaluationService(store, trace_dir=tmp_path / "corpus")
+            service._queue = asyncio.Queue(maxsize=4)
+            loop = asyncio.get_running_loop()
+            futures = [loop.create_future() for _ in range(3)]
+            for future in futures:
+                service._queue.put_nowait((dict(REQUEST), future, None))
+            await service.stop()
+            return futures
+
+        futures = asyncio.run(scenario())
+        for future in futures:
+            exc = future.exception()
+            assert isinstance(exc, ServiceError)
+            assert (exc.status, exc.code) == (503, "shutting_down")
+            assert exc.retry_after == RETRY_AFTER_S
+
+    def test_stopped_server_refuses_new_requests(self, server):
+        service, url = server
+        service._stopping = True
+        try:
+            status, payload = submit_request(url, "/evaluate", payload=REQUEST)
+            assert (status, payload["error"]) == (503, "shutting_down")
+        finally:
+            service._stopping = False
+
+
+class TestRetryAfterPlumbing:
+    def test_queue_full_carries_retry_after(self, tmp_path):
+        """The 503 path sets Retry-After; the HTTP layer renders it."""
+        exc = ServiceError(503, "queue_full", "busy", retry_after=RETRY_AFTER_S)
+        assert exc.retry_after == RETRY_AFTER_S
+
+    def test_submit_gives_up_after_exhausting_retries(self):
+        # Nothing listens on this port: every attempt fails, the client
+        # backs off `retries` times and then reports unreachable.
+        started = time.monotonic()
+        status, payload = submit_request(
+            "http://127.0.0.1:9", "/evaluate", payload=REQUEST,
+            timeout=0.2, retries=2, backoff_s=0.01,
+        )
+        assert status == 0
+        assert payload["error"] == "unreachable"
+        assert time.monotonic() - started < 30

@@ -142,17 +142,37 @@ class TestStoreGetPutGc:
         fresh = self._evaluate(gcc_trace)
         store.put(key, fresh)
         assert store.get(key) == fresh
-        assert store.stats() == {"hits": 1, "misses": 1}
+        assert store.stats() == {"hits": 1, "misses": 1, "corrupted": 0}
         assert len(store) == 1
 
-    def test_corrupt_record_degrades_to_miss(self, tmp_path, gcc_trace):
+    def test_corrupt_record_is_quarantined(self, tmp_path, gcc_trace):
         store = ResultStore(tmp_path / "store")
         key = _key(gcc_trace)
         store.put(key, self._evaluate(gcc_trace))
         path = store._record_path(key.digest)
         path.write_text("not json")
         assert store.get(key) is None
-        # A tampered key payload (digest collision stand-in) must also miss.
+        # The damaged record is moved aside (not silently re-missed forever):
+        # it is gone from results/, preserved under corrupt/, out of the
+        # index, and counted.
+        assert not path.exists()
+        quarantined = store.corrupt_dir() / path.name
+        assert quarantined.read_text() == "not json"
+        assert key.digest not in store._read_index()
+        assert store.stats()["corrupted"] == 1
+        assert len(store) == 0
+        # A re-put repopulates the entry and it serves hits again.
+        fresh = self._evaluate(gcc_trace)
+        store.put(key, fresh)
+        assert store.get(key) == fresh
+
+    def test_collision_degrades_to_plain_miss(self, tmp_path, gcc_trace):
+        # A tampered key payload (digest collision stand-in) must miss
+        # without being quarantined: the record is valid, just not ours.
+        store = ResultStore(tmp_path / "store")
+        key = _key(gcc_trace)
+        path = store._record_path(key.digest)
+        store.results_dir().mkdir(parents=True, exist_ok=True)
         record = {
             "version": 1,
             "key": {**key.payload, "chunk_size": 999},
@@ -160,6 +180,8 @@ class TestStoreGetPutGc:
         }
         path.write_text(json.dumps(record))
         assert store.get(key) is None
+        assert path.exists()
+        assert store.stats()["corrupted"] == 0
 
     def test_gc_evicts_least_recently_used(self, tmp_path, gcc_trace, libq_trace):
         store = ResultStore(tmp_path / "store")

@@ -104,10 +104,23 @@ class TestEndpoints:
         submit_request(url, "/evaluate", payload=REQUEST)
         status, metrics = submit_request(url, "/metrics")
         assert status == 200
-        assert metrics["store"] == {"hits": 1, "misses": 1, "entries": 1}
+        assert metrics["store"] == {
+            "hits": 1,
+            "misses": 1,
+            "corrupted": 0,
+            "entries": 1,
+        }
         assert metrics["evaluations"] == 1
         assert metrics["queue"]["capacity"] == service.queue_size
         assert metrics["queue"]["rejected"] == 0
+        assert metrics["inflight"] == 0
+        assert metrics["requests_expired"] == 0
+        assert metrics["drain"] == {
+            "workers": service.drain_workers,
+            "alive": service.drain_workers,
+            "busy": 0,
+            "restarts": 0,
+        }
 
 
 class TestErrorMapping:

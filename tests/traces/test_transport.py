@@ -213,26 +213,31 @@ class TestPersistentPool:
             (kept,) = [t for t, _, _ in runner._exporter._by_trace.values()]
             assert kept.new == libq_trace[:128].new
 
-    def test_broken_pool_does_not_poison_runner(self, gcc_trace):
-        """A dead pool is discarded so the next run() gets a fresh one."""
+    def test_broken_pool_self_heals(self, gcc_trace):
+        """A dead pool is rebuilt mid-run and the lost work resubmitted."""
+        from concurrent.futures import Future
         from concurrent.futures.process import BrokenProcessPool
 
         class _BrokenExecutor:
-            def map(self, *args, **kwargs):
-                raise BrokenProcessPool("worker died")
+            def submit(self, *args, **kwargs):
+                future = Future()
+                future.set_exception(BrokenProcessPool("worker died"))
+                return future
 
             def shutdown(self, *args, **kwargs):
                 pass
 
         encoder = make_scheme("baseline")
         units = [WorkUnit("k", encoder, gcc_trace[:128], CONFIG)]
-        runner = ParallelRunner(2, persistent=True)
-        runner._executor = _BrokenExecutor()
-        with pytest.raises(BrokenProcessPool):
-            runner.run(units)
-        assert runner._executor is None  # broken pool discarded
+        runner = ParallelRunner(2, persistent=True, retry_backoff_s=0.001)
+        broken = _BrokenExecutor()
+        runner._executor = broken
         reference = evaluate_trace(encoder, gcc_trace[:128], CONFIG)
-        assert runner.run(units)["k"] == reference  # recovered
+        # The run completes despite starting on a dead pool: the engine
+        # discards it, builds a fresh one and resubmits the lost shards.
+        assert runner.run(units)["k"] == reference
+        assert runner._executor is not broken  # broken pool discarded
+        assert runner.run(units)["k"] == reference  # still healthy after
         runner.close()
 
     def test_pool_survives_across_runs(self, gcc_trace):
